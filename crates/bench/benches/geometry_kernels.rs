@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the geometry kernels on the UV-diagram hot path:
+//! possible-region clipping, convex hulls, overlap checking and the
+//! qualification-probability integration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uv_core::index::check_overlap;
+use uv_core::PossibleRegion;
+use uv_data::{qualification_probabilities, UncertainObject};
+use uv_geom::{convex_hull, Circle, Point, Rect};
+
+fn ring_of_circles(n: usize, center: Point, radius: f64) -> Vec<Circle> {
+    (0..n)
+        .map(|k| {
+            let angle = std::f64::consts::TAU * k as f64 / n as f64;
+            Circle::new(
+                Point::new(
+                    center.x + radius * angle.cos(),
+                    center.y + radius * angle.sin(),
+                ),
+                20.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_region_clip(c: &mut Criterion) {
+    let domain = Rect::square(10_000.0);
+    let subject = Circle::new(Point::new(5_000.0, 5_000.0), 20.0);
+    let mut group = c.benchmark_group("possible_region_clip");
+    for &neighbours in &[8usize, 32, 128] {
+        let others = ring_of_circles(neighbours, subject.center, 400.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(neighbours),
+            &others,
+            |b, others| {
+                b.iter(|| {
+                    let mut region = PossibleRegion::full(subject, &domain);
+                    for o in others {
+                        region.clip(*o, 8, 156.0);
+                    }
+                    std::hint::black_box(region.area())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_convex_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_hull");
+    for &n in &[64usize, 1_024] {
+        let points: Vec<Point> = (0..n)
+            .map(|k| {
+                let a = k as f64 * 0.7;
+                Point::new(a.sin() * 500.0 + a, a.cos() * 500.0 - a * 0.3)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| std::hint::black_box(convex_hull(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_overlap(c: &mut Criterion) {
+    let subject = Circle::new(Point::new(5_000.0, 5_000.0), 20.0);
+    let crs = ring_of_circles(24, subject.center, 300.0);
+    let region = Rect::new(6_000.0, 6_000.0, 6_200.0, 6_200.0);
+    c.bench_function("check_overlap_4point", |b| {
+        b.iter(|| std::hint::black_box(check_overlap(subject, &crs, &region)))
+    });
+}
+
+fn bench_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qualification_probability");
+    for &candidates in &[2usize, 8, 24] {
+        let objects: Vec<UncertainObject> = (0..candidates as u32)
+            .map(|k| {
+                UncertainObject::with_gaussian(
+                    k,
+                    Point::new(100.0 + 15.0 * k as f64, 80.0 + 7.0 * k as f64),
+                    20.0,
+                )
+            })
+            .collect();
+        let refs: Vec<&UncertainObject> = objects.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(candidates),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    std::hint::black_box(qualification_probabilities(
+                        Point::new(0.0, 0.0),
+                        refs,
+                        100,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_region_clip, bench_convex_hull, bench_check_overlap, bench_probability
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of PNN query processing: UV-index point lookup
+//! vs. the R-tree branch-and-prune baseline (the kernel behind Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uv_core::{Method, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig};
+
+fn bench_pnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pnn_query");
+    for &n in &[1_000usize, 4_000] {
+        let dataset = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let system = UvSystem::build(
+            dataset.objects.clone(),
+            dataset.domain,
+            Method::IC,
+            UvConfig::default(),
+        );
+        let queries = dataset.query_points(64, 7);
+        let mut cursor = 0usize;
+
+        group.bench_with_input(BenchmarkId::new("uv_index", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[cursor % queries.len()];
+                cursor += 1;
+                std::hint::black_box(system.pnn(q))
+            })
+        });
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("rtree_baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let q = queries[cursor % queries.len()];
+                cursor += 1;
+                std::hint::black_box(system.pnn_rtree(q))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_query(c: &mut Criterion) {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(2_000));
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+    let mut group = c.benchmark_group("uv_partition_query");
+    for side in [200.0, 500.0, 1_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side as usize),
+            &side,
+            |b, &side| {
+                let region = uv_geom::Rect::new(5_000.0, 5_000.0, 5_000.0 + side, 5_000.0 + side);
+                b.iter(|| std::hint::black_box(system.partition_query(&region)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pnn, bench_partition_query
+}
+criterion_main!(benches);

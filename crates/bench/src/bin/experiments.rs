@@ -1,0 +1,223 @@
+//! Regenerates the evaluation of the UV-diagram paper (Section VI).
+//!
+//! ```text
+//! cargo run --release -p uv-bench --bin experiments -- all
+//! cargo run --release -p uv-bench --bin experiments -- fig6a fig6b
+//! cargo run --release -p uv-bench --bin experiments -- --scale 0.1 --queries 50 fig7a
+//! ```
+//!
+//! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
+//! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory all`.
+//!
+//! `--scale` multiplies the paper's dataset cardinalities (default 0.05, i.e.
+//! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
+//! queries per measurement (default 50, as in the paper).
+
+use std::collections::BTreeSet;
+use uv_bench::{fig6, fig7, print_table, sensitivity, table2, ExperimentScale};
+
+const ALL: &[&str] = &[
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "tab2",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig7e",
+    "fig7f",
+    "fig7g",
+    "fig7h",
+    "sens_theta",
+    "sens_memory",
+];
+
+fn main() {
+    let mut scale = ExperimentScale::default();
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale.size_factor = v.parse().expect("--scale must be a number");
+            }
+            "--queries" => {
+                let v = args.next().expect("--queries needs a value");
+                scale.queries = v.parse().expect("--queries must be an integer");
+            }
+            "--basic-cap" => {
+                let v = args.next().expect("--basic-cap needs a value");
+                scale.basic_cap = v.parse().expect("--basic-cap must be an integer");
+            }
+            "all" => {
+                requested.extend(ALL.iter().map(|s| s.to_string()));
+            }
+            id if ALL.contains(&id) => {
+                requested.insert(id.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: experiments [--scale F] [--queries N] [--basic-cap N] <ids|all>");
+                eprintln!("ids: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+    if requested.is_empty() {
+        requested.extend(ALL.iter().map(|s| s.to_string()));
+    }
+
+    println!(
+        "UV-diagram experiments — scale factor {}, {} queries per measurement",
+        scale.size_factor, scale.queries
+    );
+    println!(
+        "(paper sizes 10K-80K are scaled to {}-{} objects; absolute numbers differ from the paper,",
+        scale.scaled(10_000),
+        scale.scaled(80_000)
+    );
+    println!(" the comparisons and trends are what is being reproduced)");
+
+    let wants = |id: &str| requested.contains(id);
+
+    // Figure 6(a)-(c) share one dataset-size sweep.
+    if wants("fig6a") || wants("fig6b") || wants("fig6c") {
+        let sweep = fig6::size_sweep(&scale);
+        if wants("fig6a") {
+            print_table(
+                "Figure 6(a): PNN query time vs |O|",
+                &[
+                    "|O|",
+                    "Tq R-tree (ms, CPU)",
+                    "Tq UV-diagram (ms, CPU)",
+                    "Tq R-tree (ms, disk-adjusted)",
+                    "Tq UV-diagram (ms, disk-adjusted)",
+                    "speedup (disk-adjusted)",
+                ],
+                &fig6::fig6a_rows(&sweep),
+            );
+        }
+        if wants("fig6b") {
+            print_table(
+                "Figure 6(b): PNN leaf-page I/O vs |O|",
+                &["|O|", "I/O R-tree", "I/O UV-diagram", "ratio"],
+                &fig6::fig6b_rows(&sweep),
+            );
+        }
+        if wants("fig6c") {
+            print_table(
+                "Figure 6(c): query-time breakdown",
+                &["index", "traversal (ms)", "object retrieval (ms)", "probability (ms)"],
+                &fig6::fig6c_rows(&sweep),
+            );
+        }
+    }
+    if wants("fig6d") {
+        let sweep = fig6::uncertainty_sweep(&scale);
+        print_table(
+            "Figure 6(d): query time vs uncertainty-region size",
+            &[
+                "diameter",
+                "Tq R-tree (ms, CPU)",
+                "Tq UV-diagram (ms, CPU)",
+                "Tq R-tree (ms, disk-adjusted)",
+                "Tq UV-diagram (ms, disk-adjusted)",
+            ],
+            &fig6::fig6d_rows(&sweep),
+        );
+    }
+    if wants("tab2") {
+        let rows = table2::table2(&scale);
+        print_table(
+            "Table II: Germany-like datasets",
+            &[
+                "dataset",
+                "|O|",
+                "Tq UVD (ms, disk-adjusted)",
+                "Tq R-tree (ms, disk-adjusted)",
+                "Tc IC (s)",
+                "pc",
+            ],
+            &table2::table2_rows(&rows),
+        );
+    }
+
+    // Figure 7(a)-(e) share one construction sweep.
+    if wants("fig7a") || wants("fig7b") || wants("fig7c") || wants("fig7d") || wants("fig7e") {
+        let sweep = fig7::construction_sweep(&scale);
+        if wants("fig7a") {
+            print_table(
+                "Figure 7(a): construction time vs |O|",
+                &["|O|", "Basic (s)", "ICR (s)", "IC (s)"],
+                &fig7::fig7a_rows(&sweep),
+            );
+        }
+        if wants("fig7b") {
+            print_table(
+                "Figure 7(b): pruning ratio vs |O|",
+                &["|O|", "I-pruning", "C-pruning"],
+                &fig7::fig7b_rows(&sweep),
+            );
+        }
+        if wants("fig7c") {
+            print_table(
+                "Figure 7(c): construction time, IC vs ICR",
+                &["|O|", "ICR (s)", "IC (s)", "ICR/IC"],
+                &fig7::fig7c_rows(&sweep),
+            );
+        }
+        if wants("fig7d") {
+            print_table(
+                "Figure 7(d): ICR time breakdown",
+                &["|O|", "I+C pruning", "r-object generation", "indexing"],
+                &fig7::fig7d_rows(&sweep),
+            );
+        }
+        if wants("fig7e") {
+            print_table(
+                "Figure 7(e): IC time breakdown",
+                &["|O|", "I+C pruning", "indexing"],
+                &fig7::fig7e_rows(&sweep),
+            );
+        }
+    }
+    if wants("fig7f") {
+        print_table(
+            "Figure 7(f): construction time vs uncertainty-region size",
+            &["diameter", "ICR (s)", "IC (s)"],
+            &fig7::fig7f_rows(&scale),
+        );
+    }
+    if wants("fig7g") {
+        print_table(
+            "Figure 7(g): construction time vs skew (sigma of centres)",
+            &["sigma", "Tc IC (s)", "avg cr-objects"],
+            &fig7::fig7g_rows(&scale),
+        );
+    }
+    if wants("fig7h") {
+        print_table(
+            "Figure 7(h): UV-partition query vs query-region size",
+            &["region side", "Tq (ms)", "partitions returned"],
+            &fig7::fig7h_rows(&scale),
+        );
+    }
+    if wants("sens_theta") {
+        let rows = sensitivity::theta_sweep(&scale);
+        print_table(
+            "Sensitivity: split threshold T_theta",
+            &["T_theta", "non-leaf nodes", "leaf nodes", "leaf pages", "Tq (ms)", "Tq (I/O)"],
+            &sensitivity::theta_rows(&rows),
+        );
+    }
+    if wants("sens_memory") {
+        print_table(
+            "Ablation: non-leaf memory budget M",
+            &["M", "non-leaf nodes", "Tq (I/O)", "Tq (ms)"],
+            &sensitivity::memory_budget_sweep(&scale),
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Figure 6: PNN query performance of the UV-index vs. the R-tree baseline.
+//!
+//! * 6(a) — query time `T_q` (ms) against dataset size.
+//! * 6(b) — leaf-page I/O against dataset size.
+//! * 6(c) — breakdown of `T_q` into index traversal, object retrieval and
+//!   probability computation at a fixed dataset size.
+//! * 6(d) — query time against the uncertainty-region size.
+
+use crate::workload::{build_system, measure_pnn, ExperimentScale, QueryCost};
+use uv_core::{Method, UvConfig};
+use uv_data::GeneratorConfig;
+
+/// One measured point of the dataset-size sweep.
+#[derive(Debug, Clone)]
+pub struct SizeSweepRow {
+    pub objects: usize,
+    pub uv: QueryCost,
+    pub rtree: QueryCost,
+}
+
+/// Runs the dataset-size sweep shared by Figures 6(a), 6(b) and 6(c).
+pub fn size_sweep(scale: &ExperimentScale) -> Vec<SizeSweepRow> {
+    scale
+        .size_sweep()
+        .into_iter()
+        .map(|n| {
+            let (dataset, system) = build_system(
+                GeneratorConfig::paper_uniform(n),
+                Method::IC,
+                UvConfig::default(),
+            );
+            let queries = dataset.query_points(scale.queries, 4242);
+            let (uv, rtree) = measure_pnn(&system, &queries);
+            SizeSweepRow {
+                objects: n,
+                uv,
+                rtree,
+            }
+        })
+        .collect()
+}
+
+/// Figure 6(a): `T_q` (ms) vs. `|O|`. Both the raw CPU time (in-memory page
+/// store) and the disk-adjusted time (every page read charged
+/// [`crate::workload::SIMULATED_DISK_LATENCY_MS`]) are reported; the latter
+/// reflects the paper's disk-resident leaf pages.
+pub fn fig6a_rows(sweep: &[SizeSweepRow]) -> Vec<Vec<String>> {
+    sweep
+        .iter()
+        .map(|r| {
+            vec![
+                r.objects.to_string(),
+                format!("{:.3}", r.rtree.millis()),
+                format!("{:.3}", r.uv.millis()),
+                format!("{:.2}", r.rtree.disk_adjusted_millis()),
+                format!("{:.2}", r.uv.disk_adjusted_millis()),
+                format!(
+                    "{:.2}x",
+                    r.rtree.disk_adjusted_millis() / r.uv.disk_adjusted_millis().max(1e-9)
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Figure 6(b): leaf-page I/O vs. `|O|`.
+pub fn fig6b_rows(sweep: &[SizeSweepRow]) -> Vec<Vec<String>> {
+    sweep
+        .iter()
+        .map(|r| {
+            vec![
+                r.objects.to_string(),
+                format!("{:.2}", r.rtree.index_io),
+                format!("{:.2}", r.uv.index_io),
+                format!("{:.2}x", r.rtree.index_io / r.uv.index_io.max(1e-9)),
+            ]
+        })
+        .collect()
+}
+
+/// Figure 6(c): breakdown of `T_q` at a fixed dataset size (the paper uses
+/// one representative size; we take the middle of the sweep).
+pub fn fig6c_rows(sweep: &[SizeSweepRow]) -> Vec<Vec<String>> {
+    let Some(row) = sweep.get(sweep.len() / 2) else {
+        return Vec::new();
+    };
+    let fmt = |c: &QueryCost| {
+        vec![
+            format!("{:.3}", c.traversal.as_secs_f64() * 1e3),
+            format!("{:.3}", c.retrieval.as_secs_f64() * 1e3),
+            format!("{:.3}", c.probability.as_secs_f64() * 1e3),
+        ]
+    };
+    vec![
+        {
+            let mut v = vec![format!("R-tree (|O|={})", row.objects)];
+            v.extend(fmt(&row.rtree));
+            v
+        },
+        {
+            let mut v = vec![format!("UV-diagram (|O|={})", row.objects)];
+            v.extend(fmt(&row.uv));
+            v
+        },
+    ]
+}
+
+/// One measured point of the uncertainty-size sweep of Figure 6(d).
+#[derive(Debug, Clone)]
+pub struct UncertaintySweepRow {
+    pub diameter: f64,
+    pub uv: QueryCost,
+    pub rtree: QueryCost,
+}
+
+/// Figure 6(d): query time vs. uncertainty-region size at the paper's base
+/// cardinality (30K objects, scaled).
+pub fn uncertainty_sweep(scale: &ExperimentScale) -> Vec<UncertaintySweepRow> {
+    let n = scale.scaled(30_000);
+    scale
+        .diameter_sweep()
+        .into_iter()
+        .map(|diameter| {
+            let (dataset, system) = build_system(
+                GeneratorConfig::paper_uniform(n).with_diameter(diameter),
+                Method::IC,
+                UvConfig::default(),
+            );
+            let queries = dataset.query_points(scale.queries, 77);
+            let (uv, rtree) = measure_pnn(&system, &queries);
+            UncertaintySweepRow {
+                diameter,
+                uv,
+                rtree,
+            }
+        })
+        .collect()
+}
+
+/// Rows for Figure 6(d).
+pub fn fig6d_rows(sweep: &[UncertaintySweepRow]) -> Vec<Vec<String>> {
+    sweep
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.diameter),
+                format!("{:.3}", r.rtree.millis()),
+                format!("{:.3}", r.uv.millis()),
+                format!("{:.2}", r.rtree.disk_adjusted_millis()),
+                format!("{:.2}", r.uv.disk_adjusted_millis()),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            size_factor: 0.004,
+            queries: 5,
+            basic_cap: 200,
+        }
+    }
+
+    #[test]
+    fn size_sweep_produces_all_rows_and_uv_wins_on_io() {
+        let sweep = size_sweep(&tiny_scale());
+        assert_eq!(sweep.len(), 8);
+        // At the largest size the UV-index must not need more leaf I/O than
+        // the R-tree (the paper's headline result).
+        let last = sweep.last().unwrap();
+        assert!(last.uv.index_io <= last.rtree.index_io);
+        assert_eq!(fig6a_rows(&sweep).len(), 8);
+        assert_eq!(fig6b_rows(&sweep).len(), 8);
+        assert_eq!(fig6c_rows(&sweep).len(), 2);
+    }
+
+    #[test]
+    fn uncertainty_sweep_produces_rows() {
+        let scale = ExperimentScale {
+            size_factor: 0.003,
+            queries: 4,
+            basic_cap: 200,
+        };
+        let sweep = uncertainty_sweep(&scale);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(fig6d_rows(&sweep).len(), 5);
+        for row in &sweep {
+            assert!(row.uv.answers >= 1.0);
+        }
+    }
+}

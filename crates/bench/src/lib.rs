@@ -1,0 +1,35 @@
+//! Experiment harness regenerating the evaluation of the UV-diagram paper
+//! (Section VI): every figure and table, as printable series of rows.
+//!
+//! Absolute numbers differ from the paper (different language, hardware and a
+//! simulated disk), but each experiment preserves the paper's *shape*: which
+//! method wins, roughly by how much, and how the curves move with dataset
+//! size, uncertainty-region size, skew and query-region size. The default
+//! [`ExperimentScale`] shrinks the paper's cardinalities so a full run
+//! completes on a laptop; pass `--scale 1.0` to the `experiments` binary for
+//! the original sizes.
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`fig6`] | Figure 6(a)–(d): PNN query time, I/O, breakdown, uncertainty sweep |
+//! | [`fig7`] | Figure 7(a)–(h): construction time, pruning ratios, breakdowns, skew, UV-partition query |
+//! | [`table2`] | Table II: Germany-like datasets |
+//! | [`sensitivity`] | Section VI-B(1): split-threshold sensitivity |
+
+pub mod fig6;
+pub mod fig7;
+pub mod sensitivity;
+pub mod table2;
+pub mod workload;
+
+pub use workload::{ExperimentScale, QueryCost};
+
+/// Prints a markdown-style table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join(" | "));
+    println!("{}", header.iter().map(|_| "---").collect::<Vec<_>>().join(" | "));
+    for row in rows {
+        println!("{}", row.join(" | "));
+    }
+}

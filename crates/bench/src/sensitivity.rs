@@ -1,0 +1,119 @@
+//! Sensitivity of the UV-index to the split threshold `T_theta`
+//! (Section VI-B, result 1) and to the non-leaf memory budget `M` — the
+//! ablation of the two knobs that govern the adaptive grid.
+
+use crate::workload::{build_system, measure_pnn, ExperimentScale};
+use uv_core::{Method, UvConfig};
+use uv_data::GeneratorConfig;
+
+/// One row of the `T_theta` sensitivity study.
+#[derive(Debug, Clone)]
+pub struct ThetaRow {
+    pub theta: f64,
+    pub nonleaf_nodes: usize,
+    pub leaf_nodes: usize,
+    pub leaf_pages: usize,
+    pub query_ms: f64,
+    pub query_io: f64,
+}
+
+/// Sweeps the split threshold; the paper observes that the index degrades
+/// into long page lists for very small thresholds and is otherwise
+/// insensitive.
+pub fn theta_sweep(scale: &ExperimentScale) -> Vec<ThetaRow> {
+    let n = scale.scaled(30_000);
+    [0.2, 0.4, 0.6, 0.8, 1.0]
+        .into_iter()
+        .map(|theta| {
+            let (dataset, system) = build_system(
+                GeneratorConfig::paper_uniform(n),
+                Method::IC,
+                UvConfig::default().with_split_threshold(theta),
+            );
+            let queries = dataset.query_points(scale.queries, 59);
+            let (uv, _) = measure_pnn(&system, &queries);
+            let stats = system.construction_stats();
+            ThetaRow {
+                theta,
+                nonleaf_nodes: stats.nonleaf_nodes,
+                leaf_nodes: stats.leaf_nodes,
+                leaf_pages: stats.leaf_pages,
+                query_ms: uv.millis(),
+                query_io: uv.index_io,
+            }
+        })
+        .collect()
+}
+
+/// Printable rows for the sensitivity study.
+pub fn theta_rows(rows: &[ThetaRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.theta),
+                r.nonleaf_nodes.to_string(),
+                r.leaf_nodes.to_string(),
+                r.leaf_pages.to_string(),
+                format!("{:.3}", r.query_ms),
+                format!("{:.2}", r.query_io),
+            ]
+        })
+        .collect()
+}
+
+/// Ablation on the non-leaf memory budget `M`: with a tiny budget the grid
+/// cannot adapt and queries pay more I/O.
+pub fn memory_budget_sweep(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let n = scale.scaled(30_000);
+    [4usize, 64, 512, 4_000]
+        .into_iter()
+        .map(|m| {
+            let (dataset, system) = build_system(
+                GeneratorConfig::paper_uniform(n),
+                Method::IC,
+                UvConfig::default().with_max_nonleaf(m),
+            );
+            let queries = dataset.query_points(scale.queries, 61);
+            let (uv, _) = measure_pnn(&system, &queries);
+            vec![
+                m.to_string(),
+                system.construction_stats().nonleaf_nodes.to_string(),
+                format!("{:.2}", uv.index_io),
+                format!("{:.3}", uv.millis()),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            size_factor: 0.004,
+            queries: 4,
+            basic_cap: 100,
+        }
+    }
+
+    #[test]
+    fn theta_sweep_shows_degradation_for_small_thresholds() {
+        let rows = theta_sweep(&tiny_scale());
+        assert_eq!(rows.len(), 5);
+        // A higher threshold splits at least as eagerly as a lower one.
+        assert!(rows[0].nonleaf_nodes <= rows[4].nonleaf_nodes);
+        // Query I/O with the default threshold is no worse than with the
+        // smallest threshold.
+        assert!(rows[4].query_io <= rows[0].query_io + 1e-9);
+        assert_eq!(theta_rows(&rows).len(), 5);
+    }
+
+    #[test]
+    fn memory_budget_sweep_produces_rows() {
+        let rows = memory_budget_sweep(&tiny_scale());
+        assert_eq!(rows.len(), 4);
+        let tight_nonleaf: usize = rows[0][1].parse().unwrap();
+        assert!(tight_nonleaf <= 4);
+    }
+}

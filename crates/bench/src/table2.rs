@@ -1,0 +1,95 @@
+//! Table II: query and construction performance on the three "real" datasets
+//! (utility, roads, rrlines).
+//!
+//! The original German datasets are replaced by synthetic stand-ins with the
+//! same cardinality and a comparable non-uniform spatial distribution (see
+//! DESIGN.md); the reported columns match the paper's: average PNN time on
+//! the UV-diagram and on the R-tree, the IC construction time `T_c` and the
+//! pruning ratio `p_c`.
+
+use crate::workload::{measure_pnn, ExperimentScale};
+use uv_core::{Method, UvConfig, UvSystem};
+use uv_data::Dataset;
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub name: &'static str,
+    pub objects: usize,
+    pub uv_query_ms: f64,
+    pub rtree_query_ms: f64,
+    pub uv_query_disk_ms: f64,
+    pub rtree_query_disk_ms: f64,
+    pub construction_secs: f64,
+    pub pruning_ratio: f64,
+}
+
+/// Builds the three datasets and measures every column of Table II.
+pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
+    Dataset::table2_datasets(scale.size_factor)
+        .into_iter()
+        .map(|(name, dataset)| {
+            let system = UvSystem::build(
+                dataset.objects.clone(),
+                dataset.domain,
+                Method::IC,
+                UvConfig::default(),
+            );
+            let queries = dataset.query_points(scale.queries, 13);
+            let (uv, rtree) = measure_pnn(&system, &queries);
+            Table2Row {
+                name,
+                objects: dataset.len(),
+                uv_query_ms: uv.millis(),
+                rtree_query_ms: rtree.millis(),
+                uv_query_disk_ms: uv.disk_adjusted_millis(),
+                rtree_query_disk_ms: rtree.disk_adjusted_millis(),
+                construction_secs: system.construction_stats().total.as_secs_f64(),
+                pruning_ratio: system.construction_stats().avg_c_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Printable rows for Table II.
+pub fn table2_rows(rows: &[Table2Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.objects.to_string(),
+                format!("{:.2}", r.uv_query_disk_ms),
+                format!("{:.2}", r.rtree_query_disk_ms),
+                format!("{:.2}", r.construction_secs),
+                format!("{:.1}%", r.pruning_ratio * 100.0),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_three_datasets_with_paper_ordering() {
+        let scale = ExperimentScale {
+            size_factor: 0.003,
+            queries: 4,
+            basic_cap: 100,
+        };
+        let rows = table2(&scale);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "utility");
+        assert_eq!(rows[1].name, "roads");
+        assert_eq!(rows[2].name, "rrlines");
+        assert!(rows[0].objects < rows[1].objects);
+        assert!(rows[1].objects < rows[2].objects);
+        for r in &rows {
+            assert!(r.pruning_ratio > 0.5, "{}: weak pruning", r.name);
+            assert!(r.uv_query_ms >= 0.0);
+            assert!(r.construction_secs > 0.0);
+        }
+        assert_eq!(table2_rows(&rows).len(), 3);
+    }
+}

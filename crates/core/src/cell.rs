@@ -1,0 +1,252 @@
+//! Exact UV-cell construction (Algorithm 1) and r-object extraction.
+//!
+//! The UV-cell `U_i` of an object (Definition 1) is obtained by starting from
+//! the whole domain and subtracting the outside region of every other object.
+//! Objects whose UV-edge actually bounds the final cell are the *r-objects*
+//! `F_i` of `O_i`; they are what the ICR construction method indexes, and a
+//! subset of the cr-objects produced by pruning.
+
+use crate::config::UvConfig;
+use crate::region::PossibleRegion;
+use uv_data::{ObjectId, UncertainObject};
+use uv_geom::{OutsideRegion, Rect};
+
+/// A UV-cell together with the objects that define its boundary.
+#[derive(Debug, Clone)]
+pub struct UvCell {
+    /// The object this cell belongs to.
+    pub object_id: ObjectId,
+    /// Polygonal approximation of the cell (exact sign predicate, polyline
+    /// boundary).
+    pub region: PossibleRegion,
+    /// Objects whose UV-edges bound the final cell (`F_i`).
+    pub r_objects: Vec<ObjectId>,
+    /// Objects whose outside regions changed the region at some point during
+    /// construction (a superset of `r_objects`).
+    pub contributors: Vec<ObjectId>,
+}
+
+impl UvCell {
+    /// Area of the cell.
+    pub fn area(&self) -> f64 {
+        self.region.area()
+    }
+
+    /// `true` when `q` has the cell's object as a possible nearest neighbour.
+    pub fn contains(&self, q: uv_geom::Point) -> bool {
+        self.region.contains(q)
+    }
+}
+
+/// Relative tolerance used to decide whether a boundary vertex lies on an
+/// object's UV-edge when extracting r-objects.
+const EDGE_TOLERANCE: f64 = 1e-6;
+
+/// Builds the exact (polyline-approximated) UV-cell of `subject` by clipping
+/// against every object yielded by `others` (Algorithm 1 specialised to one
+/// object).
+///
+/// `others` may be the full dataset (the "Basic" method) or a pruned
+/// candidate set (the refinement step of ICR); correctness only requires that
+/// it contains every true r-object of `subject`.
+pub fn build_exact_cell<'a>(
+    subject: &UncertainObject,
+    others: impl IntoIterator<Item = &'a UncertainObject> + 'a,
+    domain: &Rect,
+    config: &UvConfig,
+) -> UvCell {
+    let max_edge_len = config.max_edge_len(domain.width().max(domain.height()));
+    let mut region = PossibleRegion::full(subject.mbc(), domain);
+    let mut contributors = Vec::new();
+    let mut contributor_circles = Vec::new();
+    for other in others {
+        if other.id == subject.id {
+            continue;
+        }
+        if region.clip(other.mbc(), config.curve_samples, max_edge_len) {
+            contributors.push(other.id);
+            contributor_circles.push(other.mbc());
+        }
+    }
+
+    // A contributor clipped the region at some stage, but a later clip may
+    // have removed its edge from the final boundary. Keep as r-objects only
+    // the contributors whose UV-edge still touches the final boundary.
+    let scale = domain.width().max(domain.height());
+    let tol = EDGE_TOLERANCE * scale;
+    let vertices = region.polygon().vertices().to_vec();
+    let r_objects = contributors
+        .iter()
+        .zip(&contributor_circles)
+        .filter(|(_, circle)| {
+            let outside = OutsideRegion::new(subject.mbc(), **circle);
+            vertices.iter().any(|v| outside.signed(*v).abs() <= tol)
+        })
+        .map(|(id, _)| *id)
+        .collect();
+
+    UvCell {
+        object_id: subject.id,
+        region,
+        r_objects,
+        contributors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uv_data::{Dataset, GeneratorConfig};
+    use uv_geom::Point;
+
+    fn obj(id: u32, x: f64, y: f64, r: f64) -> UncertainObject {
+        UncertainObject::with_uniform(id, Point::new(x, y), r)
+    }
+
+    fn small_config() -> UvConfig {
+        UvConfig {
+            parallel: false,
+            ..UvConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_object_cell_is_the_domain() {
+        let domain = Rect::square(1000.0);
+        let o = obj(0, 500.0, 500.0, 20.0);
+        let cell = build_exact_cell(&o, [], &domain, &small_config());
+        assert!((cell.area() - 1_000_000.0).abs() < 1e-6);
+        assert!(cell.r_objects.is_empty());
+        assert!(cell.contains(Point::new(999.0, 1.0)));
+    }
+
+    #[test]
+    fn two_point_objects_split_space_like_voronoi() {
+        // Zero-radius objects: the UV-diagram degenerates to the classical
+        // Voronoi diagram (Section I).
+        let domain = Rect::square(100.0);
+        let a = obj(0, 25.0, 50.0, 0.0);
+        let b = obj(1, 75.0, 50.0, 0.0);
+        let config = small_config();
+        let cell_a = build_exact_cell(&a, [&b], &domain, &config);
+        let cell_b = build_exact_cell(&b, [&a], &domain, &config);
+        // Each cell is (approximately) half of the domain.
+        assert!((cell_a.area() - 5000.0).abs() < 50.0, "area {}", cell_a.area());
+        assert!((cell_b.area() - 5000.0).abs() < 50.0);
+        assert_eq!(cell_a.r_objects, vec![1]);
+        assert_eq!(cell_b.r_objects, vec![0]);
+        // Points on each side belong to the right cell.
+        assert!(cell_a.contains(Point::new(10.0, 50.0)));
+        assert!(!cell_a.contains(Point::new(90.0, 50.0)));
+        assert!(cell_b.contains(Point::new(90.0, 50.0)));
+    }
+
+    #[test]
+    fn uncertain_cells_overlap_around_the_bisector() {
+        // With non-zero radii the two cells overlap in a band between the two
+        // UV-edges: query points there have BOTH objects as answers.
+        let domain = Rect::square(100.0);
+        let a = obj(0, 25.0, 50.0, 5.0);
+        let b = obj(1, 75.0, 50.0, 5.0);
+        let config = small_config();
+        let cell_a = build_exact_cell(&a, [&b], &domain, &config);
+        let cell_b = build_exact_cell(&b, [&a], &domain, &config);
+        let mid = Point::new(50.0, 50.0);
+        assert!(cell_a.contains(mid));
+        assert!(cell_b.contains(mid));
+        assert!(cell_a.area() + cell_b.area() > 10_000.0);
+        // Far on B's side, A is no longer possible.
+        assert!(!cell_a.contains(Point::new(95.0, 50.0)));
+    }
+
+    #[test]
+    fn cell_membership_matches_distance_semantics() {
+        // For any point in O_i's cell, distmin(O_i) <= min_j distmax(O_j);
+        // outside the cell the opposite strict inequality holds for some j.
+        let domain = Rect::square(500.0);
+        let objects: Vec<UncertainObject> = vec![
+            obj(0, 100.0, 100.0, 10.0),
+            obj(1, 400.0, 120.0, 15.0),
+            obj(2, 250.0, 400.0, 8.0),
+            obj(3, 260.0, 240.0, 12.0),
+        ];
+        let config = small_config();
+        for subject in &objects {
+            let others: Vec<&UncertainObject> =
+                objects.iter().filter(|o| o.id != subject.id).collect();
+            let cell = build_exact_cell(subject, others.iter().copied(), &domain, &config);
+            // Probe a grid of points and compare with the definition.
+            let mut checked = 0;
+            for gx in 0..20 {
+                for gy in 0..20 {
+                    let q = Point::new(12.5 + 25.0 * gx as f64, 12.5 + 25.0 * gy as f64);
+                    let in_cell = cell.contains(q);
+                    let dmin_subject = subject.dist_min(q);
+                    let dominated = others.iter().any(|o| o.dist_max(q) < dmin_subject - 1e-9);
+                    // `dominated` means the subject cannot be the NN at q.
+                    if dominated && in_cell {
+                        // Allow a thin tolerance band around the boundary for
+                        // the polyline approximation.
+                        let margin = others
+                            .iter()
+                            .map(|o| dmin_subject - o.dist_max(q))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        assert!(
+                            margin < 1.0,
+                            "point {q:?} is {margin} inside the outside region yet in the cell of {}",
+                            subject.id
+                        );
+                    }
+                    if !dominated {
+                        assert!(
+                            in_cell,
+                            "point {q:?} should be in the cell of {}",
+                            subject.id
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+            assert_eq!(checked, 400);
+        }
+    }
+
+    #[test]
+    fn r_objects_are_a_subset_of_contributors() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(60));
+        let config = small_config();
+        let subject = &ds.objects[0];
+        let cell = build_exact_cell(subject, ds.objects.iter().skip(1), &ds.domain, &config);
+        for r in &cell.r_objects {
+            assert!(cell.contributors.contains(r));
+        }
+        assert!(!cell.r_objects.is_empty());
+        // The cell is never empty and always contains its own centre.
+        assert!(cell.area() > 0.0);
+        assert!(cell.contains(subject.center()));
+    }
+
+    #[test]
+    fn subsumed_objects_are_not_r_objects() {
+        // Object 2's outside region is strictly contained in object 1's
+        // (dist(c_1, c_2) <= r_2 - r_1), so its UV-edge can never bound the
+        // final cell even though it might be processed first.
+        let domain = Rect::square(1000.0);
+        let subject = obj(0, 500.0, 500.0, 10.0);
+        let near = obj(1, 550.0, 500.0, 10.0);
+        let subsumed = obj(2, 552.0, 500.0, 15.0);
+        let cell = build_exact_cell(&subject, [&subsumed, &near], &domain, &small_config());
+        assert!(cell.r_objects.contains(&1));
+        assert!(!cell.r_objects.contains(&2));
+    }
+
+    #[test]
+    fn overlapping_object_is_not_an_r_object() {
+        let domain = Rect::square(200.0);
+        let subject = obj(0, 100.0, 100.0, 20.0);
+        let overlapping = obj(1, 110.0, 100.0, 20.0);
+        let cell = build_exact_cell(&subject, [&overlapping], &domain, &small_config());
+        assert!(cell.r_objects.is_empty());
+        assert!((cell.area() - 40_000.0).abs() < 1e-6);
+    }
+}

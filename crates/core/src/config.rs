@@ -1,0 +1,169 @@
+//! Tunable parameters of UV-diagram construction and indexing.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling UV-cell approximation, cr-object derivation and the
+/// adaptive grid. The defaults follow the experimental setup of Section VI-A
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UvConfig {
+    /// Number of extra vertices inserted along a UV-edge for every clipped
+    /// chord of a possible region (boundary fidelity of the polygonal
+    /// approximation).
+    pub curve_samples: usize,
+    /// Edge-subdivision granularity of clipping, expressed as a fraction of
+    /// the domain side: polygon edges longer than
+    /// `domain_side * max_edge_len_fraction` are subdivided before sign
+    /// evaluation so mid-edge incursions are not missed.
+    pub max_edge_len_fraction: f64,
+    /// `k` of the seed-selection k-NN query (the paper uses 300).
+    pub seed_knn: usize,
+    /// Number of sectors / seeds (`k_s`, the paper uses 8).
+    pub num_seeds: usize,
+    /// Maximum number of memory-resident non-leaf grid nodes (`M`, the paper
+    /// uses 4000).
+    pub max_nonleaf: usize,
+    /// Split threshold `T_theta` in `[0, 1]`; the paper uses 1.0.
+    pub split_threshold: f64,
+    /// Number of integration steps of qualification-probability computation.
+    pub integration_steps: usize,
+    /// Derive cr-objects for different objects on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for UvConfig {
+    fn default() -> Self {
+        Self {
+            curve_samples: 8,
+            max_edge_len_fraction: 1.0 / 64.0,
+            seed_knn: 300,
+            num_seeds: 8,
+            max_nonleaf: 4000,
+            split_threshold: 1.0,
+            integration_steps: 100,
+            parallel: true,
+        }
+    }
+}
+
+impl UvConfig {
+    /// Maximum clip-edge length for a domain of the given side length.
+    pub fn max_edge_len(&self, domain_side: f64) -> f64 {
+        if self.max_edge_len_fraction <= 0.0 {
+            f64::INFINITY
+        } else {
+            domain_side * self.max_edge_len_fraction
+        }
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), crate::error::UvError> {
+        use crate::error::UvError;
+        if self.num_seeds == 0 {
+            return Err(UvError::InvalidConfig("num_seeds must be positive"));
+        }
+        if self.seed_knn == 0 {
+            return Err(UvError::InvalidConfig("seed_knn must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.split_threshold) {
+            return Err(UvError::InvalidConfig(
+                "split_threshold must lie in [0, 1]",
+            ));
+        }
+        if self.max_nonleaf == 0 {
+            return Err(UvError::InvalidConfig("max_nonleaf must be positive"));
+        }
+        if self.integration_steps < 2 {
+            return Err(UvError::InvalidConfig(
+                "integration_steps must be at least 2",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the split threshold `T_theta`.
+    pub fn with_split_threshold(mut self, t: f64) -> Self {
+        self.split_threshold = t;
+        self
+    }
+
+    /// Builder-style setter for the memory cap `M` on non-leaf nodes.
+    pub fn with_max_nonleaf(mut self, m: usize) -> Self {
+        self.max_nonleaf = m;
+        self
+    }
+
+    /// Builder-style setter for sequential/parallel construction.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = UvConfig::default();
+        assert_eq!(c.seed_knn, 300);
+        assert_eq!(c.num_seeds, 8);
+        assert_eq!(c.max_nonleaf, 4000);
+        assert_eq!(c.split_threshold, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn max_edge_len_scales_with_domain() {
+        let c = UvConfig::default();
+        assert_eq!(c.max_edge_len(6400.0), 100.0);
+        let no_subdiv = UvConfig {
+            max_edge_len_fraction: 0.0,
+            ..c
+        };
+        assert!(no_subdiv.max_edge_len(6400.0).is_infinite());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let base = UvConfig::default();
+        assert!(UvConfig {
+            num_seeds: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig {
+            split_threshold: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig {
+            max_nonleaf: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig {
+            integration_steps: 1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig { seed_knn: 0, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = UvConfig::default()
+            .with_split_threshold(0.5)
+            .with_max_nonleaf(128)
+            .with_parallel(false);
+        assert_eq!(c.split_threshold, 0.5);
+        assert_eq!(c.max_nonleaf, 128);
+        assert!(!c.parallel);
+    }
+}

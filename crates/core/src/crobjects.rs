@@ -1,0 +1,298 @@
+//! Candidate reference objects (Algorithm 2): an efficiently computable
+//! superset of the r-objects that define an object's UV-cell.
+//!
+//! The three steps of the paper are implemented faithfully:
+//!
+//! 1. **`initPossibleRegion`** (Section IV-B) — a k-NN query around the
+//!    subject's centre retrieves `k` close objects, the domain is divided
+//!    into `k_s` sectors centred at `c_i`, and the closest object of each
+//!    sector becomes a *seed*; clipping the domain by the seeds' outside
+//!    regions yields a small initial possible region.
+//! 2. **I-pruning** (Section IV-C, Lemma 2) — a circular range query of
+//!    radius `2d - r_i` (where `d` is the maximum distance of the possible
+//!    region from `c_i`) discards every object whose centre lies outside the
+//!    circle; such objects cannot reshape the region.
+//! 3. **C-pruning** (Section IV-D, Lemma 3) — d-bounds are built at the
+//!    vertices of the possible region's convex hull; an object whose centre
+//!    lies outside every d-bound cannot reshape the region either.
+//!
+//! The survivors are the cr-objects `C_i ⊇ F_i`.
+
+use crate::config::UvConfig;
+use crate::region::PossibleRegion;
+use crate::stats::PruneStats;
+use uv_data::{ObjectEntry, ObjectId, UncertainObject};
+use uv_geom::{Circle, Point, Rect};
+use uv_rtree::RTree;
+
+/// The cr-objects of one subject object, with the possible region and the
+/// pruning statistics that produced them.
+#[derive(Debug, Clone)]
+pub struct CrObjects {
+    /// The subject object.
+    pub object_id: ObjectId,
+    /// Candidate reference objects `C_i` (sorted, deduplicated).
+    pub cr_ids: Vec<ObjectId>,
+    /// The initial possible region built from the seeds.
+    pub region: PossibleRegion,
+    /// Pruning statistics (seed count, survivors of each phase).
+    pub stats: PruneStats,
+}
+
+impl CrObjects {
+    /// Number of cr-objects.
+    pub fn len(&self) -> usize {
+        self.cr_ids.len()
+    }
+
+    /// `true` when no other object can shape the cell (singleton datasets).
+    pub fn is_empty(&self) -> bool {
+        self.cr_ids.is_empty()
+    }
+}
+
+/// Derives the cr-objects of `subject` (Algorithm 2).
+///
+/// `rtree` indexes the whole dataset (including `subject`, which is skipped),
+/// and `all_objects` provides uncertainty-region geometry by id.
+pub fn derive_cr_objects(
+    subject: &UncertainObject,
+    rtree: &RTree,
+    all_objects: &[UncertainObject],
+    domain: &Rect,
+    config: &UvConfig,
+) -> CrObjects {
+    let total_others = all_objects.len().saturating_sub(1);
+    let ci = subject.center();
+    let max_edge_len = config.max_edge_len(domain.width().max(domain.height()));
+
+    // ---- Step 1: initial possible region from seeds --------------------------
+    let neighbours = rtree.knn(ci, config.seed_knn, Some(subject.id));
+    let seeds = select_seeds(ci, &neighbours, config.num_seeds);
+    let mut region = PossibleRegion::full(subject.mbc(), domain);
+    for seed in &seeds {
+        region.clip(seed.mbc, config.curve_samples, max_edge_len);
+    }
+
+    // ---- Step 2: I-pruning (Lemma 2) -----------------------------------------
+    let d = region.max_dist();
+    let i_radius = (2.0 * d - subject.radius()).max(0.0);
+    let i_survivors: Vec<ObjectEntry> = rtree
+        .range_circle_centers(ci, i_radius)
+        .into_iter()
+        .filter(|e| e.id != subject.id)
+        .collect();
+
+    // ---- Step 3: C-pruning (Lemma 3) -----------------------------------------
+    let hull = region.convex_hull();
+    let d_bounds: Vec<Circle> = hull
+        .iter()
+        .map(|v| Circle::new(*v, v.dist(ci)))
+        .collect();
+    let mut cr_ids: Vec<ObjectId> = i_survivors
+        .iter()
+        .filter(|e| {
+            d_bounds
+                .iter()
+                .any(|bound| bound.contains(e.mbc.center))
+        })
+        .map(|e| e.id)
+        .collect();
+
+    // The seeds shaped the initial region, so they are candidate reference
+    // objects by construction; keep them even if a later, smaller hull would
+    // prune them.
+    cr_ids.extend(seeds.iter().map(|s| s.id));
+    cr_ids.sort_unstable();
+    cr_ids.dedup();
+
+    let stats = PruneStats {
+        total_others,
+        seeds: seeds.len(),
+        after_i_pruning: i_survivors.len(),
+        after_c_pruning: cr_ids.len(),
+    };
+
+    CrObjects {
+        object_id: subject.id,
+        cr_ids,
+        region,
+        stats,
+    }
+}
+
+/// Selects at most `num_seeds` seeds from the k-NN result by dividing the
+/// plane around `ci` into equal sectors and keeping the closest neighbour of
+/// every non-empty sector (Section IV-B).
+fn select_seeds(ci: Point, neighbours: &[ObjectEntry], num_seeds: usize) -> Vec<ObjectEntry> {
+    let num_seeds = num_seeds.max(1);
+    let mut best: Vec<Option<(f64, ObjectEntry)>> = vec![None; num_seeds];
+    for e in neighbours {
+        let dir = e.mbc.center - ci;
+        if dir.norm() <= f64::EPSILON {
+            continue;
+        }
+        let mut angle = dir.y.atan2(dir.x);
+        if angle < 0.0 {
+            angle += std::f64::consts::TAU;
+        }
+        let sector =
+            ((angle / std::f64::consts::TAU * num_seeds as f64) as usize).min(num_seeds - 1);
+        let dist = e.mbc.dist_min(ci);
+        match &best[sector] {
+            Some((d, _)) if *d <= dist => {}
+            _ => best[sector] = Some((dist, *e)),
+        }
+    }
+    best.into_iter().flatten().map(|(_, e)| e).collect()
+}
+
+/// Soundness check used by tests and debug assertions: every r-object of the
+/// exact cell must appear among the cr-objects.
+pub fn cr_objects_cover_r_objects(cr: &CrObjects, r_objects: &[ObjectId]) -> bool {
+    r_objects.iter().all(|r| cr.cr_ids.binary_search(r).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::build_exact_cell;
+    use std::sync::Arc;
+    use uv_data::{Dataset, DatasetKind, GeneratorConfig, ObjectStore};
+    use uv_store::PageStore;
+
+    fn setup(n: usize, kind: DatasetKind) -> (Dataset, RTree) {
+        let config = GeneratorConfig {
+            kind,
+            ..GeneratorConfig::paper_uniform(n)
+        };
+        let ds = Dataset::generate(config);
+        let pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&pages), &ds.objects);
+        let tree = RTree::build(&ds.objects, &objects, pages);
+        (ds, tree)
+    }
+
+    fn test_config() -> UvConfig {
+        UvConfig {
+            parallel: false,
+            ..UvConfig::default()
+        }
+    }
+
+    #[test]
+    fn seeds_are_spread_across_sectors() {
+        let (ds, tree) = setup(500, DatasetKind::Uniform);
+        let subject = &ds.objects[123];
+        let neighbours = tree.knn(subject.center(), 300, Some(subject.id));
+        let seeds = select_seeds(subject.center(), &neighbours, 8);
+        assert!(!seeds.is_empty());
+        assert!(seeds.len() <= 8);
+        // Seeds must come from distinct sectors: their angles must differ.
+        let mut sectors: Vec<usize> = seeds
+            .iter()
+            .map(|s| {
+                let dir = s.mbc.center - subject.center();
+                let mut a = dir.y.atan2(dir.x);
+                if a < 0.0 {
+                    a += std::f64::consts::TAU;
+                }
+                (a / std::f64::consts::TAU * 8.0) as usize
+            })
+            .collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        assert_eq!(sectors.len(), seeds.len());
+    }
+
+    #[test]
+    fn pruning_is_sound_cr_objects_cover_r_objects() {
+        let (ds, tree) = setup(300, DatasetKind::Uniform);
+        let config = test_config();
+        for subject in ds.objects.iter().step_by(29) {
+            let cr = derive_cr_objects(subject, &tree, &ds.objects, &ds.domain, &config);
+            // Exact cell against the full dataset.
+            let cell = build_exact_cell(
+                subject,
+                ds.objects.iter().filter(|o| o.id != subject.id),
+                &ds.domain,
+                &config,
+            );
+            assert!(
+                cr_objects_cover_r_objects(&cr, &cell.r_objects),
+                "object {}: r-objects {:?} not covered by cr-objects {:?}",
+                subject.id,
+                cell.r_objects,
+                cr.cr_ids
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_discards_most_objects() {
+        let (ds, tree) = setup(800, DatasetKind::Uniform);
+        let config = test_config();
+        let mut total_ratio = 0.0;
+        let samples = 20;
+        for subject in ds.objects.iter().step_by(800 / samples) {
+            let cr = derive_cr_objects(subject, &tree, &ds.objects, &ds.domain, &config);
+            total_ratio += cr.stats.c_ratio();
+            assert!(cr.stats.after_i_pruning <= cr.stats.total_others);
+            assert!(cr.stats.after_c_pruning <= cr.stats.after_i_pruning + cr.stats.seeds);
+        }
+        let avg = total_ratio / samples as f64;
+        assert!(
+            avg > 0.8,
+            "C-pruning should discard the vast majority of objects, got ratio {avg}"
+        );
+    }
+
+    #[test]
+    fn i_pruning_is_weaker_than_c_pruning() {
+        let (ds, tree) = setup(600, DatasetKind::Uniform);
+        let config = test_config();
+        let cr = derive_cr_objects(&ds.objects[10], &tree, &ds.objects, &ds.domain, &config);
+        assert!(cr.stats.i_ratio() <= cr.stats.c_ratio() + 1e-12);
+        assert!(cr.stats.i_ratio() > 0.0);
+    }
+
+    #[test]
+    fn skewed_data_keeps_pruning_sound() {
+        let (ds, tree) = setup(300, DatasetKind::GaussianSkew { sigma: 800.0 });
+        let config = test_config();
+        for subject in ds.objects.iter().step_by(43) {
+            let cr = derive_cr_objects(subject, &tree, &ds.objects, &ds.domain, &config);
+            let cell = build_exact_cell(
+                subject,
+                ds.objects.iter().filter(|o| o.id != subject.id),
+                &ds.domain,
+                &config,
+            );
+            assert!(cr_objects_cover_r_objects(&cr, &cell.r_objects));
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_degenerate_gracefully() {
+        let (ds, tree) = setup(2, DatasetKind::Uniform);
+        let config = test_config();
+        let cr = derive_cr_objects(&ds.objects[0], &tree, &ds.objects, &ds.domain, &config);
+        assert_eq!(cr.stats.total_others, 1);
+        assert_eq!(cr.cr_ids, vec![1]);
+        assert!(!cr.is_empty());
+        assert_eq!(cr.len(), 1);
+    }
+
+    #[test]
+    fn cr_region_is_no_larger_than_domain_and_contains_subject() {
+        let (ds, tree) = setup(400, DatasetKind::Uniform);
+        let config = test_config();
+        let subject = &ds.objects[200];
+        let cr = derive_cr_objects(subject, &tree, &ds.objects, &ds.domain, &config);
+        assert!(cr.region.area() <= ds.domain.area() + 1e-6);
+        assert!(cr.region.contains(subject.center()));
+        // With 8 seeds around, the initial region should be far smaller than
+        // the domain for a uniform dataset of this size.
+        assert!(cr.region.area() < ds.domain.area() * 0.25);
+    }
+}

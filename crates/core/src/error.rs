@@ -1,0 +1,51 @@
+//! Error type of the UV-diagram crate.
+
+use std::fmt;
+
+/// Errors reported by UV-diagram construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UvError {
+    /// A configuration parameter is outside its valid range.
+    InvalidConfig(&'static str),
+    /// An object id was not found in the dataset / index.
+    UnknownObject(u32),
+    /// The query point lies outside the indexed domain.
+    OutOfDomain,
+    /// The index was built over an empty dataset.
+    EmptyIndex,
+}
+
+impl fmt::Display for UvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            UvError::UnknownObject(id) => write!(f, "unknown object id {id}"),
+            UvError::OutOfDomain => write!(f, "query point lies outside the indexed domain"),
+            UvError::EmptyIndex => write!(f, "the index contains no objects"),
+        }
+    }
+}
+
+impl std::error::Error for UvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            UvError::InvalidConfig("x").to_string(),
+            "invalid configuration: x"
+        );
+        assert_eq!(UvError::UnknownObject(3).to_string(), "unknown object id 3");
+        assert!(UvError::OutOfDomain.to_string().contains("outside"));
+        assert!(UvError::EmptyIndex.to_string().contains("no objects"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(UvError::EmptyIndex);
+        assert!(e.source().is_none());
+    }
+}

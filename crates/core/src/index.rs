@@ -1,0 +1,336 @@
+//! The UV-index: an adaptive quad-tree grid over UV-partitions
+//! (Section V-A) and its PNN query processing.
+//!
+//! Non-leaf nodes are memory resident (at most `M` of them); every leaf node
+//! carries a linked list of disk pages holding `<ID, MBC, pointer>` tuples of
+//! the objects whose UV-cells (may) overlap the leaf's region. A PNN query is
+//! a point lookup: descend to the leaf containing the query point, read its
+//! page list, verify the candidates with the `d_minmax` test of [14] and
+//! compute qualification probabilities for the survivors.
+
+use crate::config::UvConfig;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+use uv_data::{
+    qualification_probabilities, ObjectEntry, ObjectId, ObjectStore, PnnAnswer, QueryBreakdown,
+};
+use uv_geom::{Circle, OutsideRegion, Point, Rect, EPS};
+use uv_store::{PagedList, PageStore};
+
+/// A node of the adaptive grid.
+#[derive(Debug)]
+pub(crate) enum GridNode {
+    /// Internal node with exactly four children (one per quadrant, in
+    /// `[SW, SE, NE, NW]` order).
+    Internal { children: [u32; 4] },
+    /// Leaf node: a page list of object entries plus the memory-resident
+    /// object-id summary used by offline pattern analysis (Section V-C keeps
+    /// an offline counter per leaf; we keep the ids, which subsumes it).
+    Leaf {
+        list: PagedList<ObjectEntry>,
+        object_ids: Vec<ObjectId>,
+    },
+}
+
+/// The UV-index.
+#[derive(Debug)]
+pub struct UvIndex {
+    pub(crate) config: UvConfig,
+    pub(crate) domain: Rect,
+    pub(crate) nodes: Vec<GridNode>,
+    pub(crate) node_regions: Vec<Rect>,
+    pub(crate) nonleaf_count: usize,
+    pub(crate) store: Arc<PageStore>,
+}
+
+impl UvIndex {
+    /// Creates an empty index whose root is a single leaf covering `domain`.
+    pub(crate) fn new(domain: Rect, store: Arc<PageStore>, config: UvConfig) -> Self {
+        let root = GridNode::Leaf {
+            list: PagedList::new(Arc::clone(&store)),
+            object_ids: Vec::new(),
+        };
+        Self {
+            config,
+            domain,
+            nodes: vec![root],
+            node_regions: vec![domain],
+            nonleaf_count: 0,
+            store,
+        }
+    }
+
+    /// The indexed domain `D`.
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// Configuration the index was built with.
+    pub fn config(&self) -> &UvConfig {
+        &self.config
+    }
+
+    /// Backing page store of the leaf page lists.
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// Number of memory-resident non-leaf nodes.
+    pub fn num_nonleaf_nodes(&self) -> usize {
+        self.nonleaf_count
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaf_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, GridNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Total number of disk pages used by leaf page lists.
+    pub fn num_leaf_pages(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                GridNode::Leaf { list, .. } => Some(list.num_pages()),
+                GridNode::Internal { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Height of the grid (1 for a single-leaf index).
+    pub fn height(&self) -> usize {
+        fn depth(index: &UvIndex, node: usize) -> usize {
+            match &index.nodes[node] {
+                GridNode::Leaf { .. } => 1,
+                GridNode::Internal { children } => {
+                    1 + children
+                        .iter()
+                        .map(|c| depth(index, *c as usize))
+                        .max()
+                        .unwrap_or(0)
+                }
+            }
+        }
+        depth(self, 0)
+    }
+
+    /// Iterates over the leaves as `(region, object ids)` pairs, using only
+    /// memory-resident information (no I/O). This is the "offline" summary
+    /// the paper attaches to leaf nodes for pattern analysis.
+    pub fn leaves(&self) -> impl Iterator<Item = (&Rect, &[ObjectId])> {
+        self.nodes
+            .iter()
+            .zip(&self.node_regions)
+            .filter_map(|(node, region)| match node {
+                GridNode::Leaf { object_ids, .. } => Some((region, object_ids.as_slice())),
+                GridNode::Internal { .. } => None,
+            })
+    }
+
+    /// Index of the leaf node whose region contains `q`, or `None` when `q`
+    /// lies outside the domain.
+    pub(crate) fn locate_leaf(&self, q: Point) -> Option<usize> {
+        if !self.domain.contains(q) {
+            return None;
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                GridNode::Leaf { .. } => return Some(node),
+                GridNode::Internal { children } => {
+                    let region = self.node_regions[node];
+                    let c = region.center();
+                    // Quadrant order matches Rect::quadrants(): SW, SE, NE, NW.
+                    let idx = match (q.x <= c.x, q.y <= c.y) {
+                        (true, true) => 0,
+                        (false, true) => 1,
+                        (false, false) => 2,
+                        (true, false) => 3,
+                    };
+                    node = children[idx] as usize;
+                }
+            }
+        }
+    }
+
+    /// Evaluates a PNN query at `q` (Section V-A): descend to the leaf
+    /// containing `q`, read its page list, verify candidates by the
+    /// `d_minmax` criterion, fetch the survivors' pdfs and compute their
+    /// qualification probabilities.
+    pub fn pnn(&self, objects: &ObjectStore, q: Point, integration_steps: usize) -> PnnAnswer {
+        let mut breakdown = QueryBreakdown::default();
+
+        let index_io_before = self.store.io().reads;
+        let t_traversal = Instant::now();
+        let Some(leaf) = self.locate_leaf(q) else {
+            return PnnAnswer::default();
+        };
+        let entries = match &self.nodes[leaf] {
+            GridNode::Leaf { list, .. } => list.read_all(),
+            GridNode::Internal { .. } => unreachable!("locate_leaf returns leaves"),
+        };
+        // Verification of [14]: no object whose minimum distance exceeds the
+        // smallest maximum distance can be an answer.
+        let dminmax = entries
+            .iter()
+            .map(|e| e.dist_max(q))
+            .fold(f64::INFINITY, f64::min);
+        let candidates: Vec<&ObjectEntry> = entries
+            .iter()
+            .filter(|e| e.dist_min(q) <= dminmax + EPS)
+            .collect();
+        breakdown.traversal = t_traversal.elapsed();
+        breakdown.index_io = self.store.io().reads - index_io_before;
+
+        let object_io_before = objects.store().io().reads;
+        let t_retrieval = Instant::now();
+        let mut touched = HashSet::new();
+        let fetched: Vec<_> = candidates
+            .iter()
+            .filter_map(|e| objects.fetch(e.id, &mut touched))
+            .collect();
+        breakdown.retrieval = t_retrieval.elapsed();
+        breakdown.object_io = objects.store().io().reads - object_io_before;
+
+        let t_prob = Instant::now();
+        let refs: Vec<_> = fetched.iter().collect();
+        let mut probabilities = qualification_probabilities(q, &refs, integration_steps);
+        probabilities.retain(|(_, p)| *p > 0.0);
+        breakdown.probability = t_prob.elapsed();
+
+        PnnAnswer {
+            probabilities,
+            candidates_examined: candidates.len(),
+            breakdown,
+        }
+    }
+
+    /// Seals every leaf page list (flushes in-memory tails to disk pages).
+    /// Called once at the end of construction.
+    pub(crate) fn seal(&mut self) {
+        for node in &mut self.nodes {
+            if let GridNode::Leaf { list, .. } = node {
+                list.seal();
+            }
+        }
+    }
+}
+
+/// Algorithm 5 (`CheckOverlap`): decides whether the UV-cell of an object —
+/// represented by its cr-objects — can overlap a grid region.
+///
+/// For every cr-object `O_k`, if the whole region lies inside the outside
+/// region `X_i(k)` then the UV-cell cannot overlap the region (Lemma 4); the
+/// containment test is the 4-point test on the region corners, which is exact
+/// because outside regions are convex.
+pub fn check_overlap(subject: Circle, cr_objects: &[Circle], region: &Rect) -> bool {
+    let corners = region.corners();
+    for other in cr_objects {
+        let outside = OutsideRegion::new(subject, *other);
+        if outside.is_empty() {
+            continue;
+        }
+        if corners.iter().all(|c| outside.contains(*c)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_overlap_prunes_regions_fully_behind_an_edge() {
+        let subject = Circle::new(Point::new(100.0, 500.0), 20.0);
+        let other = Circle::new(Point::new(300.0, 500.0), 20.0);
+        // A region far on the other object's side: every corner is closer to
+        // `other` than `subject` can ever be.
+        let far_region = Rect::new(800.0, 400.0, 900.0, 600.0);
+        assert!(!check_overlap(subject, &[other], &far_region));
+        // A region around the subject itself must overlap.
+        let near_region = Rect::new(50.0, 450.0, 150.0, 550.0);
+        assert!(check_overlap(subject, &[other], &near_region));
+        // A region straddling the UV-edge overlaps (some corner is on the
+        // subject's side).
+        let straddling = Rect::new(150.0, 400.0, 260.0, 600.0);
+        assert!(check_overlap(subject, &[other], &straddling));
+    }
+
+    #[test]
+    fn check_overlap_with_no_cr_objects_is_always_true() {
+        let subject = Circle::new(Point::new(10.0, 10.0), 1.0);
+        assert!(check_overlap(subject, &[], &Rect::square(100.0)));
+    }
+
+    #[test]
+    fn check_overlap_ignores_overlapping_objects() {
+        let subject = Circle::new(Point::new(100.0, 100.0), 30.0);
+        let overlapping = Circle::new(Point::new(120.0, 100.0), 30.0);
+        // The outside region of an overlapping object is empty, so it can
+        // never prune.
+        assert!(check_overlap(
+            subject,
+            &[overlapping],
+            &Rect::new(900.0, 900.0, 950.0, 950.0)
+        ));
+    }
+
+    #[test]
+    fn check_overlap_may_keep_false_positives_but_never_false_negatives() {
+        // The paper accepts false positives (Figure 5(b)); verify on a brute
+        // force grid that a region judged "no overlap" truly has no point
+        // where the subject can be the nearest neighbour among the cr set.
+        let subject = Circle::new(Point::new(200.0, 200.0), 10.0);
+        let crs = vec![
+            Circle::new(Point::new(400.0, 200.0), 10.0),
+            Circle::new(Point::new(200.0, 420.0), 10.0),
+            Circle::new(Point::new(50.0, 60.0), 10.0),
+        ];
+        for gx in 0..10 {
+            for gy in 0..10 {
+                let region = Rect::new(
+                    gx as f64 * 100.0,
+                    gy as f64 * 100.0,
+                    (gx + 1) as f64 * 100.0,
+                    (gy + 1) as f64 * 100.0,
+                );
+                if !check_overlap(subject, &crs, &region) {
+                    // Sample the region densely: no sampled point may have the
+                    // subject as a possible NN with respect to the cr set.
+                    for sx in 0..5 {
+                        for sy in 0..5 {
+                            let p = Point::new(
+                                region.min_x + region.width() * (sx as f64 + 0.5) / 5.0,
+                                region.min_y + region.height() * (sy as f64 + 0.5) / 5.0,
+                            );
+                            let dominated = crs
+                                .iter()
+                                .any(|c| c.dist_max(p) < subject.dist_min(p) - 1e-9);
+                            assert!(dominated, "false negative at {p:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_basics() {
+        let store = Arc::new(PageStore::new());
+        let index = UvIndex::new(Rect::square(1000.0), store, UvConfig::default());
+        assert_eq!(index.num_leaf_nodes(), 1);
+        assert_eq!(index.num_nonleaf_nodes(), 0);
+        assert_eq!(index.height(), 1);
+        assert_eq!(index.num_leaf_pages(), 0);
+        assert_eq!(index.locate_leaf(Point::new(500.0, 500.0)), Some(0));
+        assert_eq!(index.locate_leaf(Point::new(-1.0, 500.0)), None);
+        let objects = ObjectStore::build(Arc::new(PageStore::new()), &[]);
+        let ans = index.pnn(&objects, Point::new(500.0, 500.0), 50);
+        assert!(ans.probabilities.is_empty());
+    }
+}

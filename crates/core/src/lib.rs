@@ -1,0 +1,67 @@
+//! The UV-diagram: a Voronoi diagram for uncertain data (ICDE 2010).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`region::PossibleRegion`] — a possible region `P_i` (Definition 2),
+//!   clipped by outside regions of UV-edges (Definition 3, Equation (5)).
+//! * [`cell`] — exact UV-cell construction (Algorithm 1, the "Basic" method)
+//!   and r-object extraction.
+//! * [`crobjects`] — candidate reference objects (Algorithm 2): seed-based
+//!   initial possible regions, index-level pruning (Lemma 2) and
+//!   computational-level pruning (Lemma 3).
+//! * [`index`] — the UV-index, an adaptive quad-tree grid over UV-partitions
+//!   (Algorithms 3–5), with PNN query processing (Section V-A).
+//! * [`builder`] — the three construction methods compared in Section VI
+//!   (Basic, ICR, IC) with per-phase statistics.
+//! * [`pattern`] — nearest-neighbour pattern analysis queries: UV-cell
+//!   retrieval and UV-partition (density) retrieval (Section V-C).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use uv_core::{builder::{build_uv_index, Method}, UvConfig};
+//! use uv_data::{Dataset, GeneratorConfig, ObjectStore};
+//! use uv_rtree::RTree;
+//! use uv_store::PageStore;
+//!
+//! // A small uncertain dataset in a 10k x 10k domain.
+//! let dataset = Dataset::generate(GeneratorConfig::paper_uniform(200));
+//! let pages = Arc::new(PageStore::new());
+//! let objects = ObjectStore::build(Arc::clone(&pages), &dataset.objects);
+//! let rtree = RTree::build(&dataset.objects, &objects, Arc::clone(&pages));
+//!
+//! // Build the UV-index with the IC method (cr-objects, no refinement).
+//! let (index, stats) = build_uv_index(
+//!     &dataset.objects, &objects, &rtree, dataset.domain,
+//!     Arc::new(PageStore::new()), Method::IC, UvConfig::default(),
+//! );
+//! assert_eq!(stats.objects, 200);
+//!
+//! // Answer a probabilistic nearest-neighbour query with a point lookup.
+//! let q = dataset.query_points(1, 7)[0];
+//! let answer = index.pnn(&objects, q, 100);
+//! assert!(!answer.probabilities.is_empty());
+//! ```
+
+pub mod builder;
+pub mod cell;
+pub mod config;
+pub mod crobjects;
+pub mod error;
+pub mod index;
+pub mod pattern;
+pub mod region;
+pub mod stats;
+pub mod system;
+
+pub use builder::{build_uv_index, Method};
+pub use cell::UvCell;
+pub use config::UvConfig;
+pub use crobjects::CrObjects;
+pub use error::UvError;
+pub use index::UvIndex;
+pub use pattern::PartitionCell;
+pub use region::PossibleRegion;
+pub use stats::{ConstructionStats, PruneStats};
+pub use system::UvSystem;

@@ -1,0 +1,142 @@
+//! Construction-time statistics: pruning ratios and per-phase timings.
+//!
+//! Figure 7 of the paper reports (a) total construction time of the three
+//! methods, (b) the pruning ratio `p_c` of I- and C-pruning, and (d)/(e) the
+//! fraction of construction time spent on pruning, r-object generation and
+//! indexing. These types carry exactly those quantities.
+
+use std::time::Duration;
+
+/// Survivor counts of the pruning pipeline for a single object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Number of other objects in the dataset (`n - 1`).
+    pub total_others: usize,
+    /// Number of seeds used to build the initial possible region.
+    pub seeds: usize,
+    /// Survivors of I-pruning (set `I` of Algorithm 2).
+    pub after_i_pruning: usize,
+    /// Survivors of C-pruning plus seeds (the cr-objects `C_i`).
+    pub after_c_pruning: usize,
+}
+
+impl PruneStats {
+    /// Fraction of objects discarded by I-pruning (`p_c` of Figure 7(b)).
+    pub fn i_ratio(&self) -> f64 {
+        if self.total_others == 0 {
+            return 1.0;
+        }
+        1.0 - self.after_i_pruning as f64 / self.total_others as f64
+    }
+
+    /// Fraction of objects discarded after C-pruning.
+    pub fn c_ratio(&self) -> f64 {
+        if self.total_others == 0 {
+            return 1.0;
+        }
+        1.0 - self.after_c_pruning as f64 / self.total_others as f64
+    }
+}
+
+/// Statistics of one UV-index construction run.
+#[derive(Debug, Clone, Default)]
+pub struct ConstructionStats {
+    /// Number of indexed objects.
+    pub objects: usize,
+    /// Wall-clock construction time.
+    pub total: Duration,
+    /// Time spent generating initial possible regions (seed selection and
+    /// clipping).
+    pub seed_time: Duration,
+    /// Time spent on I- and C-pruning.
+    pub pruning_time: Duration,
+    /// Time spent generating exact cells / r-objects (zero for IC).
+    pub refinement_time: Duration,
+    /// Time spent inserting cells into the adaptive grid (Algorithm 3).
+    pub indexing_time: Duration,
+    /// Average I-pruning ratio over all objects.
+    pub avg_i_ratio: f64,
+    /// Average C-pruning ratio over all objects.
+    pub avg_c_ratio: f64,
+    /// Average number of cr-objects (or r-objects, depending on the method)
+    /// per object.
+    pub avg_reference_objects: f64,
+    /// Non-leaf grid nodes allocated.
+    pub nonleaf_nodes: usize,
+    /// Leaf grid nodes.
+    pub leaf_nodes: usize,
+    /// Total disk pages used by leaf lists.
+    pub leaf_pages: usize,
+}
+
+impl ConstructionStats {
+    /// Fraction of the accounted time spent on I+C pruning (Figure 7(d)/(e)).
+    pub fn pruning_fraction(&self) -> f64 {
+        self.fraction_of(self.seed_time + self.pruning_time)
+    }
+
+    /// Fraction of the accounted time spent generating r-objects
+    /// (Figure 7(d); zero for IC).
+    pub fn refinement_fraction(&self) -> f64 {
+        self.fraction_of(self.refinement_time)
+    }
+
+    /// Fraction of the accounted time spent indexing (Algorithm 3).
+    pub fn indexing_fraction(&self) -> f64 {
+        self.fraction_of(self.indexing_time)
+    }
+
+    fn fraction_of(&self, part: Duration) -> f64 {
+        let accounted =
+            self.seed_time + self.pruning_time + self.refinement_time + self.indexing_time;
+        if accounted.is_zero() {
+            0.0
+        } else {
+            part.as_secs_f64() / accounted.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_ratios() {
+        let s = PruneStats {
+            total_others: 1000,
+            seeds: 8,
+            after_i_pruning: 100,
+            after_c_pruning: 40,
+        };
+        assert!((s.i_ratio() - 0.9).abs() < 1e-12);
+        assert!((s.c_ratio() - 0.96).abs() < 1e-12);
+        // Degenerate dataset of one object.
+        let single = PruneStats::default();
+        assert_eq!(single.i_ratio(), 1.0);
+        assert_eq!(single.c_ratio(), 1.0);
+    }
+
+    #[test]
+    fn time_fractions_sum_to_one() {
+        let s = ConstructionStats {
+            seed_time: Duration::from_millis(10),
+            pruning_time: Duration::from_millis(40),
+            refinement_time: Duration::from_millis(30),
+            indexing_time: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let total =
+            s.pruning_fraction() + s.refinement_fraction() + s.indexing_fraction();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((s.pruning_fraction() - 0.5).abs() < 1e-9);
+        assert!((s.refinement_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_durations_give_zero_fractions() {
+        let s = ConstructionStats::default();
+        assert_eq!(s.pruning_fraction(), 0.0);
+        assert_eq!(s.indexing_fraction(), 0.0);
+    }
+}

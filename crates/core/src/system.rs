@@ -1,0 +1,200 @@
+//! A batteries-included wrapper bundling every component a UV-diagram
+//! deployment needs: the object store, the R-tree (used both as the paper's
+//! baseline and as the construction substrate) and the UV-index itself.
+//!
+//! [`UvSystem`] is what the examples and the experiment harness use; the
+//! individual pieces remain available for callers that want to manage
+//! storage themselves.
+
+use crate::builder::{build_uv_index, Method};
+use crate::config::UvConfig;
+use crate::index::UvIndex;
+use crate::stats::ConstructionStats;
+use std::sync::Arc;
+use uv_data::{ObjectId, ObjectStore, PnnAnswer, UncertainObject};
+use uv_geom::{Point, Rect};
+use uv_rtree::{pnn_query, RTree};
+use uv_store::PageStore;
+
+/// A complete UV-diagram deployment over one dataset.
+#[derive(Debug)]
+pub struct UvSystem {
+    objects: Vec<UncertainObject>,
+    domain: Rect,
+    object_store: ObjectStore,
+    rtree: RTree,
+    index: UvIndex,
+    construction: ConstructionStats,
+    config: UvConfig,
+}
+
+impl UvSystem {
+    /// Builds the object store, the R-tree and the UV-index (with `method`)
+    /// over `objects`.
+    pub fn build(
+        objects: Vec<UncertainObject>,
+        domain: Rect,
+        method: Method,
+        config: UvConfig,
+    ) -> Self {
+        let object_pages = Arc::new(PageStore::new());
+        let object_store = ObjectStore::build(Arc::clone(&object_pages), &objects);
+        let rtree_pages = Arc::new(PageStore::new());
+        let rtree = RTree::build(&objects, &object_store, rtree_pages);
+        let index_pages = Arc::new(PageStore::new());
+        let (index, construction) = build_uv_index(
+            &objects,
+            &object_store,
+            &rtree,
+            domain,
+            index_pages,
+            method,
+            config,
+        );
+        Self {
+            objects,
+            domain,
+            object_store,
+            rtree,
+            index,
+            construction,
+            config,
+        }
+    }
+
+    /// Builds with the paper's default configuration and the IC method.
+    pub fn with_defaults(objects: Vec<UncertainObject>, domain: Rect) -> Self {
+        Self::build(objects, domain, Method::IC, UvConfig::default())
+    }
+
+    /// The indexed objects.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// The indexed domain.
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The UV-index.
+    pub fn index(&self) -> &UvIndex {
+        &self.index
+    }
+
+    /// The R-tree baseline over the same objects.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// The shared object store (full records with pdfs).
+    pub fn object_store(&self) -> &ObjectStore {
+        &self.object_store
+    }
+
+    /// Statistics of the UV-index construction.
+    pub fn construction_stats(&self) -> &ConstructionStats {
+        &self.construction
+    }
+
+    /// Answers a PNN query with the UV-index (point lookup + verification).
+    pub fn pnn(&self, q: Point) -> PnnAnswer {
+        self.index
+            .pnn(&self.object_store, q, self.config.integration_steps)
+    }
+
+    /// Answers the same PNN query with the R-tree branch-and-prune baseline
+    /// of [14] — the comparison of Figure 6.
+    pub fn pnn_rtree(&self, q: Point) -> PnnAnswer {
+        pnn_query(
+            &self.rtree,
+            &self.object_store,
+            q,
+            self.config.integration_steps,
+        )
+    }
+
+    /// Approximate area of the UV-cell of `id` (Section V-C, query 1).
+    pub fn cell_area(&self, id: ObjectId) -> f64 {
+        self.index.cell_area(id)
+    }
+
+    /// UV-partition query over `region` (Section V-C, query 2).
+    pub fn partition_query(&self, region: &Rect) -> Vec<crate::pattern::PartitionCell> {
+        self.index.partition_query(region)
+    }
+
+    /// Resets every I/O counter (index leaf pages, R-tree leaf pages, object
+    /// pages). Call between measurement batches.
+    pub fn reset_io(&self) {
+        self.index.store().reset_io();
+        self.rtree.store().reset_io();
+        self.object_store.store().reset_io();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uv_data::{Dataset, GeneratorConfig};
+
+    fn system(n: usize) -> (Dataset, UvSystem) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let sys = UvSystem::with_defaults(ds.objects.clone(), ds.domain);
+        (ds, sys)
+    }
+
+    #[test]
+    fn uv_index_and_rtree_agree_on_answers() {
+        let (ds, sys) = system(250);
+        for q in ds.query_points(20, 99) {
+            let uv = sys.pnn(q);
+            let rt = sys.pnn_rtree(q);
+            assert_eq!(
+                uv.answer_ids(),
+                rt.answer_ids(),
+                "answer sets differ at {q:?}"
+            );
+            // Probabilities agree closely as well (same integration method).
+            for (id, p) in &uv.probabilities {
+                let p2 = rt
+                    .probabilities
+                    .iter()
+                    .find(|(id2, _)| id2 == id)
+                    .map(|(_, p2)| *p2)
+                    .unwrap();
+                assert!((p - p2).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uv_index_uses_fewer_leaf_ios_than_rtree() {
+        let (ds, sys) = system(800);
+        let queries = ds.query_points(30, 5);
+        sys.reset_io();
+        let mut uv_io = 0;
+        let mut rt_io = 0;
+        for q in &queries {
+            uv_io += sys.pnn(*q).breakdown.index_io;
+            rt_io += sys.pnn_rtree(*q).breakdown.index_io;
+        }
+        assert!(
+            uv_io < rt_io,
+            "UV-index should read fewer leaf pages ({uv_io} vs {rt_io})"
+        );
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let (ds, sys) = system(150);
+        assert_eq!(sys.objects().len(), 150);
+        assert_eq!(sys.domain(), ds.domain);
+        assert_eq!(sys.construction_stats().objects, 150);
+        assert!(sys.cell_area(0) > 0.0);
+        assert!(!sys.partition_query(&ds.domain).is_empty());
+        assert_eq!(sys.rtree().len(), 150);
+        assert_eq!(sys.object_store().len(), 150);
+        assert!(sys.index().num_leaf_nodes() >= 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Dataset generators reproducing the experimental setup of Section VI-A.
+//!
+//! * **Uniform** — the synthetic workload of Figures 6 and 7: object centres
+//!   uniformly distributed in a 10k×10k domain, circular uncertainty regions
+//!   of diameter 40, Gaussian pdf (sigma = diameter/6) as 20 histogram bars.
+//! * **GaussianSkew** — the skewed workloads of Figure 7(g): centres drawn
+//!   from a Gaussian around the domain centre with standard deviation
+//!   `sigma`; a smaller `sigma` means a denser, more skewed dataset.
+//! * **Utility / Roads / Rrlines** — synthetic stand-ins for the three real
+//!   German datasets of Table II (17K, 30K and 36K objects). The real files
+//!   are not redistributable here, so the generators reproduce the
+//!   characteristics that matter to the experiments: cardinality and a
+//!   non-uniform, clustered / line-following spatial distribution.
+//!   (Substitution documented in DESIGN.md.)
+
+use crate::object::UncertainObject;
+use crate::pdf::Pdf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uv_geom::{Point, Rect};
+
+/// Domain side length used throughout the paper's experiments.
+pub const PAPER_DOMAIN_SIDE: f64 = 10_000.0;
+/// Default uncertainty-region diameter.
+pub const PAPER_DIAMETER: f64 = 40.0;
+
+/// The spatial distribution of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Uniformly distributed centres.
+    Uniform,
+    /// Centres drawn from an isotropic Gaussian around the domain centre with
+    /// the given standard deviation (the skew parameter of Figure 7(g)).
+    GaussianSkew { sigma: f64 },
+    /// Clustered point field resembling utility stations around towns.
+    Utility,
+    /// Points jittered along meandering polylines resembling a road network.
+    Roads,
+    /// Points along a few long corridors resembling railroad lines.
+    Rrlines,
+}
+
+/// Parameters of a generated dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of objects.
+    pub n: usize,
+    /// Side length of the square domain `D`.
+    pub domain_side: f64,
+    /// Diameter of every uncertainty region.
+    pub diameter: f64,
+    /// Spatial distribution.
+    pub kind: DatasetKind,
+    /// Use a uniform pdf instead of the default Gaussian-histogram pdf.
+    pub uniform_pdf: bool,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// The paper's default synthetic configuration with `n` objects.
+    pub fn paper_uniform(n: usize) -> Self {
+        Self {
+            n,
+            domain_side: PAPER_DOMAIN_SIDE,
+            diameter: PAPER_DIAMETER,
+            kind: DatasetKind::Uniform,
+            uniform_pdf: false,
+            seed: 42,
+        }
+    }
+
+    /// Skewed configuration for Figure 7(g).
+    pub fn paper_skewed(n: usize, sigma: f64) -> Self {
+        Self {
+            kind: DatasetKind::GaussianSkew { sigma },
+            ..Self::paper_uniform(n)
+        }
+    }
+
+    /// Sets the uncertainty-region diameter (Figures 6(d) and 7(f)).
+    pub fn with_diameter(mut self, diameter: f64) -> Self {
+        self.diameter = diameter;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated dataset: the objects plus the domain they live in.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub objects: Vec<UncertainObject>,
+    pub domain: Rect,
+    pub config: GeneratorConfig,
+}
+
+impl Dataset {
+    /// Generates a dataset according to `config`.
+    pub fn generate(config: GeneratorConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let domain = Rect::square(config.domain_side);
+        let radius = config.diameter / 2.0;
+        let centers = match config.kind {
+            DatasetKind::Uniform => uniform_centers(&mut rng, config.n, &domain, radius),
+            DatasetKind::GaussianSkew { sigma } => {
+                gaussian_centers(&mut rng, config.n, &domain, radius, sigma)
+            }
+            DatasetKind::Utility => clustered_centers(&mut rng, config.n, &domain, radius, 60),
+            DatasetKind::Roads => polyline_centers(&mut rng, config.n, &domain, radius, 40, 12),
+            DatasetKind::Rrlines => polyline_centers(&mut rng, config.n, &domain, radius, 10, 3),
+        };
+        let objects = centers
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if config.uniform_pdf {
+                    UncertainObject::with_uniform(i as u32, c, radius)
+                } else {
+                    UncertainObject::new(i as u32, c, radius, Pdf::paper_gaussian(radius))
+                }
+            })
+            .collect();
+        Self {
+            objects,
+            domain,
+            config,
+        }
+    }
+
+    /// The "real dataset" stand-ins of Table II with the paper's
+    /// cardinalities, optionally scaled down by `scale` (e.g. `0.1` for a
+    /// ten-times smaller run).
+    pub fn table2_datasets(scale: f64) -> Vec<(&'static str, Dataset)> {
+        let sized = |name: &'static str, n: usize, kind: DatasetKind| {
+            let n = ((n as f64 * scale).round() as usize).max(10);
+            let config = GeneratorConfig {
+                kind,
+                ..GeneratorConfig::paper_uniform(n)
+            };
+            (name, Dataset::generate(config))
+        };
+        vec![
+            sized("utility", 17_000, DatasetKind::Utility),
+            sized("roads", 30_000, DatasetKind::Roads),
+            sized("rrlines", 36_000, DatasetKind::Rrlines),
+        ]
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the dataset holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Uniformly distributed PNN query points over the domain (the paper uses
+    /// 50 of them per measurement).
+    pub fn query_points(&self, count: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(self.domain.min_x..self.domain.max_x),
+                    rng.gen_range(self.domain.min_y..self.domain.max_y),
+                )
+            })
+            .collect()
+    }
+}
+
+fn clamp_into(domain: &Rect, radius: f64, p: Point) -> Point {
+    Point::new(
+        p.x.clamp(domain.min_x + radius, domain.max_x - radius),
+        p.y.clamp(domain.min_y + radius, domain.max_y - radius),
+    )
+}
+
+fn uniform_centers(rng: &mut StdRng, n: usize, domain: &Rect, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(domain.min_x + radius..domain.max_x - radius),
+                rng.gen_range(domain.min_y + radius..domain.max_y - radius),
+            )
+        })
+        .collect()
+}
+
+/// Standard normal sample via Box–Muller (keeps the dependency set minimal).
+fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn gaussian_centers(
+    rng: &mut StdRng,
+    n: usize,
+    domain: &Rect,
+    radius: f64,
+    sigma: f64,
+) -> Vec<Point> {
+    let c = domain.center();
+    (0..n)
+        .map(|_| {
+            let p = Point::new(c.x + std_normal(rng) * sigma, c.y + std_normal(rng) * sigma);
+            clamp_into(domain, radius, p)
+        })
+        .collect()
+}
+
+fn clustered_centers(
+    rng: &mut StdRng,
+    n: usize,
+    domain: &Rect,
+    radius: f64,
+    clusters: usize,
+) -> Vec<Point> {
+    let clusters = clusters.max(1);
+    let hubs = uniform_centers(rng, clusters, domain, radius);
+    let spread = domain.width() / 70.0;
+    (0..n)
+        .map(|_| {
+            let hub = hubs[rng.gen_range(0..hubs.len())];
+            let p = Point::new(
+                hub.x + std_normal(rng) * spread,
+                hub.y + std_normal(rng) * spread,
+            );
+            clamp_into(domain, radius, p)
+        })
+        .collect()
+}
+
+fn polyline_centers(
+    rng: &mut StdRng,
+    n: usize,
+    domain: &Rect,
+    radius: f64,
+    lines: usize,
+    segments_per_line: usize,
+) -> Vec<Point> {
+    let lines = lines.max(1);
+    let segments_per_line = segments_per_line.max(1);
+    // Build meandering polylines through the domain.
+    let mut polylines: Vec<Vec<Point>> = Vec::with_capacity(lines);
+    for _ in 0..lines {
+        let mut pts = Vec::with_capacity(segments_per_line + 1);
+        let mut p = Point::new(
+            rng.gen_range(domain.min_x..domain.max_x),
+            rng.gen_range(domain.min_y..domain.max_y),
+        );
+        pts.push(p);
+        let step = domain.width() / segments_per_line as f64;
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        for _ in 0..segments_per_line {
+            heading += rng.gen_range(-0.6..0.6);
+            p = clamp_into(
+                domain,
+                radius,
+                Point::new(p.x + heading.cos() * step, p.y + heading.sin() * step),
+            );
+            pts.push(p);
+        }
+        polylines.push(pts);
+    }
+    // Sample points along random segments with a small cross-jitter.
+    let jitter = domain.width() / 400.0;
+    (0..n)
+        .map(|_| {
+            let line = &polylines[rng.gen_range(0..polylines.len())];
+            let seg = rng.gen_range(0..line.len() - 1);
+            let t: f64 = rng.gen_range(0.0..1.0);
+            let base = line[seg].lerp(line[seg + 1], t);
+            let p = Point::new(
+                base.x + std_normal(rng) * jitter,
+                base.y + std_normal(rng) * jitter,
+            );
+            clamp_into(domain, radius, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn center_spread(objects: &[UncertainObject]) -> f64 {
+        let n = objects.len() as f64;
+        let mean = objects
+            .iter()
+            .fold(Point::origin(), |acc, o| acc + o.center())
+            / n;
+        (objects
+            .iter()
+            .map(|o| o.center().dist_sq(mean))
+            .sum::<f64>()
+            / n)
+            .sqrt()
+    }
+
+    #[test]
+    fn uniform_dataset_respects_domain_and_size() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(500));
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.domain, Rect::square(PAPER_DOMAIN_SIDE));
+        for o in &ds.objects {
+            assert_eq!(o.radius(), PAPER_DIAMETER / 2.0);
+            assert!(ds.domain.contains_rect(&o.mbr()), "region leaves domain");
+        }
+        // Ids are unique and dense.
+        let mut ids: Vec<u32> = ds.objects.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Dataset::generate(GeneratorConfig::paper_uniform(100));
+        let b = Dataset::generate(GeneratorConfig::paper_uniform(100));
+        let c = Dataset::generate(GeneratorConfig::paper_uniform(100).with_seed(7));
+        assert_eq!(a.objects, b.objects);
+        assert_ne!(a.objects, c.objects);
+    }
+
+    #[test]
+    fn skewed_dataset_is_denser_than_uniform() {
+        let uniform = Dataset::generate(GeneratorConfig::paper_uniform(800));
+        let skewed = Dataset::generate(GeneratorConfig::paper_skewed(800, 1500.0));
+        let very_skewed = Dataset::generate(GeneratorConfig::paper_skewed(800, 600.0));
+        let su = center_spread(&uniform.objects);
+        let ss = center_spread(&skewed.objects);
+        let sv = center_spread(&very_skewed.objects);
+        assert!(ss < su, "skewed spread {ss} should be below uniform {su}");
+        assert!(sv < ss, "smaller sigma must give smaller spread");
+    }
+
+    #[test]
+    fn diameter_override_applies() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(50).with_diameter(100.0));
+        for o in &ds.objects {
+            assert_eq!(o.radius(), 50.0);
+        }
+    }
+
+    #[test]
+    fn germany_like_datasets_have_expected_sizes() {
+        let sets = Dataset::table2_datasets(0.01);
+        assert_eq!(sets.len(), 3);
+        let names: Vec<&str> = sets.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["utility", "roads", "rrlines"]);
+        assert_eq!(sets[0].1.len(), 170);
+        assert_eq!(sets[1].1.len(), 300);
+        assert_eq!(sets[2].1.len(), 360);
+        for (_, ds) in &sets {
+            for o in &ds.objects {
+                assert!(ds.domain.contains(o.center()));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_data_is_more_concentrated_locally_than_uniform() {
+        // Compare the average nearest-centre distance: clustered data has a
+        // much smaller one at equal cardinality.
+        let uniform = Dataset::generate(GeneratorConfig::paper_uniform(400));
+        let utility = Dataset::generate(GeneratorConfig {
+            kind: DatasetKind::Utility,
+            ..GeneratorConfig::paper_uniform(400)
+        });
+        let avg_nn = |ds: &Dataset| {
+            let mut total = 0.0;
+            for (i, o) in ds.objects.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, p) in ds.objects.iter().enumerate() {
+                    if i != j {
+                        best = best.min(o.center().dist(p.center()));
+                    }
+                }
+                total += best;
+            }
+            total / ds.objects.len() as f64
+        };
+        assert!(avg_nn(&utility) < avg_nn(&uniform));
+    }
+
+    #[test]
+    fn query_points_are_inside_domain_and_deterministic() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(10));
+        let q1 = ds.query_points(50, 1);
+        let q2 = ds.query_points(50, 1);
+        let q3 = ds.query_points(50, 2);
+        assert_eq!(q1.len(), 50);
+        assert_eq!(q1, q2);
+        assert_ne!(q1, q3);
+        for q in &q1 {
+            assert!(ds.domain.contains(*q));
+        }
+    }
+}

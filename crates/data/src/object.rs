@@ -1,0 +1,143 @@
+//! Uncertain objects: a circular uncertainty region plus a pdf bounded in it.
+
+use crate::pdf::Pdf;
+use serde::{Deserialize, Serialize};
+use uv_geom::{Circle, Point, Rect};
+
+/// Identifier of an uncertain object (`O_i` in the paper).
+pub type ObjectId = u32;
+
+/// An uncertain object with attribute (location) uncertainty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainObject {
+    /// Object identifier.
+    pub id: ObjectId,
+    /// Circular uncertainty region `Cir(c_i, r_i)`.
+    pub region: Circle,
+    /// Probability density function bounded inside `region`.
+    pub pdf: Pdf,
+}
+
+impl UncertainObject {
+    /// Creates an object with an explicit pdf.
+    pub fn new(id: ObjectId, center: Point, radius: f64, pdf: Pdf) -> Self {
+        Self {
+            id,
+            region: Circle::new(center, radius),
+            pdf,
+        }
+    }
+
+    /// Creates an object with the paper's default Gaussian pdf
+    /// (sigma = diameter / 6, 20 histogram bars).
+    pub fn with_gaussian(id: ObjectId, center: Point, radius: f64) -> Self {
+        Self::new(id, center, radius, Pdf::paper_gaussian(radius))
+    }
+
+    /// Creates an object with a uniform pdf over the region.
+    pub fn with_uniform(id: ObjectId, center: Point, radius: f64) -> Self {
+        Self::new(id, center, radius, Pdf::Uniform)
+    }
+
+    /// Converts a non-circular uncertainty region (given by its boundary
+    /// vertices) into an object whose region is the minimal bounding circle,
+    /// as prescribed in Section III-C: the enlargement can only grow the
+    /// UV-cell, so no answer object is ever lost.
+    pub fn from_polygon(id: ObjectId, vertices: &[Point], pdf: Pdf) -> Option<Self> {
+        let mbc = Circle::min_bounding_circle(vertices)?;
+        Some(Self {
+            id,
+            region: mbc,
+            pdf,
+        })
+    }
+
+    /// Centre of the uncertainty region.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.region.center
+    }
+
+    /// Radius of the uncertainty region.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.region.radius
+    }
+
+    /// Minimum possible distance between the object and `q` (Equation (2)).
+    #[inline]
+    pub fn dist_min(&self, q: Point) -> f64 {
+        self.region.dist_min(q)
+    }
+
+    /// Maximum possible distance between the object and `q` (Equation (3)).
+    #[inline]
+    pub fn dist_max(&self, q: Point) -> f64 {
+        self.region.dist_max(q)
+    }
+
+    /// Minimum bounding rectangle of the uncertainty region (what the R-tree
+    /// indexes).
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.region.mbr()
+    }
+
+    /// Minimum bounding circle of the uncertainty region (stored in leaf
+    /// pages as `MBC`). For circular regions this is the region itself.
+    #[inline]
+    pub fn mbc(&self) -> Circle {
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_follow_paper_equations() {
+        let o = UncertainObject::with_uniform(1, Point::new(0.0, 0.0), 3.0);
+        let q = Point::new(10.0, 0.0);
+        assert!((o.dist_min(q) - 7.0).abs() < 1e-12);
+        assert!((o.dist_max(q) - 13.0).abs() < 1e-12);
+        // Query inside the region.
+        let inside = Point::new(1.0, 0.0);
+        assert_eq!(o.dist_min(inside), 0.0);
+    }
+
+    #[test]
+    fn gaussian_constructor_uses_default_bars() {
+        let o = UncertainObject::with_gaussian(7, Point::new(5.0, 5.0), 20.0);
+        assert_eq!(o.pdf.num_bars(), Some(crate::pdf::DEFAULT_HISTOGRAM_BARS));
+        assert_eq!(o.id, 7);
+        assert_eq!(o.radius(), 20.0);
+    }
+
+    #[test]
+    fn from_polygon_uses_minimal_bounding_circle() {
+        let verts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let o = UncertainObject::from_polygon(3, &verts, Pdf::Uniform).unwrap();
+        // MBC of a 4x2 rectangle: centre (2, 1), radius sqrt(5).
+        assert!((o.center().x - 2.0).abs() < 1e-9);
+        assert!((o.center().y - 1.0).abs() < 1e-9);
+        assert!((o.radius() - 5.0_f64.sqrt()).abs() < 1e-9);
+        for v in verts {
+            assert!(o.region.contains(v));
+        }
+        assert!(UncertainObject::from_polygon(4, &[], Pdf::Uniform).is_none());
+    }
+
+    #[test]
+    fn mbr_wraps_region() {
+        let o = UncertainObject::with_uniform(1, Point::new(10.0, 20.0), 5.0);
+        let r = o.mbr();
+        assert_eq!(r, Rect::new(5.0, 15.0, 15.0, 25.0));
+        assert_eq!(o.mbc(), o.region);
+    }
+}

@@ -1,0 +1,188 @@
+//! Uncertainty pdfs bounded inside a circular uncertainty region.
+//!
+//! The paper's experiments attach a Gaussian pdf to every object: mean at the
+//! region centre, standard deviation equal to one sixth of the region
+//! diameter, represented as 20 histogram bars (Section VI-A). Because both
+//! the uniform and the (isotropic, centred) Gaussian pdf are rotationally
+//! symmetric, the histogram bars are concentric rings: each bar records the
+//! probability that the object lies in that ring. That radial form is exactly
+//! what the qualification-probability integration needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram bars used by the paper's setup.
+pub const DEFAULT_HISTOGRAM_BARS: usize = 20;
+
+/// A probability density function over a circular uncertainty region of a
+/// given radius. The pdf is rotationally symmetric around the region centre.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pdf {
+    /// Uniform distribution over the disk.
+    Uniform,
+    /// Radial histogram: `bars[k]` is the probability mass of the ring
+    /// `[k·r/m, (k+1)·r/m)` where `m = bars.len()` and `r` is the region
+    /// radius. Bars are normalised to sum to one.
+    Histogram { bars: Vec<f64> },
+}
+
+impl Pdf {
+    /// Gaussian pdf truncated to the region, discretised into `bars`
+    /// concentric rings. `sigma_fraction` is the standard deviation expressed
+    /// as a fraction of the region *diameter*; the paper uses 1/6.
+    pub fn gaussian(radius: f64, sigma_fraction: f64, bars: usize) -> Pdf {
+        assert!(bars > 0, "histogram needs at least one bar");
+        if radius <= 0.0 || sigma_fraction <= 0.0 {
+            // Degenerate region: all mass at the centre.
+            let mut masses = vec![0.0; bars];
+            masses[0] = 1.0;
+            return Pdf::Histogram { bars: masses };
+        }
+        let sigma = 2.0 * radius * sigma_fraction;
+        let mut masses = Vec::with_capacity(bars);
+        let mut total = 0.0;
+        for k in 0..bars {
+            let inner = radius * k as f64 / bars as f64;
+            let outer = radius * (k + 1) as f64 / bars as f64;
+            // Mass of an isotropic 2-D Gaussian in the annulus [inner, outer]:
+            // exp(-inner^2 / 2 sigma^2) - exp(-outer^2 / 2 sigma^2).
+            let m = (-(inner * inner) / (2.0 * sigma * sigma)).exp()
+                - (-(outer * outer) / (2.0 * sigma * sigma)).exp();
+            masses.push(m);
+            total += m;
+        }
+        if total <= 0.0 || total.is_nan() {
+            // Numerically degenerate: all mass at the centre.
+            masses.iter_mut().for_each(|m| *m = 0.0);
+            masses[0] = 1.0;
+            total = 1.0;
+        }
+        for m in &mut masses {
+            *m /= total;
+        }
+        Pdf::Histogram { bars: masses }
+    }
+
+    /// Gaussian pdf with the paper's defaults (sigma = diameter / 6, 20 bars).
+    pub fn paper_gaussian(radius: f64) -> Pdf {
+        Pdf::gaussian(radius, 1.0 / 6.0, DEFAULT_HISTOGRAM_BARS)
+    }
+
+    /// Probability mass per concentric ring when the region is divided into
+    /// `rings` equal-width rings. This is the radial discretisation consumed
+    /// by the distance-distribution machinery.
+    pub fn ring_masses(&self, rings: usize) -> Vec<f64> {
+        assert!(rings > 0);
+        match self {
+            Pdf::Uniform => {
+                // Ring area fraction: ((k+1)^2 - k^2) / rings^2.
+                let denom = (rings * rings) as f64;
+                (0..rings)
+                    .map(|k| ((2 * k + 1) as f64) / denom)
+                    .collect()
+            }
+            Pdf::Histogram { bars } => {
+                if bars.len() == rings {
+                    return bars.clone();
+                }
+                // Re-bin by proportional overlap of ring intervals in
+                // normalised radius [0, 1].
+                let mut out = vec![0.0; rings];
+                let src_w = 1.0 / bars.len() as f64;
+                let dst_w = 1.0 / rings as f64;
+                for (i, mass) in bars.iter().enumerate() {
+                    let s0 = i as f64 * src_w;
+                    let s1 = s0 + src_w;
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        let d0 = j as f64 * dst_w;
+                        let d1 = d0 + dst_w;
+                        let overlap = (s1.min(d1) - s0.max(d0)).max(0.0);
+                        *slot += mass * overlap / src_w;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of bars for histogram pdfs; `None` for the analytic uniform pdf.
+    pub fn num_bars(&self) -> Option<usize> {
+        match self {
+            Pdf::Uniform => None,
+            Pdf::Histogram { bars } => Some(bars.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to_one(masses: &[f64]) {
+        let total: f64 = masses.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        assert!(masses.iter().all(|m| *m >= 0.0));
+    }
+
+    #[test]
+    fn uniform_ring_masses_are_area_proportional() {
+        let pdf = Pdf::Uniform;
+        let masses = pdf.ring_masses(4);
+        assert_sums_to_one(&masses);
+        // Areas grow linearly in (2k+1): 1, 3, 5, 7 (normalised by 16).
+        assert!((masses[0] - 1.0 / 16.0).abs() < 1e-12);
+        assert!((masses[3] - 7.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_concentrates_mass_near_center() {
+        let pdf = Pdf::paper_gaussian(20.0);
+        let masses = pdf.ring_masses(DEFAULT_HISTOGRAM_BARS);
+        assert_sums_to_one(&masses);
+        // With sigma = diameter/6 = radius/3, the inner half of the region
+        // (1.5 sigma) holds about 1 - exp(-1.125) ~ 0.675 of the mass —
+        // clearly more than the uniform pdf's 0.25 for the same area.
+        let inner: f64 = masses[..DEFAULT_HISTOGRAM_BARS / 2].iter().sum();
+        assert!(inner > 0.6, "inner mass = {inner}");
+        assert!(inner > Pdf::Uniform.ring_masses(2)[0] + 0.3);
+        // Mass is unimodal-ish: the outermost ring has less mass than the peak.
+        let max = masses.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(masses[DEFAULT_HISTOGRAM_BARS - 1] < max);
+    }
+
+    #[test]
+    fn gaussian_zero_radius_degenerates_gracefully() {
+        let pdf = Pdf::gaussian(0.0, 1.0 / 6.0, 5);
+        let masses = pdf.ring_masses(5);
+        assert_sums_to_one(&masses);
+        assert!((masses[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_rebinning_preserves_mass() {
+        let pdf = Pdf::paper_gaussian(10.0);
+        for rings in [1, 3, 7, 20, 40] {
+            let masses = pdf.ring_masses(rings);
+            assert_eq!(masses.len(), rings);
+            assert_sums_to_one(&masses);
+        }
+    }
+
+    #[test]
+    fn rebinning_identity_when_sizes_match() {
+        let pdf = Pdf::gaussian(10.0, 0.25, 8);
+        let direct = match &pdf {
+            Pdf::Histogram { bars } => bars.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(pdf.ring_masses(8), direct);
+    }
+
+    #[test]
+    fn num_bars() {
+        assert_eq!(Pdf::Uniform.num_bars(), None);
+        assert_eq!(
+            Pdf::paper_gaussian(5.0).num_bars(),
+            Some(DEFAULT_HISTOGRAM_BARS)
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Query-answer and timing-breakdown types shared by both indexes.
+//!
+//! Figure 6(c) of the paper splits the PNN query time into three components:
+//! index traversal, retrieval of the objects' pdfs, and qualification
+//! probability computation. [`QueryBreakdown`] carries exactly those three
+//! components plus the leaf-page and object-page I/O counts of Figure 6(b),
+//! so that the R-tree baseline and the UV-index report comparable numbers.
+
+use crate::object::ObjectId;
+use std::time::Duration;
+
+/// Timing / I/O breakdown of a single PNN query.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryBreakdown {
+    /// Time spent traversing the index (non-leaf descent plus leaf-page
+    /// reads).
+    pub traversal: Duration,
+    /// Time spent fetching the candidate objects' full records (pdfs).
+    pub retrieval: Duration,
+    /// Time spent computing qualification probabilities.
+    pub probability: Duration,
+    /// Number of index leaf-page reads.
+    pub index_io: u64,
+    /// Number of object-page reads.
+    pub object_io: u64,
+}
+
+impl QueryBreakdown {
+    /// Total elapsed time of the query.
+    pub fn total_time(&self) -> Duration {
+        self.traversal + self.retrieval + self.probability
+    }
+
+    /// Total number of page reads charged to the query.
+    pub fn total_io(&self) -> u64 {
+        self.index_io + self.object_io
+    }
+
+    /// Component-wise sum, used to average over a query workload.
+    pub fn accumulate(&mut self, other: &QueryBreakdown) {
+        self.traversal += other.traversal;
+        self.retrieval += other.retrieval;
+        self.probability += other.probability;
+        self.index_io += other.index_io;
+        self.object_io += other.object_io;
+    }
+}
+
+/// Result of a probabilistic nearest-neighbour query: the answer objects with
+/// their qualification probabilities, plus the cost breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct PnnAnswer {
+    /// `(object id, qualification probability)` for every answer object
+    /// (non-zero probability of being the nearest neighbour).
+    pub probabilities: Vec<(ObjectId, f64)>,
+    /// Candidate objects examined before verification (diagnostic).
+    pub candidates_examined: usize,
+    /// Cost breakdown.
+    pub breakdown: QueryBreakdown,
+}
+
+impl PnnAnswer {
+    /// Ids of the answer objects, sorted ascending.
+    pub fn answer_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.probabilities.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The most probable nearest neighbour, if any.
+    pub fn best(&self) -> Option<(ObjectId, f64)> {
+        self.probabilities
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_accumulate() {
+        let mut a = QueryBreakdown {
+            traversal: Duration::from_millis(3),
+            retrieval: Duration::from_millis(2),
+            probability: Duration::from_millis(5),
+            index_io: 4,
+            object_io: 6,
+        };
+        assert_eq!(a.total_time(), Duration::from_millis(10));
+        assert_eq!(a.total_io(), 10);
+        let b = QueryBreakdown {
+            traversal: Duration::from_millis(1),
+            index_io: 1,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.traversal, Duration::from_millis(4));
+        assert_eq!(a.index_io, 5);
+    }
+
+    #[test]
+    fn answer_helpers() {
+        let ans = PnnAnswer {
+            probabilities: vec![(5, 0.2), (1, 0.7), (9, 0.1)],
+            candidates_examined: 3,
+            breakdown: QueryBreakdown::default(),
+        };
+        assert_eq!(ans.answer_ids(), vec![1, 5, 9]);
+        assert_eq!(ans.best(), Some((1, 0.7)));
+        assert!(PnnAnswer::default().best().is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the uncertain-data model: pdfs, distance
+//! distributions and qualification probabilities.
+
+use proptest::prelude::*;
+use uv_data::{
+    qualification_probabilities, DistanceDistribution, Pdf, UncertainObject,
+};
+use uv_geom::Point;
+
+fn object_strategy(id: u32) -> impl Strategy<Value = UncertainObject> {
+    (
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        0.0..60.0f64,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(x, y, r, gaussian)| {
+            if gaussian {
+                UncertainObject::with_gaussian(id, Point::new(x, y), r)
+            } else {
+                UncertainObject::with_uniform(id, Point::new(x, y), r)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Ring masses always form a probability distribution, for any pdf,
+    /// radius and binning.
+    #[test]
+    fn ring_masses_are_a_distribution(
+        radius in 0.0..100.0f64,
+        sigma_fraction in 0.01..0.6f64,
+        bars in 1usize..40,
+        rings in 1usize..40,
+    ) {
+        for pdf in [Pdf::Uniform, Pdf::gaussian(radius, sigma_fraction, bars)] {
+            let masses = pdf.ring_masses(rings);
+            prop_assert_eq!(masses.len(), rings);
+            let total: f64 = masses.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+            prop_assert!(masses.iter().all(|m| *m >= -1e-12));
+        }
+    }
+
+    /// The distance cdf is monotone, 0 before distmin and 1 after distmax.
+    #[test]
+    fn distance_cdf_is_monotone(o in object_strategy(0), qx in -600.0..600.0f64, qy in -600.0..600.0f64) {
+        let q = Point::new(qx, qy);
+        let dist = DistanceDistribution::new(&o, q);
+        prop_assert!(dist.dist_min <= dist.dist_max + 1e-9);
+        prop_assert_eq!(dist.cdf(dist.dist_min - 1.0), 0.0);
+        prop_assert_eq!(dist.cdf(dist.dist_max + 1.0), 1.0);
+        let span = (dist.dist_max - dist.dist_min).max(1e-6);
+        let mut prev = -1e-12;
+        for k in 0..=20 {
+            let t = dist.dist_min + span * k as f64 / 20.0;
+            let c = dist.cdf(t);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+            prop_assert!(c >= prev - 1e-9, "cdf decreased at t={t}");
+            prev = c;
+        }
+    }
+
+    /// Qualification probabilities are non-negative, bounded by one, and sum
+    /// to ~1 for any candidate set that includes every possible NN.
+    #[test]
+    fn qualification_probabilities_form_a_distribution(
+        objects in prop::collection::vec(
+            (-300.0..300.0f64, -300.0..300.0f64, 0.1..50.0f64),
+            1..8,
+        ),
+        qx in -300.0..300.0f64,
+        qy in -300.0..300.0f64,
+    ) {
+        let objects: Vec<UncertainObject> = objects
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, r))| UncertainObject::with_gaussian(i as u32, Point::new(x, y), r))
+            .collect();
+        let q = Point::new(qx, qy);
+        let refs: Vec<&UncertainObject> = objects.iter().collect();
+        let probs = qualification_probabilities(q, &refs, 200);
+        prop_assert_eq!(probs.len(), objects.len());
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        prop_assert!(total <= 1.0 + 1e-6, "total {total} exceeds 1");
+        prop_assert!(total > 0.9, "total {total} too small");
+        for (_, p) in probs {
+            prop_assert!((-1e-12..=1.0 + 1e-9).contains(&p));
+        }
+    }
+
+    /// An object whose minimum distance exceeds another's maximum distance
+    /// never receives positive probability.
+    #[test]
+    fn dominated_objects_get_zero_probability(
+        near_r in 0.1..20.0f64,
+        far_r in 0.1..20.0f64,
+        gap in 1.0..500.0f64,
+    ) {
+        let q = Point::new(0.0, 0.0);
+        let near = UncertainObject::with_uniform(0, Point::new(30.0, 0.0), near_r);
+        // Place the far object beyond any possible overlap of the envelopes.
+        let far_dist = 30.0 + near_r + far_r + gap + 1.0;
+        let far = UncertainObject::with_uniform(1, Point::new(far_dist, 0.0), far_r);
+        let probs = qualification_probabilities(q, &[&near, &far], 150);
+        let p_far = probs.iter().find(|(id, _)| *id == 1).unwrap().1;
+        prop_assert!(p_far.abs() < 1e-9, "dominated object got {p_far}");
+        let p_near = probs.iter().find(|(id, _)| *id == 0).unwrap().1;
+        prop_assert!((p_near - 1.0).abs() < 1e-6);
+    }
+
+    /// Leaf entries round-trip through their on-disk encoding.
+    #[test]
+    fn object_entry_roundtrip(o in object_strategy(7), ptr in 0u64..1_000_000) {
+        use uv_store::Record;
+        let entry = uv_data::ObjectEntry::new(&o, ptr);
+        let mut buf = Vec::new();
+        entry.encode(&mut buf);
+        prop_assert_eq!(buf.len(), uv_data::ObjectEntry::SIZE);
+        let back = uv_data::ObjectEntry::decode(&buf);
+        prop_assert_eq!(back, entry);
+    }
+}

@@ -1,0 +1,238 @@
+//! Circles: uncertainty regions, d-bounds (Lemma 3) and minimum bounding
+//! circles of non-circular uncertainty regions.
+
+use crate::{Point, Rect, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A circle `Cir(c, r)` in the notation of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle; the radius is clamped to be non-negative.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        Self {
+            center,
+            radius: radius.max(0.0),
+        }
+    }
+
+    /// A degenerate circle of radius zero (a point object — the Voronoi
+    /// diagram special case discussed in Section I of the paper).
+    #[inline]
+    pub fn point(center: Point) -> Self {
+        Self::new(center, 0.0)
+    }
+
+    /// Minimum distance from `q` to the region enclosed by the circle
+    /// (Equation (2)): zero when `q` lies inside the region.
+    #[inline]
+    pub fn dist_min(&self, q: Point) -> f64 {
+        (self.center.dist(q) - self.radius).max(0.0)
+    }
+
+    /// Maximum distance from `q` to the region enclosed by the circle
+    /// (Equation (3)).
+    #[inline]
+    pub fn dist_max(&self, q: Point) -> f64 {
+        self.center.dist(q) + self.radius
+    }
+
+    /// `true` when `q` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, q: Point) -> bool {
+        self.center.dist_sq(q) <= (self.radius + EPS) * (self.radius + EPS)
+    }
+
+    /// `true` when the two circular regions share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let d = self.center.dist(other.center);
+        d <= self.radius + other.radius + EPS
+    }
+
+    /// `true` when `other` lies completely inside `self`.
+    #[inline]
+    pub fn contains_circle(&self, other: &Circle) -> bool {
+        self.center.dist(other.center) + other.radius <= self.radius + EPS
+    }
+
+    /// Axis-aligned bounding rectangle of the circle.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        Rect::new(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Minimal circle that contains every point of `points`.
+    ///
+    /// This is the conversion the paper uses to support non-circular
+    /// uncertainty regions (Section III-C): replace the region by its minimal
+    /// bounding circle, which can only enlarge the UV-cell and therefore never
+    /// loses an answer object. Uses Welzl's algorithm in its simple
+    /// move-to-front form, which is ample for the region sizes involved.
+    pub fn min_bounding_circle(points: &[Point]) -> Option<Circle> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut pts = points.to_vec();
+        // Deterministic shuffle-free variant: the move-to-front heuristic with
+        // incremental repair; O(n) expected on typical inputs, O(n^3) worst
+        // case which is irrelevant at uncertainty-region vertex counts.
+        let mut c = Circle::point(pts[0]);
+        for i in 1..pts.len() {
+            if c.contains(pts[i]) {
+                continue;
+            }
+            c = Circle::point(pts[i]);
+            for j in 0..i {
+                if c.contains(pts[j]) {
+                    continue;
+                }
+                c = Circle::from_diameter(pts[i], pts[j]);
+                for k in 0..j {
+                    if c.contains(pts[k]) {
+                        continue;
+                    }
+                    c = Circle::circumscribed(pts[i], pts[j], pts[k])
+                        .unwrap_or_else(|| Circle::from_diameter(pts[i], pts[k]));
+                }
+            }
+            pts.swap(0, i);
+        }
+        Some(c)
+    }
+
+    /// Circle whose diameter is the segment `ab`.
+    #[inline]
+    pub fn from_diameter(a: Point, b: Point) -> Circle {
+        Circle::new(a.midpoint(b), a.dist(b) * 0.5)
+    }
+
+    /// Circumscribed circle of the triangle `abc`, or `None` when the points
+    /// are (close to) collinear.
+    pub fn circumscribed(a: Point, b: Point, c: Point) -> Option<Circle> {
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < EPS {
+            return None;
+        }
+        let a2 = a.x * a.x + a.y * a.y;
+        let b2 = b.x * b.x + b.y * b.y;
+        let c2 = c.x * c.x + c.y * c.y;
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Point::new(ux, uy);
+        Some(Circle::new(center, center.dist(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dist_min_max_match_paper_equations() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let q = Point::new(5.0, 0.0);
+        assert!(approx_eq(c.dist_min(q), 3.0));
+        assert!(approx_eq(c.dist_max(q), 7.0));
+        // Inside the region the minimum distance collapses to zero.
+        let inside = Point::new(1.0, 0.0);
+        assert!(approx_eq(c.dist_min(inside), 0.0));
+        assert!(approx_eq(c.dist_max(inside), 3.0));
+    }
+
+    #[test]
+    fn zero_radius_is_a_point_object() {
+        let c = Circle::point(Point::new(3.0, 4.0));
+        let q = Point::origin();
+        assert!(approx_eq(c.dist_min(q), 5.0));
+        assert!(approx_eq(c.dist_max(q), 5.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Circle::new(Point::new(0.0, 0.0), 3.0);
+        let b = Circle::new(Point::new(1.0, 0.0), 1.0);
+        let c = Circle::new(Point::new(10.0, 0.0), 1.0);
+        assert!(a.contains_circle(&b));
+        assert!(!b.contains_circle(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(Point::new(0.0, 3.0)));
+        assert!(!a.contains(Point::new(0.0, 3.1)));
+    }
+
+    #[test]
+    fn mbr_is_tight() {
+        let c = Circle::new(Point::new(2.0, -1.0), 1.5);
+        let r = c.mbr();
+        assert!(approx_eq(r.min_x, 0.5));
+        assert!(approx_eq(r.max_x, 3.5));
+        assert!(approx_eq(r.min_y, -2.5));
+        assert!(approx_eq(r.max_y, 0.5));
+    }
+
+    #[test]
+    fn min_bounding_circle_covers_all_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+            Point::new(1.0, 1.0),
+            Point::new(3.0, 0.5),
+        ];
+        let c = Circle::min_bounding_circle(&pts).unwrap();
+        for p in &pts {
+            assert!(c.contains(*p), "{p:?} outside {c:?}");
+        }
+        // Minimality sanity check: the circle is not wildly larger than the
+        // point spread.
+        assert!(c.radius < 3.0);
+    }
+
+    #[test]
+    fn min_bounding_circle_degenerate_inputs() {
+        assert!(Circle::min_bounding_circle(&[]).is_none());
+        let single = Circle::min_bounding_circle(&[Point::new(1.0, 1.0)]).unwrap();
+        assert!(approx_eq(single.radius, 0.0));
+        let pair =
+            Circle::min_bounding_circle(&[Point::new(0.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
+        assert!(approx_eq(pair.radius, 1.0));
+        assert!(approx_eq(pair.center.x, 1.0));
+    }
+
+    #[test]
+    fn circumscribed_rejects_collinear() {
+        assert!(Circle::circumscribed(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0)
+        )
+        .is_none());
+        let c = Circle::circumscribed(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.0),
+        )
+        .unwrap();
+        assert!(approx_eq(c.center.x, 1.0));
+        assert!(approx_eq(c.center.y, 0.0));
+        assert!(approx_eq(c.radius, 1.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! C-pruning (Lemma 3 of the paper) operates on the convex hull `CH(P_i)` of
+//! an object's possible region: the d-bounds constructed at the hull vertices
+//! cover the d-bounds of every boundary point, so only hull vertices need to
+//! be checked.
+
+use crate::{Point, EPS};
+
+/// Computes the convex hull of `points` in counter-clockwise order.
+///
+/// Collinear points on the hull boundary are dropped. Duplicate input points
+/// are tolerated. For fewer than three distinct points the distinct points are
+/// returned as-is (a segment or single point).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| (a.x - b.x).abs() <= EPS && (a.y - b.y).abs() <= EPS);
+
+    if pts.len() < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(pts.len() * 2);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && Point::orient(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && Point::orient(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop();
+    hull
+}
+
+/// `true` when `q` lies inside or on the convex polygon `hull`
+/// (counter-clockwise vertex order, as produced by [`convex_hull`]).
+pub fn hull_contains(hull: &[Point], q: Point) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].dist(q) <= EPS,
+        2 => {
+            // Degenerate hull: a segment.
+            let (a, b) = (hull[0], hull[1]);
+            Point::orient(a, b, q).abs() <= EPS * (1.0 + a.dist(b))
+                && q.x >= a.x.min(b.x) - EPS
+                && q.x <= a.x.max(b.x) + EPS
+                && q.y >= a.y.min(b.y) - EPS
+                && q.y <= a.y.max(b.y) + EPS
+        }
+        _ => {
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                if Point::orient(a, b, q) < -EPS * (1.0 + a.dist(b)) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+            Point::new(2.0, 0.0), // collinear with the bottom edge
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for corner in [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ] {
+            assert!(hull.iter().any(|p| p.dist(corner) < 1e-9));
+        }
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 4.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        // Signed area must be positive for CCW order.
+        let mut area2 = 0.0;
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            area2 += a.cross(b);
+        }
+        assert!(area2 > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        assert_eq!(single.len(), 1);
+        let segment = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
+        assert_eq!(segment.len(), 3 - 1); // collinear points collapse to endpoints
+    }
+
+    #[test]
+    fn containment() {
+        let hull = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(hull_contains(&hull, Point::new(2.0, 2.0)));
+        assert!(hull_contains(&hull, Point::new(0.0, 0.0)));
+        assert!(hull_contains(&hull, Point::new(4.0, 2.0)));
+        assert!(!hull_contains(&hull, Point::new(4.1, 2.0)));
+        assert!(!hull_contains(&hull, Point::new(-0.1, -0.1)));
+    }
+
+    #[test]
+    fn containment_degenerate_hulls() {
+        assert!(!hull_contains(&[], Point::origin()));
+        let single = [Point::new(1.0, 1.0)];
+        assert!(hull_contains(&single, Point::new(1.0, 1.0)));
+        assert!(!hull_contains(&single, Point::new(1.0, 1.5)));
+        let seg = [Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        assert!(hull_contains(&seg, Point::new(1.0, 0.0)));
+        assert!(!hull_contains(&seg, Point::new(1.0, 0.5)));
+        assert!(!hull_contains(&seg, Point::new(3.0, 0.0)));
+    }
+}

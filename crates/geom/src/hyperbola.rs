@@ -1,0 +1,279 @@
+//! The UV-edge of the paper: a branch of a hyperbola (Equation (5)) together
+//! with the *outside region* predicate of Definition 3.
+//!
+//! For two uncertain objects `O_i = Cir(c_i, r_i)` and `O_j = Cir(c_j, r_j)`
+//! the UV-edge `E_i(j)` is the locus of points `p` with
+//! `distmin(O_i, p) = distmax(O_j, p)`, i.e.
+//! `dist(p, c_i) - dist(p, c_j) = r_i + r_j` — a hyperbola branch with foci
+//! `c_i`, `c_j`, bent around `O_j`. The outside region `X_i(j)` is the convex
+//! side of the branch containing `c_j`: any query point there is always
+//! closer to `O_j` than to `O_i`, so `O_i` can be pruned.
+//!
+//! The UV-diagram algorithms only ever need the *sign* of
+//! `distmin(O_i, p) - distmax(O_j, p)`, which is exact; the closed-form
+//! parameters are exposed for inspection, visualisation and tests.
+
+use crate::{Circle, Point, EPS};
+use serde::{Deserialize, Serialize};
+
+/// The outside region `X_i(j)` of Definition 3, represented by its exact
+/// membership predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutsideRegion {
+    /// The object whose UV-cell is being shaped (`O_i`).
+    pub subject: Circle,
+    /// The other object (`O_j`).
+    pub other: Circle,
+}
+
+impl OutsideRegion {
+    /// Builds the outside region of `subject` with respect to `other`.
+    #[inline]
+    pub fn new(subject: Circle, other: Circle) -> Self {
+        Self { subject, other }
+    }
+
+    /// Signed membership value: positive inside the outside region (where
+    /// `other` is strictly closer than `subject` can ever be), zero on the
+    /// UV-edge, negative on the side where `subject` may still be the nearest
+    /// neighbour.
+    #[inline]
+    pub fn signed(&self, p: Point) -> f64 {
+        self.subject.dist_min(p) - self.other.dist_max(p)
+    }
+
+    /// `true` when `p` lies strictly inside the outside region, i.e. `subject`
+    /// cannot be the nearest neighbour of `p` because of `other`.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.signed(p) > 0.0
+    }
+
+    /// `true` when the outside region has zero area: the two uncertainty
+    /// regions overlap (`dist(c_i, c_j) < r_i + r_j`), in which case the
+    /// UV-edge does not exist (Section III-C).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.subject.center.dist(self.other.center) <= self.subject.radius + self.other.radius + EPS
+    }
+
+    /// The "keep" predicate used when clipping a possible region by this
+    /// outside region: non-negative exactly where the point must be kept.
+    /// The anchor for curve refinement is [`OutsideRegion::keep_anchor`].
+    #[inline]
+    pub fn keep_signed(&self, p: Point) -> f64 {
+        -self.signed(p)
+    }
+
+    /// A point guaranteed to satisfy `keep_signed > 0`: the centre of the
+    /// subject object (its minimum distance from itself is zero while its
+    /// maximum distance from `other` is positive).
+    #[inline]
+    pub fn keep_anchor(&self) -> Point {
+        self.subject.center
+    }
+
+    /// Closed-form hyperbola of the UV-edge, if it exists.
+    pub fn edge(&self) -> Option<Hyperbola> {
+        Hyperbola::uv_edge(&self.subject, &self.other)
+    }
+}
+
+/// The closed-form UV-edge: a rotated hyperbola in the notation of
+/// Equation (5) of the paper, restricted to the branch that constitutes
+/// `E_i(j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hyperbola {
+    /// Centre of the conic: the midpoint of `c_i c_j` (`(f_x, f_y)`).
+    pub center: Point,
+    /// Semi-major axis `a = (r_i + r_j) / 2`.
+    pub a: f64,
+    /// Semi-minor axis `b = sqrt(c^2 - a^2)`.
+    pub b: f64,
+    /// Half focal distance `c = dist(c_i, c_j) / 2`.
+    pub c: f64,
+    /// Rotation angle `theta` (direction from `c_i` towards `c_j`).
+    pub theta: f64,
+    /// Focus on the subject side (`c_i`).
+    pub focus_subject: Point,
+    /// Focus on the other side (`c_j`).
+    pub focus_other: Point,
+    /// Constant `r_i + r_j` (the distance difference on the branch).
+    pub dist_diff: f64,
+}
+
+impl Hyperbola {
+    /// Builds the UV-edge `E_i(j)` for objects `subject = O_i`, `other = O_j`.
+    ///
+    /// Returns `None` when the uncertainty regions overlap, in which case `b`
+    /// would not be real and the edge does not exist (the outside region is
+    /// treated as empty by the callers, exactly as in the paper).
+    pub fn uv_edge(subject: &Circle, other: &Circle) -> Option<Self> {
+        let d = subject.center.dist(other.center);
+        let a = (subject.radius + other.radius) * 0.5;
+        let c = d * 0.5;
+        if c <= a + EPS {
+            return None;
+        }
+        let b = (c * c - a * a).sqrt();
+        let theta = (other.center.y - subject.center.y).atan2(other.center.x - subject.center.x);
+        Some(Self {
+            center: subject.center.midpoint(other.center),
+            a,
+            b,
+            c,
+            theta,
+            focus_subject: subject.center,
+            focus_other: other.center,
+            dist_diff: subject.radius + other.radius,
+        })
+    }
+
+    /// Point on the UV-edge branch at hyperbolic parameter `t`
+    /// (`t = 0` gives the vertex between the foci; `|t|` grows towards the
+    /// asymptotes).
+    pub fn point_at(&self, t: f64) -> Point {
+        // Branch closer to the `other` focus: x_theta = +a cosh t.
+        let local = Point::new(self.a * t.cosh(), self.b * t.sinh());
+        self.center + local.rotated(self.theta)
+    }
+
+    /// Samples `n` points of the branch for `t` in `[-t_max, t_max]`.
+    pub fn sample(&self, n: usize, t_max: f64) -> Vec<Point> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![self.point_at(0.0)];
+        }
+        (0..n)
+            .map(|k| {
+                let t = -t_max + 2.0 * t_max * (k as f64) / ((n - 1) as f64);
+                self.point_at(t)
+            })
+            .collect()
+    }
+
+    /// Residual of the defining equation at `p`:
+    /// `dist(p, c_i) - dist(p, c_j) - (r_i + r_j)`; ~0 on the branch.
+    pub fn residual(&self, p: Point) -> f64 {
+        p.dist(self.focus_subject) - p.dist(self.focus_other) - self.dist_diff
+    }
+
+    /// Eccentricity `c / a` of the conic.
+    pub fn eccentricity(&self) -> f64 {
+        self.c / self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn objects() -> (Circle, Circle) {
+        (
+            Circle::new(Point::new(0.0, 0.0), 2.0),
+            Circle::new(Point::new(10.0, 0.0), 1.0),
+        )
+    }
+
+    #[test]
+    fn outside_region_sides() {
+        let (oi, oj) = objects();
+        let x = OutsideRegion::new(oi, oj);
+        // A point right of Oj (far from Oi): Oj is always closer -> inside X.
+        assert!(x.contains(Point::new(12.0, 0.0)));
+        // A point near Oi: Oi can be the NN -> not inside X.
+        assert!(!x.contains(Point::new(1.0, 0.0)));
+        // Keep predicate is the negation and the anchor is kept.
+        assert!(x.keep_signed(x.keep_anchor()) > 0.0);
+        assert!(x.keep_signed(Point::new(12.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn outside_region_empty_when_objects_overlap() {
+        let oi = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let oj = Circle::new(Point::new(2.5, 0.0), 1.0);
+        let x = OutsideRegion::new(oi, oj);
+        assert!(x.is_empty());
+        assert!(x.edge().is_none());
+    }
+
+    #[test]
+    fn uv_edge_parameters_match_equation_5() {
+        let (oi, oj) = objects();
+        let h = Hyperbola::uv_edge(&oi, &oj).unwrap();
+        assert!(approx_eq(h.a, 1.5)); // (2 + 1) / 2
+        assert!(approx_eq(h.c, 5.0)); // dist / 2
+        assert!(approx_eq(h.b, (25.0_f64 - 2.25).sqrt()));
+        assert!(approx_eq(h.theta, 0.0));
+        assert!(approx_eq(h.center.x, 5.0));
+        assert!(h.eccentricity() > 1.0);
+    }
+
+    #[test]
+    fn branch_points_satisfy_defining_equation() {
+        let (oi, oj) = objects();
+        let h = Hyperbola::uv_edge(&oi, &oj).unwrap();
+        for p in h.sample(33, 2.5) {
+            assert!(
+                h.residual(p).abs() < 1e-9,
+                "residual too large at {p:?}: {}",
+                h.residual(p)
+            );
+            // Every point of the edge is on the boundary of the outside
+            // region: the signed predicate is ~0.
+            let x = OutsideRegion::new(oi, oj);
+            assert!(x.signed(p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotated_edge_still_valid() {
+        let oi = Circle::new(Point::new(1.0, 2.0), 1.0);
+        let oj = Circle::new(Point::new(7.0, 9.0), 0.5);
+        let h = Hyperbola::uv_edge(&oi, &oj).unwrap();
+        for p in h.sample(17, 2.0) {
+            assert!(h.residual(p).abs() < 1e-9);
+        }
+        let expected_theta = (9.0_f64 - 2.0).atan2(7.0 - 1.0);
+        assert!(approx_eq(h.theta, expected_theta));
+    }
+
+    #[test]
+    fn vertex_lies_between_foci_closer_to_other() {
+        let (oi, oj) = objects();
+        let h = Hyperbola::uv_edge(&oi, &oj).unwrap();
+        let v = h.point_at(0.0);
+        // Vertex is at distance center + a towards Oj.
+        assert!(approx_eq(v.x, 5.0 + 1.5));
+        assert!(approx_eq(v.y, 0.0));
+        assert!(v.dist(oj.center) < v.dist(oi.center));
+    }
+
+    #[test]
+    fn sample_edge_cases() {
+        let (oi, oj) = objects();
+        let h = Hyperbola::uv_edge(&oi, &oj).unwrap();
+        assert!(h.sample(0, 1.0).is_empty());
+        assert_eq!(h.sample(1, 1.0).len(), 1);
+        assert_eq!(h.sample(5, 1.0).len(), 5);
+    }
+
+    #[test]
+    fn point_objects_give_perpendicular_bisector_limit() {
+        // With zero radii the "hyperbola" degenerates towards the classical
+        // Voronoi bisector: a = 0 and the branch passes through the midpoint.
+        let oi = Circle::point(Point::new(0.0, 0.0));
+        let oj = Circle::point(Point::new(4.0, 0.0));
+        let h = Hyperbola::uv_edge(&oi, &oj).unwrap();
+        assert!(approx_eq(h.a, 0.0));
+        let p = h.point_at(0.0);
+        assert!(approx_eq(p.x, 2.0));
+        let x = OutsideRegion::new(oi, oj);
+        // Points right of the bisector are closer to Oj.
+        assert!(x.contains(Point::new(3.0, 5.0)));
+        assert!(!x.contains(Point::new(1.0, -5.0)));
+    }
+}

@@ -1,0 +1,213 @@
+//! 2-D points and the small amount of vector arithmetic the kernel needs.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or vector) in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector length when the point is interpreted as a vector from the
+    /// origin.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns the point rotated by `angle` radians around the origin.
+    #[inline]
+    pub fn rotated(&self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Returns the unit vector pointing from `self` towards `other`, or `None`
+    /// when the two points coincide.
+    pub fn direction_to(&self, other: Point) -> Option<Point> {
+        let d = other - *self;
+        let n = d.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(d / n)
+        }
+    }
+
+    /// `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Orientation of the ordered triple `(a, b, c)`:
+    /// positive for counter-clockwise, negative for clockwise, ~0 for
+    /// collinear.
+    #[inline]
+    pub fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b - a).cross(c - a)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!(approx_eq(a.dist(b), 5.0));
+        assert!(approx_eq(a.dist(b), b.dist(a)));
+        assert!(approx_eq(a.dist_sq(b), 25.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+        assert!(approx_eq(a.dot(b), 1.0));
+        assert!(approx_eq(a.cross(b), -7.0));
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.midpoint(b), Point::new(5.0, 10.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25), Point::new(2.5, 5.0));
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let p = Point::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!(approx_eq(p.x, 0.0));
+        assert!(approx_eq(p.y, 1.0));
+    }
+
+    #[test]
+    fn direction_to_unit_and_degenerate() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.0, 5.0);
+        let d = a.direction_to(b).unwrap();
+        assert!(approx_eq(d.norm(), 1.0));
+        assert!(approx_eq(d.y, 1.0));
+        assert!(a.direction_to(a).is_none());
+    }
+
+    #[test]
+    fn orientation_sign() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let ccw = Point::new(1.0, 1.0);
+        let cw = Point::new(1.0, -1.0);
+        assert!(Point::orient(a, b, ccw) > 0.0);
+        assert!(Point::orient(a, b, cw) < 0.0);
+        assert!(approx_eq(Point::orient(a, b, b * 2.0), 0.0));
+    }
+}

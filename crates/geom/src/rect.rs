@@ -1,0 +1,304 @@
+//! Axis-aligned rectangles: the domain `D`, quad-tree node regions and R-tree
+//! MBRs.
+
+use crate::{Point, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A closed axis-aligned rectangle `[min_x, max_x] x [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; the corners are reordered so that `min <= max` on
+    /// both axes.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self {
+            min_x: min_x.min(max_x),
+            min_y: min_y.min(max_y),
+            max_x: min_x.max(max_x),
+            max_y: min_y.max(max_y),
+        }
+    }
+
+    /// Square domain `[0, side] x [0, side]` — the shape the paper assumes for
+    /// the data space `D`.
+    #[inline]
+    pub fn square(side: f64) -> Self {
+        Self::new(0.0, 0.0, side, side)
+    }
+
+    /// Rectangle spanning two corner points.
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// Smallest rectangle containing every point of `points`; `None` for an
+    /// empty slice.
+    pub fn bounding(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let mut r = Rect::new(first.x, first.y, first.x, first.y);
+        for p in &points[1..] {
+            r.expand_to(*p);
+        }
+        Some(r)
+    }
+
+    /// An "empty" rectangle that absorbs any point/rect it is merged with.
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` for the sentinel produced by [`Rect::empty`] (or any rectangle
+    /// that has been built from no points).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// The four corners in counter-clockwise order starting at the lower-left.
+    /// These are the probe points of the 4-point test of Algorithm 5.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.min_x, self.min_y),
+            Point::new(self.max_x, self.min_y),
+            Point::new(self.max_x, self.max_y),
+            Point::new(self.min_x, self.max_y),
+        ]
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x - EPS
+            && p.x <= self.max_x + EPS
+            && p.y >= self.min_y - EPS
+            && p.y <= self.max_y + EPS
+    }
+
+    /// `true` when `other` is completely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x - EPS
+            && other.max_x <= self.max_x + EPS
+            && other.min_y >= self.min_y - EPS
+            && other.max_y <= self.max_y + EPS
+    }
+
+    /// `true` when the two closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min_x <= other.max_x + EPS
+            && other.min_x <= self.max_x + EPS
+            && self.min_y <= other.max_y + EPS
+            && other.min_y <= self.max_y + EPS
+    }
+
+    /// Intersection of two rectangles, or `None` if they are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        })
+    }
+
+    /// Smallest rectangle containing both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the rectangle in place so that it contains `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Minimum distance from `q` to any point of the rectangle (zero inside).
+    pub fn dist_min(&self, q: Point) -> f64 {
+        let dx = (self.min_x - q.x).max(0.0).max(q.x - self.max_x);
+        let dy = (self.min_y - q.y).max(0.0).max(q.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Maximum distance from `q` to any point of the rectangle.
+    pub fn dist_max(&self, q: Point) -> f64 {
+        self.corners()
+            .iter()
+            .map(|c| c.dist(q))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Splits the rectangle into its four quadrants in the order
+    /// `[SW, SE, NE, NW]` — the child regions `h_1..h_4` of a quad-tree node
+    /// in Algorithms 3 and 4.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let c = self.center();
+        [
+            Rect::new(self.min_x, self.min_y, c.x, c.y),
+            Rect::new(c.x, self.min_y, self.max_x, c.y),
+            Rect::new(c.x, c.y, self.max_x, self.max_y),
+            Rect::new(self.min_x, c.y, c.x, self.max_y),
+        ]
+    }
+
+    /// `true` when the rectangle and the disk `circle(center, radius)` share a
+    /// point.
+    pub fn intersects_circle(&self, center: Point, radius: f64) -> bool {
+        self.dist_min(center) <= radius + EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn constructor_normalises_corners() {
+        let r = Rect::new(5.0, 6.0, 1.0, 2.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 5.0, 6.0));
+        assert!(approx_eq(r.width(), 4.0));
+        assert!(approx_eq(r.height(), 4.0));
+        assert!(approx_eq(r.area(), 16.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let d = Rect::square(10.0);
+        let inner = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let overlapping = Rect::new(9.0, 9.0, 12.0, 12.0);
+        let outside = Rect::new(20.0, 20.0, 21.0, 21.0);
+        assert!(d.contains_rect(&inner));
+        assert!(!d.contains_rect(&overlapping));
+        assert!(d.intersects(&overlapping));
+        assert!(!d.intersects(&outside));
+        assert!(d.contains(Point::new(10.0, 10.0)));
+        assert!(!d.contains(Point::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(2.0, 2.0, 4.0, 4.0));
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 6.0, 6.0));
+        let far = Rect::new(10.0, 10.0, 11.0, 11.0);
+        assert!(a.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn empty_rect_behaviour() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert!(approx_eq(e.area(), 0.0));
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(e.union(&a), a);
+        assert!(!e.intersects(&a));
+    }
+
+    #[test]
+    fn distances() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(approx_eq(r.dist_min(Point::new(1.0, 1.0)), 0.0));
+        assert!(approx_eq(r.dist_min(Point::new(5.0, 1.0)), 3.0));
+        assert!(approx_eq(r.dist_min(Point::new(5.0, 6.0)), 5.0));
+        assert!(approx_eq(r.dist_max(Point::new(0.0, 0.0)), 8.0_f64.sqrt()));
+    }
+
+    #[test]
+    fn quadrants_cover_parent_exactly() {
+        let r = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let qs = r.quadrants();
+        let total: f64 = qs.iter().map(Rect::area).sum();
+        assert!(approx_eq(total, r.area()));
+        for q in &qs {
+            assert!(r.contains_rect(q));
+            assert!(approx_eq(q.area(), 16.0));
+        }
+        // Quadrants only overlap on their shared edges.
+        assert!(approx_eq(qs[0].intersection(&qs[2]).unwrap().area(), 0.0));
+    }
+
+    #[test]
+    fn circle_rect_intersection() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.intersects_circle(Point::new(1.0, 1.0), 0.1));
+        assert!(r.intersects_circle(Point::new(4.0, 1.0), 2.0));
+        assert!(!r.intersects_circle(Point::new(4.0, 1.0), 1.5));
+    }
+
+    #[test]
+    fn bounding_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let r = Rect::bounding(&pts).unwrap();
+        assert_eq!(r, Rect::new(-2.0, -1.0, 4.0, 5.0));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+}

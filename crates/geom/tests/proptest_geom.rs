@@ -1,0 +1,138 @@
+//! Property-based tests of the geometry kernel.
+
+use proptest::prelude::*;
+use uv_geom::{
+    clip_keep, convex_hull, hull_contains, Circle, Hyperbola, OutsideRegion, Point, Polygon, Rect,
+};
+
+fn point_strategy(range: f64) -> impl Strategy<Value = Point> {
+    (-range..range, -range..range).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn circle_strategy(range: f64, max_r: f64) -> impl Strategy<Value = Circle> {
+    (point_strategy(range), 0.0..max_r).prop_map(|(c, r)| Circle::new(c, r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// distmin <= distmax, both non-negative, and distmax - distmin <= 2r.
+    #[test]
+    fn circle_distance_envelope(c in circle_strategy(1000.0, 50.0), q in point_strategy(1000.0)) {
+        let dmin = c.dist_min(q);
+        let dmax = c.dist_max(q);
+        prop_assert!(dmin >= 0.0);
+        prop_assert!(dmax >= dmin);
+        prop_assert!(dmax - dmin <= 2.0 * c.radius + 1e-9);
+        // Any point inside the region has distmin 0.
+        if c.contains(q) {
+            prop_assert!(dmin == 0.0);
+        }
+    }
+
+    /// The convex hull contains every input point and is itself convex
+    /// (every input point is inside the hull polygon).
+    #[test]
+    fn hull_contains_all_points(points in prop::collection::vec(point_strategy(500.0), 1..40)) {
+        let hull = convex_hull(&points);
+        prop_assert!(!hull.is_empty());
+        prop_assert!(hull.len() <= points.len());
+        for p in &points {
+            prop_assert!(hull_contains(&hull, *p), "point {p:?} escaped its hull");
+        }
+    }
+
+    /// The minimal bounding circle contains all points and has a radius no
+    /// larger than the bounding-box diagonal.
+    #[test]
+    fn min_bounding_circle_covers(points in prop::collection::vec(point_strategy(500.0), 1..30)) {
+        let mbc = Circle::min_bounding_circle(&points).unwrap();
+        for p in &points {
+            prop_assert!(mbc.contains(*p));
+        }
+        let bbox = Rect::bounding(&points).unwrap();
+        let diag = (bbox.width().powi(2) + bbox.height().powi(2)).sqrt();
+        prop_assert!(mbc.radius <= diag / 2.0 + 1e-6);
+    }
+
+    /// Clipping by any predicate never increases the polygon area, and every
+    /// surviving original vertex satisfies the predicate.
+    #[test]
+    fn clip_is_monotone(center in point_strategy(400.0), radius in 10.0..300.0f64) {
+        let square = Rect::new(-400.0, -400.0, 400.0, 400.0);
+        let poly = square.corners().to_vec();
+        let f = move |p: Point| p.dist(center) - radius; // keep outside the disk
+        let clipped = clip_keep(&poly, &f, Point::new(1_000.0, 1_000.0), 8, 50.0);
+        let before = Polygon::new(poly);
+        let after = Polygon::new(clipped);
+        prop_assert!(after.area() <= before.area() + 1e-6);
+        for v in after.vertices() {
+            prop_assert!(f(*v) >= -1e-6, "vertex {v:?} violates the predicate");
+        }
+    }
+
+    /// UV-edge invariants (Equation (5)): points on the edge satisfy the
+    /// distance-difference equation and separate the two objects' sides.
+    #[test]
+    fn uv_edge_separates_objects(
+        ci in point_strategy(500.0),
+        cj in point_strategy(500.0),
+        ri in 0.0..40.0f64,
+        rj in 0.0..40.0f64,
+    ) {
+        let oi = Circle::new(ci, ri);
+        let oj = Circle::new(cj, rj);
+        let outside = OutsideRegion::new(oi, oj);
+        match Hyperbola::uv_edge(&oi, &oj) {
+            None => prop_assert!(outside.is_empty()),
+            Some(edge) => {
+                prop_assert!(!outside.is_empty());
+                prop_assert!(edge.eccentricity() >= 1.0);
+                for p in edge.sample(9, 1.5) {
+                    prop_assert!(edge.residual(p).abs() < 1e-6);
+                    prop_assert!(outside.signed(p).abs() < 1e-6);
+                }
+                // The subject centre is never in its own outside region; the
+                // other centre always is (when the edge exists).
+                prop_assert!(!outside.contains(ci));
+                prop_assert!(outside.contains(cj));
+            }
+        }
+    }
+
+    /// Rectangle distance bounds bracket the distance to any corner and to
+    /// the centre.
+    #[test]
+    fn rect_distance_bounds(
+        r in (point_strategy(400.0), point_strategy(400.0)).prop_map(|(a, b)| Rect::from_corners(a, b)),
+        q in point_strategy(600.0),
+    ) {
+        let dmin = r.dist_min(q);
+        let dmax = r.dist_max(q);
+        prop_assert!(dmin <= dmax + 1e-9);
+        for c in r.corners() {
+            let d = c.dist(q);
+            prop_assert!(d + 1e-9 >= dmin);
+            prop_assert!(d <= dmax + 1e-9);
+        }
+        prop_assert!(r.center().dist(q) <= dmax + 1e-9);
+        if r.contains(q) {
+            prop_assert!(dmin == 0.0);
+        }
+    }
+
+    /// Quadrants partition a rectangle: areas sum to the parent's and every
+    /// point of the parent lies in at least one quadrant.
+    #[test]
+    fn quadrants_partition(
+        r in (point_strategy(400.0), point_strategy(400.0)).prop_map(|(a, b)| Rect::from_corners(a, b)),
+        q in point_strategy(400.0),
+    ) {
+        let quadrants = r.quadrants();
+        let total: f64 = quadrants.iter().map(Rect::area).sum();
+        prop_assert!((total - r.area()).abs() <= 1e-6 * (1.0 + r.area()));
+        if r.contains(q) {
+            prop_assert!(quadrants.iter().any(|quad| quad.contains(q)));
+        }
+    }
+}

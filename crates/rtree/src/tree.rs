@@ -1,0 +1,324 @@
+//! The packed R-tree structure and its bulk-load construction.
+//!
+//! Construction uses Sort-Tile-Recursive (STR) packing: entries are sorted by
+//! the x coordinate of their region centres, cut into vertical slices, sorted
+//! by y within each slice and packed into full leaves. Leaves are written to
+//! disk pages; the internal levels (fanout 100 by default) stay in memory,
+//! matching the experimental setup of the paper.
+
+use std::sync::Arc;
+use uv_data::{ObjectEntry, ObjectStore, UncertainObject};
+use uv_geom::Rect;
+use uv_store::{PagedList, PageStore};
+
+/// Construction parameters of the R-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum number of children of an internal node (the paper uses 100).
+    pub fanout: usize,
+    /// Maximum number of object entries per leaf page. Defaults to as many
+    /// `<ID, MBC, pointer>` tuples as fit a 4 KB page, capped at `fanout`.
+    pub leaf_capacity: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self {
+            fanout: 100,
+            leaf_capacity: 100,
+        }
+    }
+}
+
+/// Reference to a child of an internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// Index into [`RTree::internal_nodes`].
+    Internal(u32),
+    /// Index into [`RTree::leaves`].
+    Leaf(u32),
+}
+
+/// In-memory internal node.
+#[derive(Debug, Clone)]
+pub struct InternalNode {
+    pub mbr: Rect,
+    pub children: Vec<NodeRef>,
+}
+
+/// Metadata of a disk-resident leaf node.
+#[derive(Debug, Clone)]
+pub struct LeafNode {
+    pub mbr: Rect,
+    /// Entries of the leaf, stored on (exactly one, by construction) page.
+    pub entries: PagedList<ObjectEntry>,
+    pub count: usize,
+}
+
+/// A packed R-tree over uncertain objects.
+#[derive(Debug)]
+pub struct RTree {
+    config: RTreeConfig,
+    store: Arc<PageStore>,
+    internal_nodes: Vec<InternalNode>,
+    leaves: Vec<LeafNode>,
+    root: Option<NodeRef>,
+    height: usize,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-loads an R-tree over `objects`, storing leaf pages in `store` and
+    /// taking the object-record pointers from `object_store`.
+    pub fn bulk_load(
+        objects: &[UncertainObject],
+        object_store: &ObjectStore,
+        store: Arc<PageStore>,
+        config: RTreeConfig,
+    ) -> Self {
+        assert!(config.fanout >= 2, "fanout must be at least 2");
+        assert!(config.leaf_capacity >= 1, "leaf capacity must be positive");
+        let mut entries: Vec<ObjectEntry> = objects
+            .iter()
+            .map(|o| ObjectEntry::new(o, object_store.ptr_of(o.id)))
+            .collect();
+
+        let mut tree = Self {
+            config,
+            store: Arc::clone(&store),
+            internal_nodes: Vec::new(),
+            leaves: Vec::new(),
+            root: None,
+            height: 0,
+            len: entries.len(),
+        };
+        if entries.is_empty() {
+            return tree;
+        }
+
+        // --- STR leaf packing -------------------------------------------------
+        let leaf_cap = config.leaf_capacity;
+        let num_leaves = entries.len().div_ceil(leaf_cap);
+        let slices = (num_leaves as f64).sqrt().ceil() as usize;
+        let slice_size = entries.len().div_ceil(slices);
+
+        entries.sort_by(|a, b| a.mbc.center.x.partial_cmp(&b.mbc.center.x).unwrap());
+        let mut leaf_refs: Vec<NodeRef> = Vec::with_capacity(num_leaves);
+        for slice in entries.chunks_mut(slice_size.max(1)) {
+            slice.sort_by(|a, b| a.mbc.center.y.partial_cmp(&b.mbc.center.y).unwrap());
+            for group in slice.chunks(leaf_cap) {
+                let mut mbr = Rect::empty();
+                let mut list = PagedList::new(Arc::clone(&store));
+                for e in group {
+                    mbr = mbr.union(&e.mbc.mbr());
+                    list.push(*e);
+                }
+                list.seal();
+                let idx = tree.leaves.len() as u32;
+                tree.leaves.push(LeafNode {
+                    mbr,
+                    entries: list,
+                    count: group.len(),
+                });
+                leaf_refs.push(NodeRef::Leaf(idx));
+            }
+        }
+
+        // --- Pack upper levels ------------------------------------------------
+        let mut level: Vec<NodeRef> = leaf_refs;
+        let mut height = 1;
+        while level.len() > 1 {
+            let mut next: Vec<NodeRef> = Vec::with_capacity(level.len().div_ceil(config.fanout));
+            for group in level.chunks(config.fanout) {
+                let mbr = group
+                    .iter()
+                    .fold(Rect::empty(), |acc, r| acc.union(&tree.node_mbr(*r)));
+                let idx = tree.internal_nodes.len() as u32;
+                tree.internal_nodes.push(InternalNode {
+                    mbr,
+                    children: group.to_vec(),
+                });
+                next.push(NodeRef::Internal(idx));
+            }
+            level = next;
+            height += 1;
+        }
+        tree.root = Some(level[0]);
+        tree.height = height;
+        tree
+    }
+
+    /// Convenience constructor with the default configuration.
+    pub fn build(
+        objects: &[UncertainObject],
+        object_store: &ObjectStore,
+        store: Arc<PageStore>,
+    ) -> Self {
+        Self::bulk_load(objects, object_store, store, RTreeConfig::default())
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree indexes no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf level).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of leaf nodes (each occupying one disk page).
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of memory-resident internal nodes.
+    pub fn num_internal_nodes(&self) -> usize {
+        self.internal_nodes.len()
+    }
+
+    /// The backing page store (for I/O accounting).
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// Root reference, if the tree is non-empty.
+    pub(crate) fn root(&self) -> Option<NodeRef> {
+        self.root
+    }
+
+    /// Construction configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    pub(crate) fn internal(&self, idx: u32) -> &InternalNode {
+        &self.internal_nodes[idx as usize]
+    }
+
+    pub(crate) fn leaf(&self, idx: u32) -> &LeafNode {
+        &self.leaves[idx as usize]
+    }
+
+    /// MBR of any node reference.
+    pub(crate) fn node_mbr(&self, node: NodeRef) -> Rect {
+        match node {
+            NodeRef::Internal(i) => self.internal_nodes[i as usize].mbr,
+            NodeRef::Leaf(i) => self.leaves[i as usize].mbr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uv_data::{Dataset, GeneratorConfig};
+    use uv_geom::Point;
+
+    fn build_tree(n: usize) -> (Dataset, ObjectStore, RTree) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&pages), &ds.objects);
+        let tree = RTree::build(&ds.objects, &objects, Arc::clone(&pages));
+        (ds, objects, tree)
+    }
+
+    #[test]
+    fn bulk_load_packs_all_objects() {
+        let (ds, _, tree) = build_tree(537);
+        assert_eq!(tree.len(), 537);
+        assert!(!tree.is_empty());
+        // 537 objects at 100 per leaf -> 6 leaves, one internal level.
+        assert_eq!(tree.num_leaves(), 6);
+        assert_eq!(tree.height(), 2);
+        assert!(tree.num_internal_nodes() >= 1);
+        // Every leaf MBR lies inside the root MBR and inside the domain.
+        let root_mbr = tree.node_mbr(tree.root().unwrap());
+        for leaf in &tree.leaves {
+            assert!(root_mbr.contains_rect(&leaf.mbr));
+            assert!(ds.domain.contains_rect(&leaf.mbr));
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&pages), &[]);
+        let tree = RTree::build(&[], &objects, pages);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.root().is_none());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let (_, _, tree) = build_tree(40);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.num_internal_nodes(), 0);
+        assert!(matches!(tree.root(), Some(NodeRef::Leaf(0))));
+    }
+
+    #[test]
+    fn leaf_mbrs_cover_their_entries() {
+        let (_, _, tree) = build_tree(260);
+        for leaf in &tree.leaves {
+            assert_eq!(leaf.count, leaf.entries.len());
+            for e in leaf.entries.read_all_uncounted() {
+                assert!(leaf.mbr.contains_rect(&e.mbc.mbr()));
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_is_respected() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(1000));
+        let pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&pages), &ds.objects);
+        let config = RTreeConfig {
+            fanout: 4,
+            leaf_capacity: 10,
+        };
+        let tree = RTree::bulk_load(&ds.objects, &objects, pages, config);
+        assert_eq!(tree.num_leaves(), 100);
+        for node in &tree.internal_nodes {
+            assert!(node.children.len() <= 4);
+            assert!(!node.children.is_empty());
+            for child in &node.children {
+                assert!(node.mbr.contains_rect(&tree.node_mbr(*child)));
+            }
+        }
+        assert!(tree.height() >= 4); // 100 leaves with fanout 4 -> at least 4 levels
+    }
+
+    #[test]
+    fn every_object_is_stored_exactly_once() {
+        let (ds, _, tree) = build_tree(123);
+        let mut seen = vec![0u32; ds.len()];
+        for leaf in &tree.leaves {
+            for e in leaf.entries.read_all_uncounted() {
+                seen[e.id as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|c| *c == 1));
+    }
+
+    #[test]
+    fn entries_keep_object_geometry() {
+        let (ds, _, tree) = build_tree(60);
+        let q = Point::new(5000.0, 5000.0);
+        for leaf in &tree.leaves {
+            for e in leaf.entries.read_all_uncounted() {
+                let o = &ds.objects[e.id as usize];
+                assert_eq!(e.mbc, o.mbc());
+                assert!((e.dist_min(q) - o.dist_min(q)).abs() < 1e-12);
+                assert!((e.dist_max(q) - o.dist_max(q)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Simulated disk-page storage with explicit I/O accounting.
+//!
+//! The paper evaluates both the UV-index and the R-tree baseline by the
+//! number of *leaf-page I/Os* a query incurs (Figure 6(b)): non-leaf nodes of
+//! both indexes are memory resident while leaf nodes live on 4 KB disk pages.
+//! This crate provides that substrate:
+//!
+//! * [`PageStore`] — a thread-safe collection of fixed-size pages whose every
+//!   read and write is counted by [`IoCounters`].
+//! * [`PagedList`] — an append-only list of fixed-size records spread across
+//!   pages, the structure used both by R-tree leaf nodes and by the linked
+//!   page lists attached to UV-index leaves (`<ID, MBC, pointer>` tuples).
+//!
+//! Timings in the reproduction come from wall-clock measurement; I/O counts
+//! come from here and are exact.
+
+pub mod counter;
+pub mod list;
+pub mod page;
+
+pub use counter::{IoCounters, IoSnapshot};
+pub use list::{PagedList, Record};
+pub use page::{PageId, PageStore, DEFAULT_PAGE_SIZE};

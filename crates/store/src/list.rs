@@ -1,0 +1,233 @@
+//! Append-only lists of fixed-size records packed into pages.
+//!
+//! Both index structures of the paper keep their leaf-level payload as lists
+//! of `<ID, MBC, pointer>` tuples on disk pages: the R-tree leaf nodes and
+//! the "linked list of disk pages" attached to every UV-index leaf
+//! (Section V-A). [`PagedList`] is that structure; reading it back counts one
+//! I/O per page, which is exactly what Figure 6(b) measures.
+
+use crate::page::{PageId, PageStore};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// A fixed-size record that can be stored in a [`PagedList`].
+pub trait Record: Sized {
+    /// Encoded size in bytes. Must be positive and no larger than the page
+    /// size of the store the list lives in.
+    const SIZE: usize;
+
+    /// Appends exactly [`Record::SIZE`] bytes to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a record from exactly [`Record::SIZE`] bytes.
+    fn decode(buf: &[u8]) -> Self;
+}
+
+/// An append-only, page-backed list of records.
+#[derive(Debug, Clone)]
+pub struct PagedList<T: Record> {
+    store: Arc<PageStore>,
+    pages: Vec<PageId>,
+    /// Records not yet flushed to a full page.
+    tail: Vec<T>,
+    len: usize,
+}
+
+impl<T: Record + Clone> PagedList<T> {
+    /// Creates an empty list backed by `store`.
+    pub fn new(store: Arc<PageStore>) -> Self {
+        assert!(T::SIZE > 0, "record size must be positive");
+        assert!(
+            T::SIZE <= store.page_size(),
+            "record larger than a page ({} > {})",
+            T::SIZE,
+            store.page_size()
+        );
+        Self {
+            store,
+            pages: Vec::new(),
+            tail: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of records per full page.
+    pub fn records_per_page(&self) -> usize {
+        self.store.page_size() / T::SIZE
+    }
+
+    /// Number of records in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the list holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of disk pages the list occupies once flushed (the partially
+    /// filled tail counts as one page, mirroring how the paper counts leaf
+    /// pages).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len() + usize::from(!self.tail.is_empty())
+    }
+
+    /// `true` when appending one more record would allocate a new page —
+    /// the OVERFLOW condition of Algorithm 3.
+    pub fn next_push_allocates(&self) -> bool {
+        self.tail.len() == self.records_per_page() - 1 || self.records_per_page() == 1
+    }
+
+    /// Appends a record, flushing a page when the in-memory tail fills up.
+    pub fn push(&mut self, record: T) {
+        self.tail.push(record);
+        self.len += 1;
+        if self.tail.len() >= self.records_per_page() {
+            self.flush_tail();
+        }
+    }
+
+    fn flush_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(self.tail.len() * T::SIZE);
+        for r in &self.tail {
+            r.encode(&mut buf);
+        }
+        let id = self.store.allocate(Bytes::from(buf));
+        self.pages.push(id);
+        self.tail.clear();
+    }
+
+    /// Forces any buffered records onto a page (done automatically by
+    /// [`PagedList::read_all`] callers at build time via `seal`).
+    pub fn seal(&mut self) {
+        self.flush_tail();
+    }
+
+    /// Reads every record back, charging one read I/O per sealed page.
+    /// Unsealed tail records (still in memory) are returned without I/O.
+    pub fn read_all(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for page in &self.pages {
+            let bytes = self.store.read(*page);
+            for chunk in bytes.chunks_exact(T::SIZE) {
+                out.push(T::decode(chunk));
+            }
+        }
+        out.extend(self.tail.iter().cloned());
+        out
+    }
+
+    /// Reads every record without charging I/O (construction-time use).
+    pub fn read_all_uncounted(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for page in &self.pages {
+            let bytes = self.store.read_uncounted(*page);
+            for chunk in bytes.chunks_exact(T::SIZE) {
+                out.push(T::decode(chunk));
+            }
+        }
+        out.extend(self.tail.iter().cloned());
+        out
+    }
+
+    /// Shared handle to the backing store.
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Rec(u64);
+
+    impl Record for Rec {
+        const SIZE: usize = 8;
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_le_bytes());
+        }
+        fn decode(buf: &[u8]) -> Self {
+            Rec(u64::from_le_bytes(buf.try_into().unwrap()))
+        }
+    }
+
+    fn small_store() -> Arc<PageStore> {
+        // 32-byte pages -> 4 records per page.
+        Arc::new(PageStore::with_page_size(32))
+    }
+
+    #[test]
+    fn push_and_read_roundtrip() {
+        let store = small_store();
+        let mut list = PagedList::new(Arc::clone(&store));
+        for i in 0..10u64 {
+            list.push(Rec(i));
+        }
+        assert_eq!(list.len(), 10);
+        assert_eq!(list.records_per_page(), 4);
+        // 10 records -> 2 full pages + tail of 2.
+        assert_eq!(list.num_pages(), 3);
+        let all = list.read_all();
+        assert_eq!(all, (0..10).map(Rec).collect::<Vec<_>>());
+        // Reading charged one I/O per sealed page (2).
+        assert_eq!(store.io().reads, 2);
+    }
+
+    #[test]
+    fn seal_flushes_tail() {
+        let store = small_store();
+        let mut list = PagedList::new(Arc::clone(&store));
+        list.push(Rec(7));
+        assert_eq!(list.num_pages(), 1);
+        list.seal();
+        assert_eq!(list.num_pages(), 1);
+        store.reset_io();
+        let all = list.read_all();
+        assert_eq!(all, vec![Rec(7)]);
+        assert_eq!(store.io().reads, 1);
+    }
+
+    #[test]
+    fn empty_list() {
+        let store = small_store();
+        let mut list: PagedList<Rec> = PagedList::new(store);
+        assert!(list.is_empty());
+        assert_eq!(list.num_pages(), 0);
+        assert!(list.read_all().is_empty());
+        list.seal();
+        assert_eq!(list.num_pages(), 0);
+    }
+
+    #[test]
+    fn next_push_allocates_signal() {
+        let store = small_store();
+        let mut list = PagedList::new(store);
+        assert!(!list.next_push_allocates());
+        list.push(Rec(0));
+        list.push(Rec(1));
+        list.push(Rec(2));
+        // Tail has 3 of 4 slots filled: the next push completes a page.
+        assert!(list.next_push_allocates());
+        list.push(Rec(3));
+        assert!(!list.next_push_allocates());
+    }
+
+    #[test]
+    fn uncounted_read_does_not_charge_io() {
+        let store = small_store();
+        let mut list = PagedList::new(Arc::clone(&store));
+        for i in 0..8u64 {
+            list.push(Rec(i));
+        }
+        store.reset_io();
+        let all = list.read_all_uncounted();
+        assert_eq!(all.len(), 8);
+        assert_eq!(store.io().reads, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The page store: fixed-size pages addressed by [`PageId`], every access
+//! counted.
+
+use crate::counter::{IoCounters, IoSnapshot};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Default page size used by the experiments (the paper uses 4 KB pages).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page inside a [`PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// A thread-safe simulated disk: pages of at most `page_size` bytes, with
+/// every read and write recorded in shared [`IoCounters`].
+#[derive(Debug)]
+pub struct PageStore {
+    pages: RwLock<Vec<Bytes>>,
+    counters: Arc<IoCounters>,
+    page_size: usize,
+}
+
+impl Default for PageStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageStore {
+    /// Store with the default 4 KB page size.
+    pub fn new() -> Self {
+        Self::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Store with a custom page size (must be positive).
+    pub fn with_page_size(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            pages: RwLock::new(Vec::new()),
+            counters: Arc::new(IoCounters::new()),
+            page_size,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Shared handle to the I/O counters (e.g. to hand to query statistics).
+    pub fn counters(&self) -> Arc<IoCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Current I/O totals.
+    pub fn io(&self) -> IoSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Resets the I/O counters (page contents are untouched).
+    pub fn reset_io(&self) {
+        self.counters.reset();
+    }
+
+    /// Allocates a new page holding `data`. Counts one write.
+    ///
+    /// # Panics
+    /// Panics if `data` exceeds the page size — callers are expected to pack
+    /// records into page-sized chunks (see [`crate::PagedList`]).
+    pub fn allocate(&self, data: Bytes) -> PageId {
+        assert!(
+            data.len() <= self.page_size,
+            "page overflow: {} > {}",
+            data.len(),
+            self.page_size
+        );
+        self.counters.record_write();
+        let mut pages = self.pages.write();
+        let id = PageId(pages.len() as u32);
+        pages.push(data);
+        id
+    }
+
+    /// Overwrites an existing page. Counts one write.
+    pub fn write(&self, id: PageId, data: Bytes) {
+        assert!(
+            data.len() <= self.page_size,
+            "page overflow: {} > {}",
+            data.len(),
+            self.page_size
+        );
+        self.counters.record_write();
+        let mut pages = self.pages.write();
+        pages[id.0 as usize] = data;
+    }
+
+    /// Reads a page. Counts one read.
+    pub fn read(&self, id: PageId) -> Bytes {
+        self.counters.record_read();
+        let pages = self.pages.read();
+        pages[id.0 as usize].clone()
+    }
+
+    /// Reads a page without counting I/O (used by construction-time packing
+    /// where the paper does not charge query I/O).
+    pub fn read_uncounted(&self, id: PageId) -> Bytes {
+        let pages = self.pages.read();
+        pages[id.0 as usize].clone()
+    }
+
+    /// Total bytes stored across all pages.
+    pub fn stored_bytes(&self) -> usize {
+        self.pages.read().iter().map(Bytes::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_roundtrip() {
+        let store = PageStore::new();
+        let id = store.allocate(Bytes::from_static(b"hello"));
+        assert_eq!(store.num_pages(), 1);
+        assert_eq!(store.read(id), Bytes::from_static(b"hello"));
+        let io = store.io();
+        assert_eq!(io.writes, 1);
+        assert_eq!(io.reads, 1);
+    }
+
+    #[test]
+    fn write_overwrites_and_counts() {
+        let store = PageStore::new();
+        let id = store.allocate(Bytes::from_static(b"a"));
+        store.write(id, Bytes::from_static(b"bb"));
+        assert_eq!(store.read_uncounted(id), Bytes::from_static(b"bb"));
+        assert_eq!(store.io().writes, 2);
+        assert_eq!(store.io().reads, 0);
+        assert_eq!(store.stored_bytes(), 2);
+    }
+
+    #[test]
+    fn reset_io_keeps_data() {
+        let store = PageStore::new();
+        let id = store.allocate(Bytes::from_static(b"abc"));
+        store.reset_io();
+        assert_eq!(store.io().total(), 0);
+        assert_eq!(store.read(id), Bytes::from_static(b"abc"));
+        assert_eq!(store.io().reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn oversized_page_is_rejected() {
+        let store = PageStore::with_page_size(4);
+        store.allocate(Bytes::from_static(b"too long"));
+    }
+
+    #[test]
+    fn custom_page_size() {
+        let store = PageStore::with_page_size(128);
+        assert_eq!(store.page_size(), 128);
+        store.allocate(Bytes::from(vec![0u8; 128]));
+        assert_eq!(store.num_pages(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Nearest-neighbour pattern analysis, in the spirit of the bluetooth-virus
+//! spreading study the paper cites ([8] in Section I): a virus hops between
+//! mobile devices that are nearest neighbours of each other, but device
+//! positions are only known as uncertainty regions (cell-tower granularity).
+//!
+//! The UV-diagram answers the analysis questions directly:
+//!
+//! * *UV-cell retrieval* — how large is the region in which a given device
+//!   can infect others as their nearest neighbour?
+//! * *UV-partition retrieval* — which areas of the city have many candidate
+//!   nearest neighbours (densely meshed devices, fast spreading) and which
+//!   have few?
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example virus_pattern_analysis
+//! ```
+
+use uv_diagram::prelude::*;
+
+fn main() {
+    // Devices cluster around a handful of hot spots (malls, stations), which
+    // the "utility"-style generator reproduces.
+    let dataset = Dataset::generate(GeneratorConfig {
+        n: 4_000,
+        kind: DatasetKind::Utility,
+        ..GeneratorConfig::paper_uniform(4_000)
+    });
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+    println!(
+        "indexed {} devices; UV-index has {} leaves over a {:.0} x {:.0} city",
+        dataset.len(),
+        system.construction_stats().leaf_nodes,
+        dataset.domain.width(),
+        dataset.domain.height()
+    );
+
+    // --- Question 1: which devices have the largest "infection reach"? ------
+    // A device with a large UV-cell can be the nearest neighbour of points in
+    // a large area, i.e. it is likely to appear in many devices' NN lists.
+    let mut reach: Vec<(u32, f64)> = (0..dataset.len() as u32)
+        .step_by(5)
+        .map(|id| (id, system.cell_area(id)))
+        .collect();
+    reach.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ndevices with the largest nearest-neighbour reach (UV-cell area):");
+    for (id, area) in reach.iter().take(5) {
+        let extent = system
+            .index()
+            .cell_extent(*id)
+            .expect("sampled device is indexed");
+        println!(
+            "  device {id:>5}: reach area {:>12.0} (extent {:.0} x {:.0})",
+            area,
+            extent.width(),
+            extent.height()
+        );
+    }
+    let median = reach[reach.len() / 2].1;
+    println!("  median reach area of sampled devices: {median:.0}");
+
+    // --- Question 2: where would a virus spread fastest? --------------------
+    // UV-partition retrieval over the whole city: partitions with a high
+    // density of candidate nearest neighbours correspond to tight meshes of
+    // devices where an infection can hop quickly.
+    let partitions = system.partition_query(&dataset.domain);
+    let mut by_density = partitions.clone();
+    by_density.sort_by(|a, b| b.density.partial_cmp(&a.density).unwrap());
+    println!("\nhighest-risk areas (most candidate nearest neighbours per unit area):");
+    for cell in by_density.iter().take(5) {
+        println!(
+            "  region [{:>5.0}, {:>5.0}] x [{:>5.0}, {:>5.0}]: {} devices, density {:.5}",
+            cell.region.min_x,
+            cell.region.max_x,
+            cell.region.min_y,
+            cell.region.max_y,
+            cell.object_count(),
+            cell.density
+        );
+    }
+    let quiet = by_density
+        .iter()
+        .filter(|c| c.object_count() > 0)
+        .min_by(|a, b| a.density.partial_cmp(&b.density).unwrap())
+        .expect("non-empty index");
+    println!(
+        "least meshed populated area has density {:.6} ({} devices)",
+        quiet.density,
+        quiet.object_count()
+    );
+
+    // --- Question 3: trace one hop of a hypothetical infection. --------------
+    let patient_zero = dataset.objects[reach[0].0 as usize].center();
+    let answer = system.pnn(patient_zero);
+    println!(
+        "\nif an infection starts at device {} ({:.0}, {:.0}), the possible first hops are:",
+        reach[0].0, patient_zero.x, patient_zero.y
+    );
+    for (id, p) in answer.probabilities.iter().take(6) {
+        println!("  -> device {id:>5} with probability {p:.3}");
+    }
+}

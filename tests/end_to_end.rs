@@ -1,0 +1,187 @@
+//! End-to-end integration tests spanning every crate: dataset generation →
+//! object store → R-tree → UV-index → queries, checked against brute-force
+//! ground truth computed straight from the definitions in the paper.
+
+use uv_diagram::prelude::*;
+
+/// Brute-force PNN candidate set: every object whose minimum distance does
+/// not exceed the smallest maximum distance (the definition the verification
+/// step of [14] implements).
+fn brute_force_answer(objects: &[UncertainObject], q: Point) -> Vec<ObjectId> {
+    let dminmax = objects
+        .iter()
+        .map(|o| o.dist_max(q))
+        .fold(f64::INFINITY, f64::min);
+    let mut ids: Vec<ObjectId> = objects
+        .iter()
+        .filter(|o| o.dist_min(q) <= dminmax + 1e-9)
+        .map(|o| o.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn probabilities_of(objects: &[UncertainObject], q: Point, ids: &[ObjectId]) -> Vec<(u32, f64)> {
+    let refs: Vec<&UncertainObject> = ids.iter().map(|id| &objects[*id as usize]).collect();
+    uv_diagram::data::qualification_probabilities(q, &refs, 80)
+}
+
+#[test]
+fn uv_index_pnn_equals_ground_truth_on_uniform_data() {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(600));
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+    for q in dataset.query_points(40, 2024) {
+        let answer = system.pnn(q);
+        let expected = brute_force_answer(&dataset.objects, q);
+        for id in answer.answer_ids() {
+            assert!(expected.contains(&id), "spurious answer {id} at {q:?}");
+        }
+        // Objects with non-negligible ground-truth probability must be found.
+        for (id, p) in probabilities_of(&dataset.objects, q, &expected) {
+            if p > 1e-3 {
+                assert!(
+                    answer.answer_ids().contains(&id),
+                    "missed answer {id} (p = {p}) at {q:?}"
+                );
+            }
+        }
+        // Probabilities are a distribution.
+        let total: f64 = answer.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 0.05, "sum {total} at {q:?}");
+    }
+}
+
+#[test]
+fn uv_index_and_rtree_baseline_return_identical_answers() {
+    for kind in [
+        DatasetKind::Uniform,
+        DatasetKind::GaussianSkew { sigma: 1200.0 },
+        DatasetKind::Utility,
+    ] {
+        let dataset = Dataset::generate(GeneratorConfig {
+            n: 400,
+            kind,
+            ..GeneratorConfig::paper_uniform(400)
+        });
+        let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+        for q in dataset.query_points(15, 5) {
+            let uv = system.pnn(q);
+            let rt = system.pnn_rtree(q);
+            assert_eq!(uv.answer_ids(), rt.answer_ids(), "{kind:?} differs at {q:?}");
+        }
+    }
+}
+
+#[test]
+fn all_construction_methods_agree() {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(150));
+    let config = UvConfig {
+        parallel: false,
+        ..UvConfig::default()
+    };
+    let systems: Vec<UvSystem> = [Method::Basic, Method::ICR, Method::IC]
+        .into_iter()
+        .map(|m| UvSystem::build(dataset.objects.clone(), dataset.domain, m, config))
+        .collect();
+    for q in dataset.query_points(10, 9) {
+        let answers: Vec<Vec<ObjectId>> = systems.iter().map(|s| s.pnn(q).answer_ids()).collect();
+        assert_eq!(answers[0], answers[1], "Basic vs ICR at {q:?}");
+        assert_eq!(answers[1], answers[2], "ICR vs IC at {q:?}");
+    }
+}
+
+#[test]
+fn query_points_on_cell_boundaries_and_domain_corners_are_answered() {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(200));
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+    // Domain corners and object centres are adversarial query locations.
+    let mut queries = vec![
+        Point::new(0.0, 0.0),
+        Point::new(10_000.0, 0.0),
+        Point::new(0.0, 10_000.0),
+        Point::new(10_000.0, 10_000.0),
+        Point::new(5_000.0, 0.0),
+    ];
+    queries.extend(dataset.objects.iter().take(20).map(|o| o.center()));
+    for q in queries {
+        let answer = system.pnn(q);
+        let expected = brute_force_answer(&dataset.objects, q);
+        assert!(!answer.probabilities.is_empty(), "no answer at {q:?}");
+        for id in answer.answer_ids() {
+            assert!(expected.contains(&id));
+        }
+    }
+}
+
+#[test]
+fn pattern_queries_are_consistent_with_pnn_results() {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(300));
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+
+    // The UV-cell leaf regions of an answer object must cover the query point.
+    for q in dataset.query_points(10, 3) {
+        for (id, _) in system.pnn(q).probabilities {
+            let covered = system
+                .index()
+                .cell_leaf_regions(id)
+                .iter()
+                .any(|r| r.contains(q));
+            assert!(covered, "object {id} answers {q:?} but its cell regions miss it");
+        }
+    }
+
+    // Partition query densities: summing count*area over all leaves touching
+    // the whole domain reproduces the total number of (object, leaf)
+    // associations.
+    let partitions = system.partition_query(&dataset.domain);
+    let total_assoc: usize = partitions.iter().map(|p| p.object_count()).sum();
+    let leaf_assoc: usize = system.index().leaves().map(|(_, ids)| ids.len()).sum();
+    assert_eq!(total_assoc, leaf_assoc);
+}
+
+#[test]
+fn io_accounting_shows_uv_index_advantage_at_scale() {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(2_000));
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+    let queries = dataset.query_points(25, 123);
+    let mut uv_io = 0u64;
+    let mut rt_io = 0u64;
+    for q in &queries {
+        uv_io += system.pnn(*q).breakdown.index_io;
+        rt_io += system.pnn_rtree(*q).breakdown.index_io;
+    }
+    assert!(uv_io > 0);
+    assert!(
+        rt_io > uv_io,
+        "R-tree should need more leaf I/O than the UV-index ({rt_io} vs {uv_io})"
+    );
+}
+
+#[test]
+fn non_circular_regions_are_supported_via_minimal_bounding_circles() {
+    // Build objects from polygonal uncertainty regions (Section III-C) and
+    // verify the whole pipeline still answers queries.
+    let mut objects = Vec::new();
+    for i in 0..100u32 {
+        let cx = 100.0 + (i % 10) as f64 * 1_000.0;
+        let cy = 100.0 + (i / 10) as f64 * 1_000.0;
+        let vertices = vec![
+            Point::new(cx - 30.0, cy - 10.0),
+            Point::new(cx + 40.0, cy - 20.0),
+            Point::new(cx + 10.0, cy + 35.0),
+        ];
+        objects.push(
+            UncertainObject::from_polygon(i, &vertices, Pdf::Uniform)
+                .expect("valid polygon"),
+        );
+    }
+    let domain = Rect::square(10_000.0);
+    let system = UvSystem::with_defaults(objects.clone(), domain);
+    let q = Point::new(4_500.0, 4_500.0);
+    let answer = system.pnn(q);
+    let expected = brute_force_answer(&objects, q);
+    for id in answer.answer_ids() {
+        assert!(expected.contains(&id));
+    }
+    assert!(!answer.probabilities.is_empty());
+}

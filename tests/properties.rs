@@ -1,0 +1,126 @@
+//! Cross-crate property-based tests: for arbitrary small uncertain datasets
+//! and query points, the UV-index answers must match the definition-level
+//! ground truth, and the core invariants of the paper's constructions must
+//! hold.
+
+use proptest::prelude::*;
+use uv_diagram::prelude::*;
+
+/// Strategy: a small set of uncertain objects inside a 1,000 x 1,000 domain.
+fn objects_strategy(max_objects: usize) -> impl Strategy<Value = Vec<UncertainObject>> {
+    prop::collection::vec(
+        (30.0..970.0f64, 30.0..970.0f64, 0.0..25.0f64),
+        2..max_objects,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, r))| UncertainObject::with_uniform(i as u32, Point::new(x, y), r))
+            .collect()
+    })
+}
+
+fn brute_force_answer(objects: &[UncertainObject], q: Point) -> Vec<ObjectId> {
+    let dminmax = objects
+        .iter()
+        .map(|o| o.dist_max(q))
+        .fold(f64::INFINITY, f64::min);
+    let mut ids: Vec<ObjectId> = objects
+        .iter()
+        .filter(|o| o.dist_min(q) <= dminmax + 1e-9)
+        .map(|o| o.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The UV-index never invents an answer object and never misses one with
+    /// non-negligible probability, for arbitrary object layouts and query
+    /// points (including overlapping regions and zero radii).
+    #[test]
+    fn uv_index_matches_ground_truth(
+        objects in objects_strategy(18),
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+    ) {
+        let domain = Rect::square(1_000.0);
+        let config = UvConfig { parallel: false, ..UvConfig::default() };
+        let system = UvSystem::build(objects.clone(), domain, Method::IC, config);
+        let q = Point::new(qx, qy);
+        let answer = system.pnn(q);
+        let expected = brute_force_answer(&objects, q);
+
+        for id in answer.answer_ids() {
+            prop_assert!(expected.contains(&id), "spurious answer {id}");
+        }
+        let refs: Vec<&UncertainObject> =
+            expected.iter().map(|id| &objects[*id as usize]).collect();
+        for (id, p) in uv_diagram::data::qualification_probabilities(q, &refs, 60) {
+            if p > 5e-3 {
+                prop_assert!(
+                    answer.answer_ids().contains(&id),
+                    "missing answer {id} with probability {p}"
+                );
+            }
+        }
+    }
+
+    /// Probabilities returned by a PNN query form a sub-distribution that is
+    /// close to 1 and each lies in [0, 1].
+    #[test]
+    fn pnn_probabilities_are_a_distribution(
+        objects in objects_strategy(12),
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+    ) {
+        let domain = Rect::square(1_000.0);
+        let config = UvConfig { parallel: false, ..UvConfig::default() };
+        let system = UvSystem::build(objects, domain, Method::IC, config);
+        let answer = system.pnn(Point::new(qx, qy));
+        prop_assert!(!answer.probabilities.is_empty());
+        let mut total = 0.0;
+        for (_, p) in &answer.probabilities {
+            prop_assert!(*p >= 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 0.08, "probabilities sum to {total}");
+    }
+
+    /// Every object is associated with at least one leaf of the UV-index (its
+    /// UV-cell is never empty), and every leaf region stays within the domain.
+    #[test]
+    fn every_object_has_a_nonempty_cell(objects in objects_strategy(15)) {
+        let domain = Rect::square(1_000.0);
+        let config = UvConfig { parallel: false, ..UvConfig::default() };
+        let n = objects.len();
+        let system = UvSystem::build(objects, domain, Method::IC, config);
+        for id in 0..n as u32 {
+            prop_assert!(system.cell_area(id) > 0.0, "object {id} has an empty cell");
+        }
+        for (region, ids) in system.index().leaves() {
+            prop_assert!(domain.contains_rect(region));
+            prop_assert!(ids.len() <= n);
+        }
+    }
+
+    /// The R-tree baseline and the UV-index agree on arbitrary inputs.
+    #[test]
+    fn baseline_and_uv_index_agree(
+        objects in objects_strategy(15),
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+    ) {
+        let domain = Rect::square(1_000.0);
+        let config = UvConfig { parallel: false, ..UvConfig::default() };
+        let system = UvSystem::build(objects, domain, Method::IC, config);
+        let q = Point::new(qx, qy);
+        prop_assert_eq!(system.pnn(q).answer_ids(), system.pnn_rtree(q).answer_ids());
+    }
+}
