@@ -21,24 +21,20 @@ fn bench_construction(c: &mut Criterion) {
             if method == Method::Basic && n > 200 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), n),
-                &method,
-                |b, &method| {
-                    b.iter(|| {
-                        let (index, stats) = build_uv_index(
-                            &dataset.objects,
-                            &objects,
-                            &rtree,
-                            dataset.domain,
-                            Arc::new(PageStore::new()),
-                            method,
-                            UvConfig::default(),
-                        );
-                        std::hint::black_box((index.num_leaf_nodes(), stats.leaf_pages))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), n), &method, |b, &method| {
+                b.iter(|| {
+                    let (index, stats) = build_uv_index(
+                        &dataset.objects,
+                        &objects,
+                        &rtree,
+                        dataset.domain,
+                        Arc::new(PageStore::new()),
+                        method,
+                        UvConfig::default(),
+                    );
+                    std::hint::black_box((index.num_leaf_nodes(), stats.leaf_pages))
+                })
+            });
         }
     }
     group.finish();
@@ -52,11 +48,7 @@ fn bench_rtree_bulk_load(c: &mut Criterion) {
         let objects = ObjectStore::build(Arc::clone(&pages), &dataset.objects);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let tree = RTree::build(
-                    &dataset.objects,
-                    &objects,
-                    Arc::new(PageStore::new()),
-                );
+                let tree = RTree::build(&dataset.objects, &objects, Arc::new(PageStore::new()));
                 std::hint::black_box(tree.num_leaves())
             })
         });

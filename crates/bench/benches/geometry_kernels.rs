@@ -84,19 +84,11 @@ fn bench_probability(c: &mut Criterion) {
             })
             .collect();
         let refs: Vec<&UncertainObject> = objects.iter().collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(candidates),
-            &refs,
-            |b, refs| {
-                b.iter(|| {
-                    std::hint::black_box(qualification_probabilities(
-                        Point::new(0.0, 0.0),
-                        refs,
-                        100,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(candidates), &refs, |b, refs| {
+            b.iter(|| {
+                std::hint::black_box(qualification_probabilities(Point::new(0.0, 0.0), refs, 100))
+            })
+        });
     }
     group.finish();
 }

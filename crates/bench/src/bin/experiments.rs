@@ -52,6 +52,23 @@ fn main() {
                 let v = args.next().expect("--basic-cap needs a value");
                 scale.basic_cap = v.parse().expect("--basic-cap must be an integer");
             }
+            "--help" | "-h" => {
+                println!("Regenerates the evaluation of the UV-diagram paper (Section VI).");
+                println!();
+                println!("usage: experiments [--scale F] [--queries N] [--basic-cap N] <ids|all>");
+                println!();
+                println!(
+                    "  --scale F      multiply the paper's dataset cardinalities (default 0.05)"
+                );
+                println!("  --queries N    PNN queries per measurement (default 50)");
+                println!(
+                    "  --basic-cap N  largest dataset the Basic method is run on (it is O(n^3))"
+                );
+                println!();
+                println!("ids: {}", ALL.join(" "));
+                println!("With no ids, every experiment runs (same as `all`).");
+                return;
+            }
             "all" => {
                 requested.extend(ALL.iter().map(|s| s.to_string()));
             }
@@ -110,7 +127,12 @@ fn main() {
         if wants("fig6c") {
             print_table(
                 "Figure 6(c): query-time breakdown",
-                &["index", "traversal (ms)", "object retrieval (ms)", "probability (ms)"],
+                &[
+                    "index",
+                    "traversal (ms)",
+                    "object retrieval (ms)",
+                    "probability (ms)",
+                ],
                 &fig6::fig6c_rows(&sweep),
             );
         }
@@ -209,7 +231,14 @@ fn main() {
         let rows = sensitivity::theta_sweep(&scale);
         print_table(
             "Sensitivity: split threshold T_theta",
-            &["T_theta", "non-leaf nodes", "leaf nodes", "leaf pages", "Tq (ms)", "Tq (I/O)"],
+            &[
+                "T_theta",
+                "non-leaf nodes",
+                "leaf nodes",
+                "leaf pages",
+                "Tq (ms)",
+                "Tq (I/O)",
+            ],
             &sensitivity::theta_rows(&rows),
         );
     }

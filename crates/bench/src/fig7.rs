@@ -185,7 +185,8 @@ pub fn fig7h_rows(scale: &ExperimentScale) -> Vec<Vec<String>> {
         .query_region_sweep()
         .into_iter()
         .map(|side| {
-            let (time, partitions) = measure_partition_query(&system, &dataset, side, scale.queries);
+            let (time, partitions) =
+                measure_partition_query(&system, &dataset, side, scale.queries);
             vec![
                 format!("{side:.0}"),
                 format!("{:.3}", time.as_secs_f64() * 1e3),

@@ -15,6 +15,10 @@
 //! | [`fig7`] | Figure 7(a)–(h): construction time, pruning ratios, breakdowns, skew, UV-partition query |
 //! | [`table2`] | Table II: Germany-like datasets |
 //! | [`sensitivity`] | Section VI-B(1): split-threshold sensitivity |
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub mod fig6;
 pub mod fig7;
@@ -28,7 +32,10 @@ pub use workload::{ExperimentScale, QueryCost};
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
     println!("{}", header.join(" | "));
-    println!("{}", header.iter().map(|_| "---").collect::<Vec<_>>().join(" | "));
+    println!(
+        "{}",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join(" | ")
+    );
     for row in rows {
         println!("{}", row.join(" | "));
     }

@@ -44,9 +44,7 @@ impl ExperimentScale {
     /// The dataset-size sweep of Figures 6(a)–(b) and 7(a)–(e):
     /// 10K–80K objects in the paper, scaled by `size_factor`.
     pub fn size_sweep(&self) -> Vec<usize> {
-        (1..=8)
-            .map(|k| self.scaled(k * 10_000))
-            .collect()
+        (1..=8).map(|k| self.scaled(k * 10_000)).collect()
     }
 
     /// Applies the size factor to a paper cardinality (at least 50 objects).

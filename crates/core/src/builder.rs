@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use uv_data::{ObjectEntry, ObjectId, ObjectStore, UncertainObject};
 use uv_geom::{Circle, Rect};
 use uv_rtree::RTree;
-use uv_store::{PagedList, PageStore, Record};
+use uv_store::{PageStore, PagedList, Record};
 
 /// UV-index construction method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,11 +209,11 @@ fn derive_parallel(
         .min(objects.len());
     let chunk_size = objects.len().div_ceil(threads);
     let mut results: Vec<PerObject> = Vec::with_capacity(objects.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = objects
             .chunks(chunk_size)
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|o| derive_one(o, objects, rtree, domain, config, method))
@@ -224,8 +224,7 @@ fn derive_parallel(
         for h in handles {
             results.extend(h.join().expect("derivation thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results
 }
 
@@ -259,8 +258,7 @@ impl<'a> Inserter<'a> {
         object_store: &ObjectStore,
         per_object: &[PerObject],
     ) -> Self {
-        let mbcs: HashMap<ObjectId, Circle> =
-            objects.iter().map(|o| (o.id, o.mbc())).collect();
+        let mbcs: HashMap<ObjectId, Circle> = objects.iter().map(|o| (o.id, o.mbc())).collect();
         let entries: HashMap<ObjectId, ObjectEntry> = objects
             .iter()
             .map(|o| (o.id, ObjectEntry::new(o, object_store.ptr_of(o.id))))

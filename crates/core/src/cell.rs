@@ -131,7 +131,11 @@ mod tests {
         let cell_a = build_exact_cell(&a, [&b], &domain, &config);
         let cell_b = build_exact_cell(&b, [&a], &domain, &config);
         // Each cell is (approximately) half of the domain.
-        assert!((cell_a.area() - 5000.0).abs() < 50.0, "area {}", cell_a.area());
+        assert!(
+            (cell_a.area() - 5000.0).abs() < 50.0,
+            "area {}",
+            cell_a.area()
+        );
         assert!((cell_b.area() - 5000.0).abs() < 50.0);
         assert_eq!(cell_a.r_objects, vec![1]);
         assert_eq!(cell_b.r_objects, vec![0]);

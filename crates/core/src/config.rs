@@ -67,9 +67,7 @@ impl UvConfig {
             return Err(UvError::InvalidConfig("seed_knn must be positive"));
         }
         if !(0.0..=1.0).contains(&self.split_threshold) {
-            return Err(UvError::InvalidConfig(
-                "split_threshold must lie in [0, 1]",
-            ));
+            return Err(UvError::InvalidConfig("split_threshold must lie in [0, 1]"));
         }
         if self.max_nonleaf == 0 {
             return Err(UvError::InvalidConfig("max_nonleaf must be positive"));
@@ -153,7 +151,12 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(UvConfig { seed_knn: 0, ..base }.validate().is_err());
+        assert!(UvConfig {
+            seed_knn: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

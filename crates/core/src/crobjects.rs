@@ -85,17 +85,10 @@ pub fn derive_cr_objects(
 
     // ---- Step 3: C-pruning (Lemma 3) -----------------------------------------
     let hull = region.convex_hull();
-    let d_bounds: Vec<Circle> = hull
-        .iter()
-        .map(|v| Circle::new(*v, v.dist(ci)))
-        .collect();
+    let d_bounds: Vec<Circle> = hull.iter().map(|v| Circle::new(*v, v.dist(ci))).collect();
     let mut cr_ids: Vec<ObjectId> = i_survivors
         .iter()
-        .filter(|e| {
-            d_bounds
-                .iter()
-                .any(|bound| bound.contains(e.mbc.center))
-        })
+        .filter(|e| d_bounds.iter().any(|bound| bound.contains(e.mbc.center)))
         .map(|e| e.id)
         .collect();
 

@@ -5,7 +5,7 @@
 //! carries a linked list of disk pages holding `<ID, MBC, pointer>` tuples of
 //! the objects whose UV-cells (may) overlap the leaf's region. A PNN query is
 //! a point lookup: descend to the leaf containing the query point, read its
-//! page list, verify the candidates with the `d_minmax` test of [14] and
+//! page list, verify the candidates with the `d_minmax` test of \[14\] and
 //! compute qualification probabilities for the survivors.
 
 use crate::config::UvConfig;
@@ -16,7 +16,7 @@ use uv_data::{
     qualification_probabilities, ObjectEntry, ObjectId, ObjectStore, PnnAnswer, QueryBreakdown,
 };
 use uv_geom::{Circle, OutsideRegion, Point, Rect, EPS};
-use uv_store::{PagedList, PageStore};
+use uv_store::{PageStore, PagedList};
 
 /// A node of the adaptive grid.
 #[derive(Debug)]

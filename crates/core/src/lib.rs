@@ -43,6 +43,10 @@
 //! let answer = index.pnn(&objects, q, 100);
 //! assert!(!answer.probabilities.is_empty());
 //! ```
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub mod builder;
 pub mod cell;

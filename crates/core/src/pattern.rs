@@ -56,11 +56,7 @@ impl UvIndex {
         if regions.is_empty() {
             return None;
         }
-        Some(
-            regions
-                .iter()
-                .fold(Rect::empty(), |acc, r| acc.union(r)),
-        )
+        Some(regions.iter().fold(Rect::empty(), |acc, r| acc.union(r)))
     }
 
     /// UV-partition query: every leaf region intersecting `query_region`,

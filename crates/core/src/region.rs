@@ -228,7 +228,12 @@ mod tests {
     fn successive_clips_only_shrink() {
         let mut r = PossibleRegion::full(subject(), &domain());
         let mut prev_area = r.area();
-        for (x, y) in [(800.0, 500.0), (500.0, 850.0), (200.0, 200.0), (500.0, 100.0)] {
+        for (x, y) in [
+            (800.0, 500.0),
+            (500.0, 850.0),
+            (200.0, 200.0),
+            (500.0, 100.0),
+        ] {
             r.clip(Circle::new(Point::new(x, y), 15.0), 8, 20.0);
             assert!(r.area() <= prev_area + 1e-6);
             prev_area = r.area();
@@ -248,10 +253,7 @@ mod tests {
         assert!(r.may_be_affected_by(Circle::new(Point::new(620.0, 620.0), 15.0)));
         // An object much farther than twice the max distance cannot.
         let d = r.max_dist();
-        let far = Circle::new(
-            Point::new(500.0 + 3.0 * d + 100.0, 500.0),
-            subject().radius,
-        );
+        let far = Circle::new(Point::new(500.0 + 3.0 * d + 100.0, 500.0), subject().radius);
         assert!(!r.may_be_affected_by(far));
     }
 

@@ -126,8 +126,7 @@ mod tests {
             indexing_time: Duration::from_millis(20),
             ..Default::default()
         };
-        let total =
-            s.pruning_fraction() + s.refinement_fraction() + s.indexing_fraction();
+        let total = s.pruning_fraction() + s.refinement_fraction() + s.indexing_fraction();
         assert!((total - 1.0).abs() < 1e-9);
         assert!((s.pruning_fraction() - 0.5).abs() < 1e-9);
         assert!((s.refinement_fraction() - 0.3).abs() < 1e-9);

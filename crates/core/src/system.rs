@@ -104,7 +104,7 @@ impl UvSystem {
     }
 
     /// Answers the same PNN query with the R-tree branch-and-prune baseline
-    /// of [14] — the comparison of Figure 6.
+    /// of \[14\] — the comparison of Figure 6.
     pub fn pnn_rtree(&self, q: Point) -> PnnAnswer {
         pnn_query(
             &self.rtree,

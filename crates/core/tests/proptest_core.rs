@@ -15,17 +15,15 @@ use uv_store::PageStore;
 const DOMAIN_SIDE: f64 = 1_000.0;
 
 fn objects_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<UncertainObject>> {
-    prop::collection::vec(
-        (50.0..950.0f64, 50.0..950.0f64, 0.0..30.0f64),
-        min..max,
+    prop::collection::vec((50.0..950.0f64, 50.0..950.0f64, 0.0..30.0f64), min..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, r))| UncertainObject::with_uniform(i as u32, Point::new(x, y), r))
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x, y, r))| UncertainObject::with_uniform(i as u32, Point::new(x, y), r))
-            .collect()
-    })
 }
 
 fn config() -> UvConfig {

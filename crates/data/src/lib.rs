@@ -10,11 +10,15 @@
 //! * [`Pdf`] — the uniform and Gaussian-histogram (20 bars) uncertainty pdfs
 //!   used in the experimental setup (Section VI-A).
 //! * [`probability`] — the numerical-integration qualification-probability
-//!   computation of Cheng et al. [14] that the paper plugs in for the final
+//!   computation of Cheng et al. \[14\] that the paper plugs in for the final
 //!   PNN verification step.
 //! * [`generator`] — synthetic workloads: the uniform 10k×10k dataset, the
 //!   skewed (Gaussian-centre) datasets of Figure 7(g) and "Germany-like"
 //!   stand-ins for the utility / roads / rrlines real datasets of Table II.
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub mod generator;
 pub mod object;

@@ -76,9 +76,7 @@ impl Pdf {
             Pdf::Uniform => {
                 // Ring area fraction: ((k+1)^2 - k^2) / rings^2.
                 let denom = (rings * rings) as f64;
-                (0..rings)
-                    .map(|k| ((2 * k + 1) as f64) / denom)
-                    .collect()
+                (0..rings).map(|k| ((2 * k + 1) as f64) / denom).collect()
             }
             Pdf::Histogram { bars } => {
                 if bars.len() == rings {

@@ -1,7 +1,7 @@
 //! Qualification-probability computation for PNN answers.
 //!
 //! The paper delegates the final probability computation to the numerical
-//! integration method of Cheng et al. [14] (Section VI-A): for a query point
+//! integration method of Cheng et al. \[14\] (Section VI-A): for a query point
 //! `q` and the set `A` of answer candidates, the probability that `O_i` is
 //! the nearest neighbour is
 //!

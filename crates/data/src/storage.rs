@@ -201,9 +201,7 @@ fn decode_page(bytes: &[u8]) -> Vec<UncertainObject> {
                 Pdf::Uniform
             } else {
                 let bars = (0..nbars)
-                    .map(|k| {
-                        f64::from_le_bytes(rec[32 + k * 8..40 + k * 8].try_into().unwrap())
-                    })
+                    .map(|k| f64::from_le_bytes(rec[32 + k * 8..40 + k * 8].try_into().unwrap()))
                     .collect();
                 Pdf::Histogram { bars }
             };
@@ -259,7 +257,9 @@ mod tests {
 
         // Fetching another object on the same page does not re-read it.
         let same_page_neighbor = 13 / store.objects_per_page() * store.objects_per_page();
-        store.fetch(same_page_neighbor as u32, &mut touched).unwrap();
+        store
+            .fetch(same_page_neighbor as u32, &mut touched)
+            .unwrap();
         assert_eq!(page_store.io().reads, 1);
 
         // A fresh query batch pays the I/O again.

@@ -2,9 +2,7 @@
 //! distributions and qualification probabilities.
 
 use proptest::prelude::*;
-use uv_data::{
-    qualification_probabilities, DistanceDistribution, Pdf, UncertainObject,
-};
+use uv_data::{qualification_probabilities, DistanceDistribution, Pdf, UncertainObject};
 use uv_geom::Point;
 
 fn object_strategy(id: u32) -> impl Strategy<Value = UncertainObject> {

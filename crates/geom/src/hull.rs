@@ -28,8 +28,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(pts.len() * 2);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && Point::orient(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        while hull.len() >= 2 && Point::orient(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
         {
             hull.pop();
         }

@@ -14,6 +14,10 @@
 //!
 //! All computations are `f64`; tolerance-sensitive comparisons go through
 //! [`EPS`] or an explicitly supplied epsilon.
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub mod circle;
 pub mod hull;

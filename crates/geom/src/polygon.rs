@@ -236,20 +236,21 @@ where
     let original = poly;
     // Densify long edges so mid-edge incursions of the clip region are seen.
     const MAX_PIECES: usize = 64;
-    let dense: Vec<Point> = if max_edge_len <= 0.0 || max_edge_len.is_nan() || max_edge_len.is_infinite() {
-        poly.to_vec()
-    } else {
-        let mut d = Vec::with_capacity(poly.len() * 2);
-        for i in 0..poly.len() {
-            let a = poly[i];
-            let b = poly[(i + 1) % poly.len()];
-            let pieces = ((a.dist(b) / max_edge_len).ceil() as usize).clamp(1, MAX_PIECES);
-            for s in 0..pieces {
-                d.push(a.lerp(b, s as f64 / pieces as f64));
+    let dense: Vec<Point> =
+        if max_edge_len <= 0.0 || max_edge_len.is_nan() || max_edge_len.is_infinite() {
+            poly.to_vec()
+        } else {
+            let mut d = Vec::with_capacity(poly.len() * 2);
+            for i in 0..poly.len() {
+                let a = poly[i];
+                let b = poly[(i + 1) % poly.len()];
+                let pieces = ((a.dist(b) / max_edge_len).ceil() as usize).clamp(1, MAX_PIECES);
+                for s in 0..pieces {
+                    d.push(a.lerp(b, s as f64 / pieces as f64));
+                }
             }
-        }
-        d
-    };
+            d
+        };
     let poly = &dense[..];
     let n = poly.len();
     let vals: Vec<f64> = poly.iter().map(|p| f(*p)).collect();
@@ -305,14 +306,7 @@ where
                             exit.dist(crossing) / (curve_samples + 1) as f64
                         };
                         trace_curve(
-                            f_trace,
-                            &valid,
-                            anchor,
-                            exit,
-                            crossing,
-                            10,
-                            target,
-                            &mut out,
+                            f_trace, &valid, anchor, exit, crossing, 10, target, &mut out,
                         );
                     }
                 }
@@ -355,17 +349,23 @@ fn trace_curve<F: Fn(Point) -> f64, V: Fn(Point) -> bool>(
         return;
     }
     let mid = a.midpoint(b);
-    let projected = project_to_curve(f, valid, mid, Point::new(-chord.y / len, chord.x / len), len)
-        .or_else(|| {
-            // Fall back to projecting towards the anchor (which has f > 0).
-            if f(mid) < 0.0 {
-                Some(refine_crossing(f, anchor, mid)).filter(|p| valid(*p))
-            } else if valid(mid) {
-                Some(mid)
-            } else {
-                None
-            }
-        });
+    let projected = project_to_curve(
+        f,
+        valid,
+        mid,
+        Point::new(-chord.y / len, chord.x / len),
+        len,
+    )
+    .or_else(|| {
+        // Fall back to projecting towards the anchor (which has f > 0).
+        if f(mid) < 0.0 {
+            Some(refine_crossing(f, anchor, mid)).filter(|p| valid(*p))
+        } else if valid(mid) {
+            Some(mid)
+        } else {
+            None
+        }
+    });
     let Some(p) = projected else {
         // No acceptable curve point between a and b: keep the straight chord.
         return;

@@ -1,4 +1,4 @@
-//! Branch-and-prune PNN evaluation on the R-tree (the baseline of [14]).
+//! Branch-and-prune PNN evaluation on the R-tree (the baseline of \[14\]).
 //!
 //! The query proceeds in two index traversals plus verification:
 //!
@@ -20,9 +20,7 @@ use crate::tree::{NodeRef, RTree};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
-use uv_data::{
-    qualification_probabilities, ObjectEntry, ObjectStore, PnnAnswer, QueryBreakdown,
-};
+use uv_data::{qualification_probabilities, ObjectEntry, ObjectStore, PnnAnswer, QueryBreakdown};
 use uv_geom::{Point, EPS};
 
 struct NodeByDist {
@@ -52,7 +50,7 @@ impl Ord for NodeByDist {
 /// Evaluates a PNN query at `q` with the branch-and-prune strategy.
 ///
 /// `integration_steps` controls the numerical integration of the final
-/// probability computation (the paper uses the method of [14]).
+/// probability computation (the paper uses the method of \[14\]).
 pub fn pnn_query(
     tree: &RTree,
     objects: &ObjectStore,

@@ -206,7 +206,10 @@ mod tests {
         tree.store().reset_io();
         tree.range_circle(center, 8000.0);
         let io_large = tree.store().io().reads;
-        assert!(io_large >= io_small, "larger range should not read fewer pages");
+        assert!(
+            io_large >= io_small,
+            "larger range should not read fewer pages"
+        );
         assert!(io_large as usize <= tree.num_leaves());
     }
 
@@ -239,11 +242,8 @@ mod tests {
         for k in [1, 5, 17, 60] {
             let got: Vec<u32> = tree.knn(q, k, None).into_iter().map(|e| e.id).collect();
             assert_eq!(got.len(), k);
-            let mut all: Vec<(f64, u32)> = ds
-                .objects
-                .iter()
-                .map(|o| (o.dist_min(q), o.id))
-                .collect();
+            let mut all: Vec<(f64, u32)> =
+                ds.objects.iter().map(|o| (o.dist_min(q), o.id)).collect();
             all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let kth_dist = all[k - 1].0;
             // Every returned object must be within the k-th smallest distance

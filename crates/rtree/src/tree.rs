@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use uv_data::{ObjectEntry, ObjectStore, UncertainObject};
 use uv_geom::Rect;
-use uv_store::{PagedList, PageStore};
+use uv_store::{PageStore, PagedList};
 
 /// Construction parameters of the R-tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,9 +33,9 @@ impl Default for RTreeConfig {
 /// Reference to a child of an internal node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeRef {
-    /// Index into [`RTree::internal_nodes`].
+    /// Index into the internal-node table of the tree.
     Internal(u32),
-    /// Index into [`RTree::leaves`].
+    /// Index into the leaf table of the tree.
     Leaf(u32),
 }
 

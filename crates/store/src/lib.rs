@@ -13,6 +13,10 @@
 //!
 //! Timings in the reproduction come from wall-clock measurement; I/O counts
 //! come from here and are exact.
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub mod counter;
 pub mod list;

@@ -62,18 +62,15 @@ fn main() {
         // users — the region in which a user could be someone's nearest
         // neighbour grows with the cloak size.
         let sample: Vec<u32> = (0..1_500).step_by(150).collect();
-        let avg_cell_area = sample
-            .iter()
-            .map(|id| system.cell_area(*id))
-            .sum::<f64>()
-            / sample.len() as f64;
+        let avg_cell_area =
+            sample.iter().map(|id| system.cell_area(*id)).sum::<f64>() / sample.len() as f64;
 
         // UV-partition retrieval (pattern query 2): nearest-neighbour density
         // around the city centre.
         let central = Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0);
         let partitions = system.partition_query(&central);
-        let avg_density = partitions.iter().map(|p| p.density).sum::<f64>()
-            / partitions.len().max(1) as f64;
+        let avg_density =
+            partitions.iter().map(|p| p.density).sum::<f64>() / partitions.len().max(1) as f64;
 
         println!(
             "{cloak_radius:>12.0} | {avg_answers:>29.2} | {avg_cell_area:>16.0} | {:>29.6}",

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of proptest the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   attribute,
+//! * [`strategy::Strategy`] with `prop_map`, implemented for primitive
+//!   ranges, strategy tuples, [`collection::vec`] and [`bool::ANY`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Each test runs `ProptestConfig::cases` deterministic cases seeded from
+//! the test's module path, so failures reproduce across runs. Unlike the
+//! real proptest there is **no shrinking**: a failing case reports the
+//! panic message of the first failing input. The failing values can be
+//! recovered by re-running the seed printed in the panic message.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's run configuration honoured by this shim: only
+    /// [`ProptestConfig::cases`] changes behaviour; the other fields exist so
+    /// that struct-update syntax against `default()` keeps compiling.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; `prop_assume!` rejections are
+        /// unbounded.
+        pub max_global_rejects: u32,
+        /// Accepted for compatibility; tests always run in-process.
+        pub fork: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_global_rejects: 65_536,
+                fork: false,
+            }
+        }
+    }
+
+    /// Stable FNV-1a hash of the test path, used as the per-test base seed.
+    pub fn seed_for(test_path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Generator for one test case: the base seed mixed with the case index.
+    pub fn case_rng(seed: u64, case: u32) -> StdRng {
+        StdRng::seed_from_u64(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Mirrors proptest's trait of the same name, minus shrinking: a
+    /// strategy only knows how to sample a fresh value from an RNG.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Returns a strategy producing `f(v)` for each value `v` of `self`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    /// A strategy behind a reference samples like the strategy itself.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Strategy producing a constant value (mirrors `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !size.is_empty(),
+            "vec strategy needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy generating `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (mirrors `proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(seed, case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let run = || $body;
+                run();
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure in this
+/// shim, so it behaves like `assert!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (The shim skips by returning from the case closure; skipped cases count
+/// toward `cases`.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct P {
+        x: f64,
+        y: f64,
+    }
+
+    fn p_strategy() -> impl Strategy<Value = P> {
+        (-10.0..10.0, -10.0..10.0).prop_map(|(x, y)| P { x, y })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Ranges respect their bounds and tuples compose.
+        #[test]
+        fn ranges_and_maps(p in p_strategy(), k in 1usize..5, flag in prop::bool::ANY) {
+            prop_assert!((-10.0..10.0).contains(&p.x));
+            prop_assert!((-10.0..10.0).contains(&p.y));
+            prop_assert!((1..5).contains(&k));
+            let chosen = if flag { k } else { k + 1 };
+            prop_assert!((1..6).contains(&chosen));
+        }
+
+        /// Vec strategies honour their length range.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0.0..1.0f64, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x), "{x} out of range");
+            }
+        }
+
+        /// prop_assume skips cases without failing them.
+        #[test]
+        fn assume_skips(a in 0u32..100, b in 0u32..100) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = (0.0..1.0f64, 0u64..1000);
+        let mut r1 = crate::test_runner::case_rng(1, 2);
+        let mut r2 = crate::test_runner::case_rng(1, 2);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

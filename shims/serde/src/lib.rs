@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides exactly the API surface the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] marker traits and their derive macros.
+//! The derives register a type as serialisable; no wire format is
+//! implemented yet. When the real `serde` becomes available, deleting the
+//! `shims/serde*` entries from the workspace `[workspace.dependencies]`
+//! table and pointing them at crates.io is the only change required —
+//! call sites already use the canonical import paths.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Derived via `#[derive(Serialize)]`; carries no methods in this offline
+/// stub.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+///
+/// Derived via `#[derive(Deserialize)]`; carries no methods in this offline
+/// stub.
+pub trait Deserialize<'de>: Sized {}

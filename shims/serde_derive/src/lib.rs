@@ -1,0 +1,58 @@
+//! Derive macros for the offline `serde` stub.
+//!
+//! These parse just enough of the item to recover the type name (no `syn`
+//! available offline) and emit empty marker-trait impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum`/`union` a derive is attached to.
+///
+/// Panics (with a compile error) on generic types: nothing in this workspace
+/// derives serde traits on generics, and supporting them without `syn` is
+/// not worth the complexity until a call site needs it.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows `#`.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            panic!(
+                                "serde stub derive does not support generic type `{name}`; \
+                                 extend shims/serde_derive if this is needed"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    panic!("serde stub derive: expected a type name after `{word}`");
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

@@ -29,6 +29,10 @@
 //! let total: f64 = answer.probabilities.iter().map(|(_, p)| p).sum();
 //! assert!((total - 1.0).abs() < 0.1);
 //! ```
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub use uv_core as core;
 pub use uv_data as data;
@@ -39,8 +43,8 @@ pub use uv_store as store;
 /// Commonly used items, re-exported for `use uv_diagram::prelude::*`.
 pub mod prelude {
     pub use uv_core::{
-        build_uv_index, ConstructionStats, Method, PartitionCell, PossibleRegion, UvCell,
-        UvConfig, UvIndex, UvSystem,
+        build_uv_index, ConstructionStats, Method, PartitionCell, PossibleRegion, UvCell, UvConfig,
+        UvIndex, UvSystem,
     };
     pub use uv_data::{
         Dataset, DatasetKind, GeneratorConfig, ObjectId, ObjectStore, Pdf, PnnAnswer,

@@ -67,7 +67,11 @@ fn uv_index_and_rtree_baseline_return_identical_answers() {
         for q in dataset.query_points(15, 5) {
             let uv = system.pnn(q);
             let rt = system.pnn_rtree(q);
-            assert_eq!(uv.answer_ids(), rt.answer_ids(), "{kind:?} differs at {q:?}");
+            assert_eq!(
+                uv.answer_ids(),
+                rt.answer_ids(),
+                "{kind:?} differs at {q:?}"
+            );
         }
     }
 }
@@ -126,7 +130,10 @@ fn pattern_queries_are_consistent_with_pnn_results() {
                 .cell_leaf_regions(id)
                 .iter()
                 .any(|r| r.contains(q));
-            assert!(covered, "object {id} answers {q:?} but its cell regions miss it");
+            assert!(
+                covered,
+                "object {id} answers {q:?} but its cell regions miss it"
+            );
         }
     }
 
@@ -171,8 +178,7 @@ fn non_circular_regions_are_supported_via_minimal_bounding_circles() {
             Point::new(cx + 10.0, cy + 35.0),
         ];
         objects.push(
-            UncertainObject::from_polygon(i, &vertices, Pdf::Uniform)
-                .expect("valid polygon"),
+            UncertainObject::from_polygon(i, &vertices, Pdf::Uniform).expect("valid polygon"),
         );
     }
     let domain = Rect::square(10_000.0);

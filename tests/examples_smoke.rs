@@ -1,0 +1,42 @@
+//! Smoke test: every runnable example must complete successfully.
+//!
+//! Each example is executed as a subprocess via the same `cargo` binary that
+//! is running this test. Release mode keeps the whole sweep to a few seconds
+//! — the examples build real UV-indexes, which takes 5–55 s each without
+//! optimisation. Note `cargo build --release` does NOT compile examples, so
+//! on a cold target dir the first example run below pays a one-off release
+//! build of the examples (their dependency tree is already built by the
+//! tier-1 pipeline's release build).
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "privacy_cloaking",
+    "satellite_tracking",
+    "virus_pattern_analysis",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--release", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` produced no output"
+        );
+    }
+}
