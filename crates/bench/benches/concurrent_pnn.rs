@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the concurrent batched PNN engine: a
+//! sequential loop of `UvIndex::pnn` vs. `QueryEngine::pnn_batch` at growing
+//! worker counts over one shared 10k-object IC index (the acceptance target
+//! is ≥ 2x batch throughput at 4+ workers), plus the effect of the per-leaf
+//! cache on a trajectory workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uv_core::{Method, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig};
+use uv_geom::Point;
+
+const BATCH: usize = 192;
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(10_000));
+    let system = UvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        Method::IC,
+        UvConfig::default(),
+    );
+    let queries = dataset.query_points(BATCH, 7);
+
+    let mut group = c.benchmark_group("concurrent_pnn_10k");
+    group.bench_with_input(
+        BenchmarkId::new("sequential_loop", BATCH),
+        &BATCH,
+        |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(system.pnn(*q));
+                }
+            })
+        },
+    );
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pnn_batch", workers),
+            &workers,
+            |b, &workers| {
+                let engine = system.engine().with_workers(workers);
+                b.iter(|| std::hint::black_box(engine.pnn_batch(&queries)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_leaf_cache_on_trajectories(c: &mut Criterion) {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(4_000));
+    let system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+    // A dense trajectory: consecutive points mostly share a leaf, which is
+    // exactly what the per-leaf memoization is for.
+    let path: Vec<Point> = (0..BATCH)
+        .map(|i| {
+            let t = i as f64 / (BATCH - 1) as f64;
+            Point::new(1_000.0 + 8_000.0 * t, 5_000.0 + 2_000.0 * (t * 12.0).sin())
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("trajectory_leaf_cache_4k");
+    for cache in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(if cache { "cached" } else { "uncached" }, BATCH),
+            &cache,
+            |b, &cache| {
+                b.iter(|| {
+                    // Fresh engine per iteration so the cached run measures
+                    // fill + hits, not a pre-warmed steady state.
+                    let engine = system.engine().with_workers(4).with_cache(cache);
+                    std::hint::black_box(engine.pnn_trajectory(&path))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_vs_sequential, bench_leaf_cache_on_trajectories
+}
+criterion_main!(benches);

@@ -7,14 +7,14 @@
 //! ```
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
-//! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory all`.
+//! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory throughput all`.
 //!
 //! `--scale` multiplies the paper's dataset cardinalities (default 0.05, i.e.
 //! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
 //! queries per measurement (default 50, as in the paper).
 
 use std::collections::BTreeSet;
-use uv_bench::{fig6, fig7, print_table, sensitivity, table2, ExperimentScale};
+use uv_bench::{fig6, fig7, print_table, sensitivity, table2, throughput, ExperimentScale};
 
 const ALL: &[&str] = &[
     "fig6a",
@@ -32,6 +32,7 @@ const ALL: &[&str] = &[
     "fig7h",
     "sens_theta",
     "sens_memory",
+    "throughput",
 ];
 
 fn main() {
@@ -247,6 +248,28 @@ fn main() {
             "Ablation: non-leaf memory budget M",
             &["M", "non-leaf nodes", "Tq (I/O)", "Tq (ms)"],
             &sensitivity::memory_budget_sweep(&scale),
+        );
+    }
+    if wants("throughput") {
+        let (dataset, system) = throughput::build_throughput_system(&scale);
+        let rows = throughput::throughput_sweep(&scale, &dataset, &system);
+        print_table(
+            "Serving throughput: sequential vs concurrent batched PNN",
+            &["mode", "workers", "batch wall (ms)", "queries/s", "speedup"],
+            &throughput::throughput_table(&rows),
+        );
+        let summary = throughput::trajectory_workload(&scale, &dataset, &system);
+        print_table(
+            "Trajectory (moving-PNN) workload",
+            &[
+                "vehicles",
+                "steps each",
+                "avg answers",
+                "avg churn/step",
+                "unchanged steps",
+                "queries/s",
+            ],
+            &throughput::trajectory_table(&summary),
         );
     }
 }

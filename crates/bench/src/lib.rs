@@ -15,6 +15,7 @@
 //! | [`fig7`] | Figure 7(a)–(h): construction time, pruning ratios, breakdowns, skew, UV-partition query |
 //! | [`table2`] | Table II: Germany-like datasets |
 //! | [`sensitivity`] | Section VI-B(1): split-threshold sensitivity |
+//! | [`throughput`] | beyond the paper: sequential vs. concurrent batched PNN serving throughput, trajectory workload |
 //!
 //! *The paper-to-code map for the whole workspace — every definition, lemma,
 //! algorithm and experiment of the paper, with its module and key functions —
@@ -24,6 +25,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod sensitivity;
 pub mod table2;
+pub mod throughput;
 pub mod workload;
 
 pub use workload::{ExperimentScale, QueryCost};

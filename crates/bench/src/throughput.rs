@@ -1,0 +1,238 @@
+//! Serving-throughput experiment (beyond the paper): queries/second of the
+//! sequential Section V-A point lookup vs. the concurrent batched
+//! [`QueryEngine`](uv_core::QueryEngine), plus a trajectory (moving-PNN)
+//! workload with answer-delta statistics.
+//!
+//! The paper evaluates PNN queries one at a time; the `ROADMAP.md` north
+//! star is a system serving heavy traffic, so this experiment measures what
+//! the batch engine buys on one shared IC index: worker-pool fan-out and the
+//! per-leaf page/candidate-screen cache.
+
+use crate::workload::ExperimentScale;
+use std::time::Instant;
+use uv_core::{Method, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig};
+use uv_geom::Point;
+
+/// One measured serving mode.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Human-readable mode (sequential loop / batched at N workers).
+    pub mode: String,
+    /// Worker threads used (1 for the sequential loop).
+    pub workers: usize,
+    /// Wall-clock time of the whole batch in milliseconds.
+    pub wall_ms: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Throughput relative to the sequential loop.
+    pub speedup: f64,
+}
+
+/// Result of the trajectory workload.
+#[derive(Debug, Clone)]
+pub struct TrajectorySummary {
+    /// Number of simulated vehicles.
+    pub vehicles: usize,
+    /// Steps per vehicle trajectory.
+    pub steps: usize,
+    /// Average answer-set size across all steps.
+    pub avg_answers: f64,
+    /// Average churn (objects entered + left) per step.
+    pub avg_churn: f64,
+    /// Fraction of steps whose answer set did not change — the delta
+    /// encoding a moving-NN client would exploit.
+    pub unchanged_fraction: f64,
+    /// Queries per second of the batched trajectory evaluation.
+    pub qps: f64,
+}
+
+/// Builds the shared IC system (paper cardinality 10K, scaled) that both
+/// [`throughput_sweep`] and [`trajectory_workload`] measure against —
+/// construction is the dominant cost at full scale, so it is paid once.
+pub fn build_throughput_system(scale: &ExperimentScale) -> (Dataset, UvSystem) {
+    let n = scale.scaled(10_000);
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(n));
+    let system = UvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        Method::IC,
+        UvConfig::default(),
+    );
+    (dataset, system)
+}
+
+/// Measures every serving mode on the same query batch over the shared
+/// system from [`build_throughput_system`].
+pub fn throughput_sweep(
+    scale: &ExperimentScale,
+    dataset: &Dataset,
+    system: &UvSystem,
+) -> Vec<ThroughputRow> {
+    let batch = (scale.queries * 8).clamp(64, 4_096);
+    let queries = dataset.query_points(batch, 7);
+
+    let mut rows = Vec::new();
+
+    let start = Instant::now();
+    let sequential: Vec<_> = queries.iter().map(|q| system.pnn(*q)).collect();
+    let seq_wall = start.elapsed().as_secs_f64();
+    let seq_qps = batch as f64 / seq_wall;
+    rows.push(ThroughputRow {
+        mode: "sequential loop".to_string(),
+        workers: 1,
+        wall_ms: seq_wall * 1_000.0,
+        qps: seq_qps,
+        speedup: 1.0,
+    });
+
+    let max_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut worker_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|w| *w <= max_workers.max(4))
+        .collect();
+    if !worker_counts.contains(&max_workers) && max_workers > 8 {
+        worker_counts.push(max_workers);
+    }
+
+    for &workers in &worker_counts {
+        let engine = system.engine().with_workers(workers);
+        let (answers, wall) = engine.pnn_batch_timed(&queries);
+        // Sanity: the batched engine must reproduce the sequential answers.
+        for (a, s) in answers.iter().zip(&sequential) {
+            assert_eq!(
+                a.probabilities, s.probabilities,
+                "batched answers diverged from the sequential path"
+            );
+        }
+        let wall = wall.as_secs_f64();
+        let qps = batch as f64 / wall;
+        rows.push(ThroughputRow {
+            mode: format!("batched, {workers} workers, cache"),
+            workers,
+            wall_ms: wall * 1_000.0,
+            qps,
+            speedup: qps / seq_qps,
+        });
+    }
+
+    // The cache's contribution at the widest fan-out.
+    let workers = *worker_counts.last().unwrap_or(&4);
+    let engine = system.engine().with_workers(workers).with_cache(false);
+    let (_, wall) = engine.pnn_batch_timed(&queries);
+    let wall = wall.as_secs_f64();
+    let qps = batch as f64 / wall;
+    rows.push(ThroughputRow {
+        mode: format!("batched, {workers} workers, no cache"),
+        workers,
+        wall_ms: wall * 1_000.0,
+        qps,
+        speedup: qps / seq_qps,
+    });
+
+    rows
+}
+
+/// Formats [`throughput_sweep`] rows for `print_table`.
+pub fn throughput_table(rows: &[ThroughputRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.workers.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.qps),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect()
+}
+
+/// Runs the moving-PNN workload: a fleet of vehicles, each following a
+/// waypoint trajectory, served in per-tick batches over the shared system
+/// from [`build_throughput_system`].
+pub fn trajectory_workload(
+    scale: &ExperimentScale,
+    dataset: &Dataset,
+    system: &UvSystem,
+) -> TrajectorySummary {
+    let vehicles = 8usize;
+    let steps = scale.queries.clamp(16, 256);
+    let waypoints = dataset.query_points(vehicles * 2, 99);
+
+    let engine = system.engine();
+    let start = Instant::now();
+    let mut total_answers = 0usize;
+    let mut total_churn = 0usize;
+    let mut unchanged = 0usize;
+    for v in 0..vehicles {
+        let from = waypoints[2 * v];
+        let to = waypoints[2 * v + 1];
+        let path: Vec<Point> = (0..steps)
+            .map(|i| {
+                let t = i as f64 / (steps - 1).max(1) as f64;
+                Point::new(from.x + (to.x - from.x) * t, from.y + (to.y - from.y) * t)
+            })
+            .collect();
+        for step in engine.pnn_trajectory(&path) {
+            total_answers += step.answer.probabilities.len();
+            total_churn += step.delta.churn();
+            if step.delta.is_unchanged() {
+                unchanged += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let total_steps = vehicles * steps;
+    TrajectorySummary {
+        vehicles,
+        steps,
+        avg_answers: total_answers as f64 / total_steps as f64,
+        avg_churn: total_churn as f64 / total_steps as f64,
+        unchanged_fraction: unchanged as f64 / total_steps as f64,
+        qps: total_steps as f64 / wall,
+    }
+}
+
+/// Formats the [`TrajectorySummary`] for `print_table`.
+pub fn trajectory_table(summary: &TrajectorySummary) -> Vec<Vec<String>> {
+    vec![vec![
+        summary.vehicles.to_string(),
+        summary.steps.to_string(),
+        format!("{:.2}", summary.avg_answers),
+        format!("{:.2}", summary.avg_churn),
+        format!("{:.0}%", summary.unchanged_fraction * 100.0),
+        format!("{:.0}", summary.qps),
+    ]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_throughput_and_trajectory() {
+        let scale = ExperimentScale {
+            size_factor: 0.01,
+            queries: 8,
+            ..ExperimentScale::default()
+        };
+        let (dataset, system) = build_throughput_system(&scale);
+
+        let rows = throughput_sweep(&scale, &dataset, &system);
+        assert!(rows.len() >= 3);
+        assert_eq!(rows[0].mode, "sequential loop");
+        for r in &rows {
+            assert!(r.qps > 0.0);
+            assert!(r.wall_ms > 0.0);
+        }
+        assert_eq!(throughput_table(&rows).len(), rows.len());
+
+        let summary = trajectory_workload(&scale, &dataset, &system);
+        assert!(summary.avg_answers >= 1.0);
+        assert!(summary.qps > 0.0);
+        assert_eq!(trajectory_table(&summary)[0].len(), 6);
+    }
+}

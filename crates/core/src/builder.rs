@@ -80,12 +80,16 @@ pub fn build_uv_index(
 
     // ---- Phase A: derive reference objects per object ------------------------
     let t_phase_a = Instant::now();
+    // One id -> object map for the whole build: ICR refinement resolves every
+    // cr-id through it instead of scanning `objects` per id (which made the
+    // refinement phase quadratic in the dataset size).
+    let by_id: HashMap<ObjectId, &UncertainObject> = objects.iter().map(|o| (o.id, o)).collect();
     let per_object = if config.parallel && objects.len() > 64 {
-        derive_parallel(objects, rtree, &domain, &config, method)
+        derive_parallel(objects, &by_id, rtree, &domain, &config, method)
     } else {
         objects
             .iter()
-            .map(|o| derive_one(o, objects, rtree, &domain, &config, method))
+            .map(|o| derive_one(o, objects, &by_id, rtree, &domain, &config, method))
             .collect()
     };
     let phase_a_wall = t_phase_a.elapsed();
@@ -137,6 +141,7 @@ pub fn build_uv_index(
 fn derive_one(
     subject: &UncertainObject,
     objects: &[UncertainObject],
+    by_id: &HashMap<ObjectId, &UncertainObject>,
     rtree: &RTree,
     domain: &Rect,
     config: &UvConfig,
@@ -167,12 +172,12 @@ fn derive_one(
             let cr = derive_cr_objects(subject, rtree, objects, domain, config);
             let prune_time = t.elapsed();
             let t = Instant::now();
-            let by_id: Vec<&UncertainObject> = cr
+            let cr_objects: Vec<&UncertainObject> = cr
                 .cr_ids
                 .iter()
-                .filter_map(|id| objects.iter().find(|o| o.id == *id))
+                .filter_map(|id| by_id.get(id).copied())
                 .collect();
-            let cell = build_exact_cell(subject, by_id, domain, config);
+            let cell = build_exact_cell(subject, cr_objects, domain, config);
             let refine_time = t.elapsed();
             PerObject {
                 id: subject.id,
@@ -198,6 +203,7 @@ fn derive_one(
 
 fn derive_parallel(
     objects: &[UncertainObject],
+    by_id: &HashMap<ObjectId, &UncertainObject>,
     rtree: &RTree,
     domain: &Rect,
     config: &UvConfig,
@@ -216,7 +222,7 @@ fn derive_parallel(
                 scope.spawn(move || {
                     chunk
                         .iter()
-                        .map(|o| derive_one(o, objects, rtree, domain, config, method))
+                        .map(|o| derive_one(o, objects, by_id, rtree, domain, config, method))
                         .collect::<Vec<_>>()
                 })
             })
@@ -475,6 +481,47 @@ mod tests {
         );
         assert!(stats.refinement_time > Duration::ZERO);
         answers_match_brute_force(&f, &index, 15, 23);
+    }
+
+    #[test]
+    fn icr_id_map_resolution_matches_linear_scan_on_1k_objects() {
+        // Regression for the O(n) `objects.iter().find(...)` per cr-id that
+        // made ICR refinement quadratic: the id -> object map must resolve
+        // exactly the objects the linear scan resolved, and refinement over
+        // the map-resolved set must produce identical reference ids.
+        use crate::cell::build_exact_cell;
+        use crate::crobjects::derive_cr_objects;
+
+        let f = fixture(1_000);
+        let config = UvConfig {
+            parallel: false,
+            ..UvConfig::default()
+        };
+        let by_id: HashMap<ObjectId, &UncertainObject> =
+            f.ds.objects.iter().map(|o| (o.id, o)).collect();
+        for subject in f.ds.objects.iter().step_by(53) {
+            let cr = derive_cr_objects(subject, &f.rtree, &f.ds.objects, &f.ds.domain, &config);
+            let via_map: Vec<&UncertainObject> = cr
+                .cr_ids
+                .iter()
+                .filter_map(|id| by_id.get(id).copied())
+                .collect();
+            let via_scan: Vec<&UncertainObject> = cr
+                .cr_ids
+                .iter()
+                .filter_map(|id| f.ds.objects.iter().find(|o| o.id == *id))
+                .collect();
+            let map_ids: Vec<ObjectId> = via_map.iter().map(|o| o.id).collect();
+            let scan_ids: Vec<ObjectId> = via_scan.iter().map(|o| o.id).collect();
+            assert_eq!(map_ids, scan_ids, "object {}", subject.id);
+            let map_cell = build_exact_cell(subject, via_map, &f.ds.domain, &config);
+            let scan_cell = build_exact_cell(subject, via_scan, &f.ds.domain, &config);
+            assert_eq!(
+                map_cell.r_objects, scan_cell.r_objects,
+                "refined reference ids diverged for object {}",
+                subject.id
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct UvConfig {
     pub integration_steps: usize,
     /// Derive cr-objects for different objects on multiple threads.
     pub parallel: bool,
+    /// Worker threads used by [`crate::engine::QueryEngine::pnn_batch`];
+    /// `0` means one worker per available CPU.
+    pub query_workers: usize,
+    /// Enable the per-leaf memoization cache of the query engine: queries
+    /// landing in the same leaf reuse the page read and the region-level
+    /// `d_minmax` candidate screen.
+    pub leaf_cache: bool,
 }
 
 impl Default for UvConfig {
@@ -42,6 +49,8 @@ impl Default for UvConfig {
             split_threshold: 1.0,
             integration_steps: 100,
             parallel: true,
+            query_workers: 0,
+            leaf_cache: true,
         }
     }
 }
@@ -96,6 +105,31 @@ impl UvConfig {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Builder-style setter for the query-engine worker count (`0` = one
+    /// worker per available CPU).
+    pub fn with_query_workers(mut self, workers: usize) -> Self {
+        self.query_workers = workers;
+        self
+    }
+
+    /// Builder-style setter for the query-engine leaf cache.
+    pub fn with_leaf_cache(mut self, enabled: bool) -> Self {
+        self.leaf_cache = enabled;
+        self
+    }
+
+    /// The effective query-engine worker count: `query_workers`, with `0`
+    /// resolved to the number of available CPUs.
+    pub fn resolved_query_workers(&self) -> usize {
+        if self.query_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.query_workers
+        }
     }
 }
 
@@ -164,9 +198,23 @@ mod tests {
         let c = UvConfig::default()
             .with_split_threshold(0.5)
             .with_max_nonleaf(128)
-            .with_parallel(false);
+            .with_parallel(false)
+            .with_query_workers(3)
+            .with_leaf_cache(false);
         assert_eq!(c.split_threshold, 0.5);
         assert_eq!(c.max_nonleaf, 128);
         assert!(!c.parallel);
+        assert_eq!(c.query_workers, 3);
+        assert!(!c.leaf_cache);
+    }
+
+    #[test]
+    fn query_workers_resolve_to_cpus_when_zero() {
+        let auto = UvConfig::default();
+        assert_eq!(auto.query_workers, 0);
+        assert!(auto.leaf_cache);
+        assert!(auto.resolved_query_workers() >= 1);
+        let fixed = UvConfig::default().with_query_workers(5);
+        assert_eq!(fixed.resolved_query_workers(), 5);
     }
 }

@@ -69,6 +69,35 @@ pub fn derive_cr_objects(
     // ---- Step 1: initial possible region from seeds --------------------------
     let neighbours = rtree.knn(ci, config.seed_knn, Some(subject.id));
     let seeds = select_seeds(ci, &neighbours, config.num_seeds);
+
+    // Degenerate case: every k-NN neighbour is co-located with `c_i`, so no
+    // seed exists, the possible region is never clipped and I-pruning's
+    // radius degrades to the whole domain. Co-located objects cannot clip the
+    // region (their UV-edge against the subject is empty) but they are
+    // legitimate reference objects, so when the k-NN set already covers every
+    // other object we take them as cr-objects directly and skip the
+    // (vacuous) pruning phases. When the dataset holds more objects than the
+    // k-NN returned, farther objects could still shape the cell, so we fall
+    // through to the normal path, whose full-domain region keeps every
+    // survivor — sound, merely unpruned.
+    if seeds.is_empty() && !neighbours.is_empty() && neighbours.len() >= total_others {
+        let mut cr_ids: Vec<ObjectId> = neighbours.iter().map(|e| e.id).collect();
+        cr_ids.sort_unstable();
+        cr_ids.dedup();
+        let stats = PruneStats {
+            total_others,
+            seeds: 0,
+            after_i_pruning: cr_ids.len(),
+            after_c_pruning: cr_ids.len(),
+        };
+        return CrObjects {
+            object_id: subject.id,
+            cr_ids,
+            region: PossibleRegion::full(subject.mbc(), domain),
+            stats,
+        };
+    }
+
     let mut region = PossibleRegion::full(subject.mbc(), domain);
     for seed in &seeds {
         region.clip(seed.mbc, config.curve_samples, max_edge_len);
@@ -263,6 +292,82 @@ mod tests {
             );
             assert!(cr_objects_cover_r_objects(&cr, &cell.r_objects));
         }
+    }
+
+    #[test]
+    fn fully_co_located_neighbours_still_yield_cr_objects() {
+        // All objects share one centre: seed selection finds no direction to
+        // sector, so without the degenerate-case guard the cr set would be
+        // derived from an unclipped whole-domain region. The guard must fall
+        // back to taking the co-located objects as cr-objects directly.
+        let domain = Rect::square(1_000.0);
+        let objects: Vec<UncertainObject> = (0..6)
+            .map(|i| UncertainObject::with_uniform(i, Point::new(500.0, 500.0), 10.0))
+            .collect();
+        let pages = Arc::new(PageStore::new());
+        let store = ObjectStore::build(Arc::clone(&pages), &objects);
+        let tree = RTree::build(&objects, &store, pages);
+        let config = test_config();
+
+        for subject in &objects {
+            let cr = derive_cr_objects(subject, &tree, &objects, &domain, &config);
+            assert_eq!(cr.stats.seeds, 0, "co-located neighbours yield no seeds");
+            let mut expected: Vec<ObjectId> = objects
+                .iter()
+                .map(|o| o.id)
+                .filter(|id| *id != subject.id)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(
+                cr.cr_ids, expected,
+                "co-located objects must become cr-objects directly"
+            );
+            assert_eq!(cr.stats.after_c_pruning, expected.len());
+            // The possible region legitimately stays the whole domain: every
+            // other object is equidistant from the subject everywhere.
+            assert!(cr.region.contains(subject.center()));
+        }
+    }
+
+    #[test]
+    fn co_located_cluster_with_distant_objects_keeps_pruning_sound() {
+        // A co-located cluster plus distant objects: seeds exist (from the
+        // distant objects), so the normal path runs; the distant shapers must
+        // stay in the cr set.
+        let domain = Rect::square(1_000.0);
+        let mut objects: Vec<UncertainObject> = (0..4)
+            .map(|i| UncertainObject::with_uniform(i, Point::new(500.0, 500.0), 10.0))
+            .collect();
+        objects.push(UncertainObject::with_uniform(
+            4,
+            Point::new(650.0, 500.0),
+            10.0,
+        ));
+        objects.push(UncertainObject::with_uniform(
+            5,
+            Point::new(500.0, 320.0),
+            10.0,
+        ));
+        let pages = Arc::new(PageStore::new());
+        let store = ObjectStore::build(Arc::clone(&pages), &objects);
+        let tree = RTree::build(&objects, &store, pages);
+        let config = test_config();
+
+        let subject = &objects[0];
+        let cr = derive_cr_objects(subject, &tree, &objects, &domain, &config);
+        assert!(cr.stats.seeds > 0);
+        // The co-located companions are kept (they are r-objects of the
+        // subject's cell) and the cr set covers the exact r-objects.
+        for id in [1u32, 2, 3] {
+            assert!(cr.cr_ids.contains(&id), "co-located object {id} missing");
+        }
+        let cell = build_exact_cell(
+            subject,
+            objects.iter().filter(|o| o.id != subject.id),
+            &domain,
+            &config,
+        );
+        assert!(cr_objects_cover_r_objects(&cr, &cell.r_objects));
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Concurrent batched PNN serving over a shared, read-only [`UvIndex`].
+//!
+//! Section V-A of the paper evaluates PNN queries one point at a time; a
+//! deployment serving heavy traffic instead sees *batches* of query points —
+//! the natural workload being streams of positions along trajectories, as in
+//! the probabilistic moving-NN setting of Ali et al. [`QueryEngine`] is that
+//! serving layer:
+//!
+//! * **Batched execution** — [`QueryEngine::pnn_batch`] fans a batch out over
+//!   a scoped worker pool. The storage layer is already thread-safe
+//!   ([`uv_store::PageStore`] uses a reader-writer lock, its I/O counters are
+//!   atomic), so workers share the index and object store without copying.
+//! * **Per-leaf memoization** — queries landing in the same leaf reuse the
+//!   leaf page read *and* a region-level `d_minmax` candidate screen (see
+//!   `prescreen_entries`); both are computed once per leaf and are sound,
+//!   so answers stay bit-identical to the sequential path.
+//! * **Trajectory workloads** — [`QueryEngine::pnn_trajectory`] answers a
+//!   sequence of query points and reports per-step answer deltas
+//!   ([`uv_data::AnswerDelta`]): which objects entered/left the answer set as
+//!   the query moved.
+//!
+//! Per-query I/O attribution stays exact under concurrency: every answer's
+//! [`uv_data::QueryBreakdown`] counts the page reads *this* query performed
+//! (cache hits report zero index I/O), so summing breakdowns over a batch
+//! reproduces the store counters' delta.
+//!
+//! *The paper-to-code map for the whole workspace — every definition, lemma,
+//! algorithm and experiment of the paper, with its module and key functions —
+//! lives in `docs/PAPER_MAP.md` at the repository root.*
+
+use crate::index::{verify_and_refine, UvIndex};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+use uv_data::{AnswerDelta, ObjectEntry, ObjectStore, PnnAnswer};
+use uv_geom::{Point, Rect, EPS};
+
+/// One step of a moving-PNN (trajectory) workload: the query position, its
+/// full answer and the delta against the previous step's answer set.
+#[derive(Debug, Clone)]
+pub struct TrajectoryStep {
+    /// The query point of this step.
+    pub position: Point,
+    /// The full PNN answer at this position.
+    pub answer: PnnAnswer,
+    /// Change of the answer set relative to the previous step (for the first
+    /// step, relative to the empty answer: everything `entered`).
+    pub delta: AnswerDelta,
+}
+
+/// Leaf payload memoized by the engine: the leaf's entries after the sound
+/// region-level candidate screen, plus the page reads the fill cost.
+#[derive(Debug)]
+struct CachedLeaf {
+    entries: Vec<ObjectEntry>,
+    io_pages: u64,
+}
+
+/// Lazily filled per-leaf cache, indexed by grid-node id. `OnceLock` makes
+/// concurrent fills race-free: exactly one worker reads the pages, everyone
+/// else blocks briefly and reuses the result.
+#[derive(Debug)]
+struct LeafCache {
+    slots: Vec<OnceLock<CachedLeaf>>,
+}
+
+impl LeafCache {
+    fn new(nodes: usize) -> Self {
+        let mut slots = Vec::with_capacity(nodes);
+        slots.resize_with(nodes, OnceLock::new);
+        Self { slots }
+    }
+
+    /// Number of leaves whose pages have been read and memoized so far.
+    fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+}
+
+/// Drops entries that can never survive the per-query `d_minmax` screen for
+/// *any* query point inside `region` (the leaf's rectangle).
+///
+/// Soundness: for every `q` in the region, `d_minmax(q) = min_e dist_max(e,
+/// q)` is at most `D = min_e max_{p in region} dist_max(e, p)`, while an
+/// entry's `dist_min(e, q)` is at least `L_e = min_{p in region} dist_min(e,
+/// p)`. An entry with `L_e > D` therefore fails `dist_min(e, q) <=
+/// d_minmax(q)` everywhere in the region — it can neither be a candidate nor
+/// (being non-minimal everywhere) shift the `d_minmax` value itself, so the
+/// surviving candidate set and probabilities are bit-identical to screening
+/// the full entry list.
+fn prescreen_entries(mut entries: Vec<ObjectEntry>, region: &Rect) -> Vec<ObjectEntry> {
+    let d = entries
+        .iter()
+        .map(|e| region.dist_max(e.mbc.center) + e.mbc.radius)
+        .fold(f64::INFINITY, f64::min);
+    entries.retain(|e| (region.dist_min(e.mbc.center) - e.mbc.radius).max(0.0) <= d + EPS);
+    entries
+}
+
+/// A concurrent batched PNN query engine over a shared read-only
+/// [`UvIndex`] — the serving layer the `docs/PAPER_MAP.md` Section V-A row
+/// describes alongside the paper's single-point lookup.
+///
+/// The engine borrows the index and object store, so building one is free;
+/// keep it alive across batches to retain the leaf cache.
+///
+/// ```
+/// use std::sync::Arc;
+/// use uv_core::{engine::QueryEngine, UvSystem};
+/// use uv_data::{Dataset, GeneratorConfig};
+///
+/// let ds = Dataset::generate(GeneratorConfig::paper_uniform(120));
+/// let system = UvSystem::with_defaults(ds.objects.clone(), ds.domain);
+/// let engine = QueryEngine::new(system.index(), system.object_store());
+/// let queries = ds.query_points(16, 42);
+/// let answers = engine.pnn_batch(&queries);
+/// // Identical to the sequential Section V-A path, computed concurrently.
+/// for (q, a) in queries.iter().zip(&answers) {
+///     assert_eq!(a.probabilities, system.pnn(*q).probabilities);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    index: &'a UvIndex,
+    objects: &'a ObjectStore,
+    workers: usize,
+    integration_steps: usize,
+    cache: Option<LeafCache>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over `index` and `objects`, taking the worker count,
+    /// cache toggle and integration steps from the index's [`crate::UvConfig`].
+    pub fn new(index: &'a UvIndex, objects: &'a ObjectStore) -> Self {
+        let config = index.config();
+        let cache = config.leaf_cache.then(|| LeafCache::new(index.nodes.len()));
+        Self {
+            index,
+            objects,
+            workers: config.resolved_query_workers().max(1),
+            integration_steps: config.integration_steps,
+            cache,
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables or disables the per-leaf cache (dropping any cached leaves).
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled.then(|| LeafCache::new(self.index.nodes.len()));
+        self
+    }
+
+    /// Number of worker threads `pnn_batch` fans out over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `true` when the per-leaf cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Number of leaves currently memoized (0 when the cache is disabled).
+    pub fn cached_leaves(&self) -> usize {
+        self.cache.as_ref().map_or(0, LeafCache::filled)
+    }
+
+    /// Answers a single PNN query through the engine (leaf cache, if
+    /// enabled, but no fan-out). Bit-identical to [`UvIndex::pnn`].
+    pub fn pnn(&self, q: Point) -> PnnAnswer {
+        let t_traversal = Instant::now();
+        let Some(cache) = &self.cache else {
+            let Some((_, entries, io)) = self.index.read_leaf_entries(q) else {
+                return PnnAnswer::default();
+            };
+            return verify_and_refine(
+                self.objects,
+                q,
+                self.integration_steps,
+                &entries,
+                io,
+                t_traversal,
+            );
+        };
+        let Some(leaf) = self.index.locate_leaf(q) else {
+            return PnnAnswer::default();
+        };
+        let mut filled_here = false;
+        let cached = cache.slots[leaf].get_or_init(|| {
+            filled_here = true;
+            let (entries, io_pages) = self.index.leaf_entries(leaf);
+            CachedLeaf {
+                entries: prescreen_entries(entries, &self.index.node_regions[leaf]),
+                io_pages,
+            }
+        });
+        // Only the worker that actually read the pages is charged the I/O;
+        // cache hits cost none, keeping per-query attribution exact.
+        let index_io = if filled_here { cached.io_pages } else { 0 };
+        verify_and_refine(
+            self.objects,
+            q,
+            self.integration_steps,
+            &cached.entries,
+            index_io,
+            t_traversal,
+        )
+    }
+
+    /// Answers a batch of PNN queries, fanned out over the worker pool.
+    ///
+    /// Answers come back in query order and are bit-identical (probabilities
+    /// and candidate counts) to running [`UvIndex::pnn`] in a sequential
+    /// loop; only the timing/I/O breakdowns differ (cache hits read no
+    /// pages).
+    pub fn pnn_batch(&self, queries: &[Point]) -> Vec<PnnAnswer> {
+        if self.workers <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.pnn(*q)).collect();
+        }
+        let chunk_size = queries.len().div_ceil(self.workers);
+        let mut answers = Vec::with_capacity(queries.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(|q| self.pnn(*q)).collect()))
+                .collect();
+            for handle in handles {
+                let chunk_answers: Vec<PnnAnswer> = handle.join().expect("query worker panicked");
+                answers.extend(chunk_answers);
+            }
+        });
+        answers
+    }
+
+    /// Like [`QueryEngine::pnn_batch`], additionally returning the wall-clock
+    /// time of the whole batch (what a throughput measurement wants).
+    pub fn pnn_batch_timed(&self, queries: &[Point]) -> (Vec<PnnAnswer>, Duration) {
+        let start = Instant::now();
+        let answers = self.pnn_batch(queries);
+        (answers, start.elapsed())
+    }
+
+    /// Answers a moving-PNN workload: `path` is a sequence of query points
+    /// along a trajectory; each step carries the full answer plus the delta
+    /// against the previous step's answer set.
+    ///
+    /// The answers themselves are computed with [`QueryEngine::pnn_batch`]
+    /// (trajectory points are independent point queries), the deltas are
+    /// derived afterwards in path order.
+    pub fn pnn_trajectory(&self, path: &[Point]) -> Vec<TrajectoryStep> {
+        let answers = self.pnn_batch(path);
+        let mut steps = Vec::with_capacity(answers.len());
+        let mut prev = PnnAnswer::default();
+        for (position, answer) in path.iter().zip(answers) {
+            let delta = AnswerDelta::between(&prev, &answer);
+            prev = answer.clone();
+            steps.push(TrajectoryStep {
+                position: *position,
+                answer,
+                delta,
+            });
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::UvSystem;
+    use crate::{Method, UvConfig};
+    use uv_data::{Dataset, GeneratorConfig, QueryBreakdown};
+
+    fn fixture(n: usize) -> (Dataset, UvSystem) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let system = UvSystem::build(
+            ds.objects.clone(),
+            ds.domain,
+            Method::IC,
+            UvConfig::default(),
+        );
+        (ds, system)
+    }
+
+    fn assert_identical(a: &PnnAnswer, b: &PnnAnswer) {
+        assert_eq!(a.probabilities, b.probabilities);
+        assert_eq!(a.candidates_examined, b.candidates_examined);
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_cached_and_uncached() {
+        let (ds, system) = fixture(400);
+        let queries = ds.query_points(40, 11);
+        let sequential: Vec<PnnAnswer> = queries.iter().map(|q| system.pnn(*q)).collect();
+        for cache in [true, false] {
+            for workers in [1, 4] {
+                let engine = QueryEngine::new(system.index(), system.object_store())
+                    .with_workers(workers)
+                    .with_cache(cache);
+                let batch = engine.pnn_batch(&queries);
+                assert_eq!(batch.len(), sequential.len());
+                for (b, s) in batch.iter().zip(&sequential) {
+                    assert_identical(b, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_elides_repeat_page_reads() {
+        let (ds, system) = fixture(300);
+        let engine = QueryEngine::new(system.index(), system.object_store()).with_workers(1);
+        assert!(engine.cache_enabled());
+        assert_eq!(engine.cached_leaves(), 0);
+        let q = ds.query_points(1, 3)[0];
+
+        system.index().store().reset_io();
+        let first = engine.pnn(q);
+        assert!(first.breakdown.index_io >= 1, "first query reads the leaf");
+        assert_eq!(engine.cached_leaves(), 1);
+        let reads_after_first = system.index().store().io().reads;
+
+        let second = engine.pnn(q);
+        assert_identical(&first, &second);
+        assert_eq!(second.breakdown.index_io, 0, "cache hit reads no pages");
+        assert_eq!(
+            system.index().store().io().reads,
+            reads_after_first,
+            "no physical page reads on a cache hit"
+        );
+    }
+
+    #[test]
+    fn per_query_io_sums_to_store_counters() {
+        let (ds, system) = fixture(350);
+        let queries = ds.query_points(60, 23);
+        for cache in [true, false] {
+            let engine = QueryEngine::new(system.index(), system.object_store())
+                .with_workers(4)
+                .with_cache(cache);
+            system.index().store().reset_io();
+            system.object_store().store().reset_io();
+            let answers = engine.pnn_batch(&queries);
+            let total = QueryBreakdown::sum(answers.iter().map(|a| &a.breakdown));
+            assert_eq!(
+                total.index_io,
+                system.index().store().io().reads,
+                "index I/O attribution must be exact (cache={cache})"
+            );
+            assert_eq!(
+                total.object_io,
+                system.object_store().store().io().reads,
+                "object I/O attribution must be exact (cache={cache})"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_domain_queries_return_empty_answers() {
+        let (_, system) = fixture(80);
+        let engine = QueryEngine::new(system.index(), system.object_store());
+        let outside = Point::new(-50.0, 5_000.0);
+        let answer = engine.pnn(outside);
+        assert!(answer.probabilities.is_empty());
+        let batch = engine.pnn_batch(&[outside, Point::new(5_000.0, 5_000.0)]);
+        assert!(batch[0].probabilities.is_empty());
+        assert!(!batch[1].probabilities.is_empty());
+    }
+
+    #[test]
+    fn trajectory_deltas_are_consistent_with_answers() {
+        let (_ds, system) = fixture(300);
+        let engine = QueryEngine::new(system.index(), system.object_store());
+        // A straight path across the domain, dense enough to see handovers.
+        let path: Vec<Point> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 49.0;
+                Point::new(500.0 + 9_000.0 * t, 2_000.0 + 6_000.0 * t)
+            })
+            .collect();
+        let steps = engine.pnn_trajectory(&path);
+        assert_eq!(steps.len(), path.len());
+        // First step: everything entered.
+        assert_eq!(steps[0].delta.entered, steps[0].answer.answer_ids());
+        assert!(steps[0].delta.left.is_empty());
+        // Every later delta must match recomputing it from the answers, and
+        // every answer must match the sequential path.
+        for w in steps.windows(2) {
+            assert_eq!(w[1].delta, AnswerDelta::between(&w[0].answer, &w[1].answer));
+        }
+        let mut handovers = 0usize;
+        for step in &steps {
+            assert_identical(&step.answer, &system.pnn(step.position));
+            handovers += step.delta.churn();
+        }
+        assert!(
+            handovers > steps[0].answer.answer_ids().len(),
+            "a path across the domain must change its neighbourhood"
+        );
+        // The moving query visits many leaves; the cache should have filled.
+        assert!(engine.cached_leaves() > 1);
+    }
+
+    #[test]
+    fn prescreen_never_drops_a_possible_candidate() {
+        let (_ds, system) = fixture(250);
+        // For every leaf, dense-sample query points and check the screened
+        // entry set yields the same candidates as the full set.
+        for (region, _) in system.index().leaves().take(12) {
+            let leaf = system
+                .index()
+                .locate_leaf(region.center())
+                .expect("leaf centre is in the domain");
+            let (entries, _) = system.index().leaf_entries(leaf);
+            let screened = prescreen_entries(entries.clone(), region);
+            assert!(screened.len() <= entries.len());
+            for sx in 0..4 {
+                for sy in 0..4 {
+                    let q = Point::new(
+                        region.min_x + region.width() * (sx as f64 + 0.5) / 4.0,
+                        region.min_y + region.height() * (sy as f64 + 0.5) / 4.0,
+                    );
+                    let dminmax = |es: &[ObjectEntry]| {
+                        es.iter()
+                            .map(|e| e.dist_max(q))
+                            .fold(f64::INFINITY, f64::min)
+                    };
+                    let candidates = |es: &[ObjectEntry]| {
+                        let d = dminmax(es);
+                        es.iter()
+                            .filter(|e| e.dist_min(q) <= d + EPS)
+                            .map(|e| e.id)
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(
+                        candidates(&entries),
+                        candidates(&screened),
+                        "prescreen changed the candidate set at {q:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -132,6 +132,14 @@ impl UvIndex {
 
     /// Index of the leaf node whose region contains `q`, or `None` when `q`
     /// lies outside the domain.
+    ///
+    /// Tie-break: a query point exactly on an internal split line descends
+    /// into the SW/SE side (`q.x <= c.x` goes west, `q.y <= c.y` goes south).
+    /// Because [`Rect::quadrants`] produces *closed* child rectangles that
+    /// share their boundary and [`Rect::contains`] treats the boundary as
+    /// inside, either side of the tie yields a leaf whose `node_regions`
+    /// rectangle contains `q`; the fixed `<=` choice merely makes the descent
+    /// deterministic (see the boundary regression test below).
     pub(crate) fn locate_leaf(&self, q: Point) -> Option<usize> {
         if !self.domain.contains(q) {
             return None;
@@ -156,56 +164,47 @@ impl UvIndex {
         }
     }
 
+    /// Reads the page list of leaf node `leaf`, returning the entries
+    /// together with the number of leaf pages read (charged to the I/O
+    /// counters by the underlying [`PagedList::read_all`]).
+    pub(crate) fn leaf_entries(&self, leaf: usize) -> (Vec<ObjectEntry>, u64) {
+        match &self.nodes[leaf] {
+            GridNode::Leaf { list, .. } => (list.read_all(), list.num_pages() as u64),
+            GridNode::Internal { .. } => unreachable!("leaf_entries is only called on leaves"),
+        }
+    }
+
+    /// Reads the page list of the leaf containing `q`, returning the entries
+    /// together with the number of leaf pages read. Returns `None` when `q`
+    /// lies outside the domain.
+    pub(crate) fn read_leaf_entries(&self, q: Point) -> Option<(usize, Vec<ObjectEntry>, u64)> {
+        let leaf = self.locate_leaf(q)?;
+        let (entries, io) = self.leaf_entries(leaf);
+        Some((leaf, entries, io))
+    }
+
     /// Evaluates a PNN query at `q` (Section V-A): descend to the leaf
     /// containing `q`, read its page list, verify candidates by the
     /// `d_minmax` criterion, fetch the survivors' pdfs and compute their
     /// qualification probabilities.
+    ///
+    /// For batched / concurrent execution over a shared index see
+    /// [`crate::engine::QueryEngine`], which reuses leaf page reads across
+    /// queries and fans a batch out over a worker pool while returning
+    /// bit-identical answers.
     pub fn pnn(&self, objects: &ObjectStore, q: Point, integration_steps: usize) -> PnnAnswer {
-        let mut breakdown = QueryBreakdown::default();
-
-        let index_io_before = self.store.io().reads;
         let t_traversal = Instant::now();
-        let Some(leaf) = self.locate_leaf(q) else {
+        let Some((_, entries, index_io)) = self.read_leaf_entries(q) else {
             return PnnAnswer::default();
         };
-        let entries = match &self.nodes[leaf] {
-            GridNode::Leaf { list, .. } => list.read_all(),
-            GridNode::Internal { .. } => unreachable!("locate_leaf returns leaves"),
-        };
-        // Verification of [14]: no object whose minimum distance exceeds the
-        // smallest maximum distance can be an answer.
-        let dminmax = entries
-            .iter()
-            .map(|e| e.dist_max(q))
-            .fold(f64::INFINITY, f64::min);
-        let candidates: Vec<&ObjectEntry> = entries
-            .iter()
-            .filter(|e| e.dist_min(q) <= dminmax + EPS)
-            .collect();
-        breakdown.traversal = t_traversal.elapsed();
-        breakdown.index_io = self.store.io().reads - index_io_before;
-
-        let object_io_before = objects.store().io().reads;
-        let t_retrieval = Instant::now();
-        let mut touched = HashSet::new();
-        let fetched: Vec<_> = candidates
-            .iter()
-            .filter_map(|e| objects.fetch(e.id, &mut touched))
-            .collect();
-        breakdown.retrieval = t_retrieval.elapsed();
-        breakdown.object_io = objects.store().io().reads - object_io_before;
-
-        let t_prob = Instant::now();
-        let refs: Vec<_> = fetched.iter().collect();
-        let mut probabilities = qualification_probabilities(q, &refs, integration_steps);
-        probabilities.retain(|(_, p)| *p > 0.0);
-        breakdown.probability = t_prob.elapsed();
-
-        PnnAnswer {
-            probabilities,
-            candidates_examined: candidates.len(),
-            breakdown,
-        }
+        verify_and_refine(
+            objects,
+            q,
+            integration_steps,
+            &entries,
+            index_io,
+            t_traversal,
+        )
     }
 
     /// Seals every leaf page list (flushes in-memory tails to disk pages).
@@ -216,6 +215,62 @@ impl UvIndex {
                 list.seal();
             }
         }
+    }
+}
+
+/// Shared tail of PNN query processing: the `d_minmax` verification of \[14\]
+/// over the leaf `entries`, pdf retrieval for the survivors and the
+/// qualification-probability computation.
+///
+/// `index_io` is the number of leaf pages the caller actually read for this
+/// query and `t_traversal` the instant the traversal started; both are
+/// supplied by the caller so that per-query I/O attribution stays exact under
+/// concurrent readers (a global counter delta would absorb the reads of other
+/// threads).
+pub(crate) fn verify_and_refine(
+    objects: &ObjectStore,
+    q: Point,
+    integration_steps: usize,
+    entries: &[ObjectEntry],
+    index_io: u64,
+    t_traversal: Instant,
+) -> PnnAnswer {
+    let mut breakdown = QueryBreakdown::default();
+
+    // Verification of [14]: no object whose minimum distance exceeds the
+    // smallest maximum distance can be an answer.
+    let dminmax = entries
+        .iter()
+        .map(|e| e.dist_max(q))
+        .fold(f64::INFINITY, f64::min);
+    let candidates: Vec<&ObjectEntry> = entries
+        .iter()
+        .filter(|e| e.dist_min(q) <= dminmax + EPS)
+        .collect();
+    breakdown.traversal = t_traversal.elapsed();
+    breakdown.index_io = index_io;
+
+    let t_retrieval = Instant::now();
+    let mut touched = HashSet::new();
+    let fetched: Vec<_> = candidates
+        .iter()
+        .filter_map(|e| objects.fetch(e.id, &mut touched))
+        .collect();
+    breakdown.retrieval = t_retrieval.elapsed();
+    // `fetch` charges exactly one page read per page newly inserted into
+    // `touched`, so the set size is this query's object I/O.
+    breakdown.object_io = touched.len() as u64;
+
+    let t_prob = Instant::now();
+    let refs: Vec<_> = fetched.iter().collect();
+    let mut probabilities = qualification_probabilities(q, &refs, integration_steps);
+    probabilities.retain(|(_, p)| *p > 0.0);
+    breakdown.probability = t_prob.elapsed();
+
+    PnnAnswer {
+        probabilities,
+        candidates_examined: candidates.len(),
+        breakdown,
     }
 }
 
@@ -316,6 +371,65 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn locate_leaf_on_split_lines_reaches_a_containing_leaf() {
+        // Regression for the `q.x <= c.x` / `q.y <= c.y` tie-break: a query
+        // point lying exactly on an internal split line must always reach a
+        // leaf whose `node_regions` rectangle contains it, consistently with
+        // the closed-rectangle semantics of `Rect::quadrants`/`Rect::contains`.
+        use crate::builder::{build_uv_index, Method};
+        use uv_data::{Dataset, GeneratorConfig};
+
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(600));
+        let pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&pages), &ds.objects);
+        let rtree = uv_rtree::RTree::build(&ds.objects, &objects, pages);
+        let (index, _) = build_uv_index(
+            &ds.objects,
+            &objects,
+            &rtree,
+            ds.domain,
+            Arc::new(PageStore::new()),
+            Method::IC,
+            UvConfig::default(),
+        );
+        assert!(
+            index.num_nonleaf_nodes() > 0,
+            "fixture must actually split so there are internal split lines"
+        );
+
+        let mut boundary_points = Vec::new();
+        for (node, region) in index.nodes.iter().zip(&index.node_regions) {
+            if matches!(node, GridNode::Internal { .. }) {
+                let c = region.center();
+                // The split-line crossing plus a point on each of the four
+                // split-line arms.
+                boundary_points.push(c);
+                boundary_points.push(Point::new(c.x, (region.min_y + c.y) * 0.5));
+                boundary_points.push(Point::new(c.x, (c.y + region.max_y) * 0.5));
+                boundary_points.push(Point::new((region.min_x + c.x) * 0.5, c.y));
+                boundary_points.push(Point::new((c.x + region.max_x) * 0.5, c.y));
+            }
+        }
+        // Domain corners and edges are boundary cases of the same kind.
+        boundary_points.extend(index.domain().corners());
+
+        for q in boundary_points {
+            let leaf = index
+                .locate_leaf(q)
+                .unwrap_or_else(|| panic!("no leaf found for boundary point {q:?}"));
+            assert!(
+                matches!(index.nodes[leaf], GridNode::Leaf { .. }),
+                "locate_leaf returned a non-leaf for {q:?}"
+            );
+            assert!(
+                index.node_regions[leaf].contains(q),
+                "leaf region {:?} does not contain boundary point {q:?}",
+                index.node_regions[leaf]
+            );
         }
     }
 

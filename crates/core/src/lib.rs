@@ -15,6 +15,10 @@
 //!   (Basic, ICR, IC) with per-phase statistics.
 //! * [`pattern`] — nearest-neighbour pattern analysis queries: UV-cell
 //!   retrieval and UV-partition (density) retrieval (Section V-C).
+//! * [`engine`] — a concurrent batched PNN serving layer over a shared
+//!   read-only index: worker-pool fan-out, per-leaf memoization and
+//!   trajectory (moving-PNN) workloads — beyond the paper, toward the
+//!   production system of `ROADMAP.md`.
 //!
 //! # Quick start
 //!
@@ -52,6 +56,7 @@ pub mod builder;
 pub mod cell;
 pub mod config;
 pub mod crobjects;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod pattern;
@@ -63,6 +68,7 @@ pub use builder::{build_uv_index, Method};
 pub use cell::UvCell;
 pub use config::UvConfig;
 pub use crobjects::CrObjects;
+pub use engine::{QueryEngine, TrajectoryStep};
 pub use error::UvError;
 pub use index::UvIndex;
 pub use pattern::PartitionCell;

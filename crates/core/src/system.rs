@@ -8,6 +8,7 @@
 
 use crate::builder::{build_uv_index, Method};
 use crate::config::UvConfig;
+use crate::engine::{QueryEngine, TrajectoryStep};
 use crate::index::UvIndex;
 use crate::stats::ConstructionStats;
 use std::sync::Arc;
@@ -103,6 +104,30 @@ impl UvSystem {
             .pnn(&self.object_store, q, self.config.integration_steps)
     }
 
+    /// Creates a concurrent batched query engine over this system's index
+    /// and object store (worker count and leaf-cache toggle come from the
+    /// [`UvConfig`] the system was built with).
+    ///
+    /// The engine borrows the system; keep it alive across batches to retain
+    /// its per-leaf cache. The convenience wrappers [`UvSystem::pnn_batch`]
+    /// and [`UvSystem::pnn_trajectory`] build a fresh engine per call.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::new(&self.index, &self.object_store)
+    }
+
+    /// Answers a batch of PNN queries concurrently; answers are in query
+    /// order and bit-identical to a sequential loop of [`UvSystem::pnn`].
+    pub fn pnn_batch(&self, queries: &[Point]) -> Vec<PnnAnswer> {
+        self.engine().pnn_batch(queries)
+    }
+
+    /// Answers a moving-PNN workload (a trajectory of query points),
+    /// reporting each step's answer plus the delta against the previous
+    /// step's answer set.
+    pub fn pnn_trajectory(&self, path: &[Point]) -> Vec<TrajectoryStep> {
+        self.engine().pnn_trajectory(path)
+    }
+
     /// Answers the same PNN query with the R-tree branch-and-prune baseline
     /// of \[14\] — the comparison of Figure 6.
     pub fn pnn_rtree(&self, q: Point) -> PnnAnswer {
@@ -183,6 +208,24 @@ mod tests {
             uv_io < rt_io,
             "UV-index should read fewer leaf pages ({uv_io} vs {rt_io})"
         );
+    }
+
+    #[test]
+    fn batched_and_trajectory_queries_agree_with_point_lookups() {
+        let (ds, sys) = system(200);
+        let queries = ds.query_points(16, 13);
+        let batch = sys.pnn_batch(&queries);
+        for (q, a) in queries.iter().zip(&batch) {
+            let single = sys.pnn(*q);
+            assert_eq!(a.probabilities, single.probabilities);
+            assert_eq!(a.candidates_examined, single.candidates_examined);
+        }
+        let steps = sys.pnn_trajectory(&queries);
+        assert_eq!(steps.len(), queries.len());
+        for (step, a) in steps.iter().zip(&batch) {
+            assert_eq!(step.answer.probabilities, a.probabilities);
+        }
+        assert!(sys.engine().workers() >= 1);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property-based tests of the concurrent batched query engine: across
+//! construction methods and dataset shapes, `pnn_batch` must return answers
+//! identical to a sequential loop of `UvIndex::pnn` (probabilities and
+//! candidate counts), and the per-query I/O attribution must stay consistent
+//! with the shared atomic counters under parallel readers.
+
+use proptest::prelude::*;
+use uv_core::{Method, QueryEngine, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig, QueryBreakdown};
+
+fn build_case(
+    n: usize,
+    method_pick: u8,
+    kind_pick: u8,
+    sigma: f64,
+    seed: u64,
+) -> (Dataset, UvSystem) {
+    let method = if method_pick == 0 {
+        Method::IC
+    } else {
+        Method::ICR
+    };
+    let generator = if kind_pick == 0 {
+        GeneratorConfig::paper_uniform(n)
+    } else {
+        GeneratorConfig::paper_skewed(n, sigma)
+    }
+    .with_seed(seed);
+    let dataset = Dataset::generate(generator);
+    let system = UvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        method,
+        UvConfig::default(),
+    );
+    (dataset, system)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// `pnn_batch` answers are identical to the sequential Section V-A path
+    /// for every combination of method {IC, ICR}, dataset {Uniform,
+    /// GaussianSkew}, cache toggle and worker count.
+    #[test]
+    fn batch_answers_equal_sequential_answers(
+        case in (60..140usize, 0..2u8, 0..2u8, 800.0..2_500.0f64, 0..10_000u64)
+    ) {
+        let (n, method_pick, kind_pick, sigma, seed) = case;
+        let (dataset, system) = build_case(n, method_pick, kind_pick, sigma, seed);
+        let queries = dataset.query_points(24, seed ^ 0x5eed);
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| system.index().pnn(system.object_store(), *q, system.index().config().integration_steps))
+            .collect();
+        for cache in [true, false] {
+            for workers in [1usize, 4] {
+                let engine = QueryEngine::new(system.index(), system.object_store())
+                    .with_workers(workers)
+                    .with_cache(cache);
+                let batch = engine.pnn_batch(&queries);
+                prop_assert_eq!(batch.len(), sequential.len());
+                for (b, s) in batch.iter().zip(&sequential) {
+                    prop_assert_eq!(&b.probabilities, &s.probabilities);
+                    prop_assert_eq!(b.candidates_examined, s.candidates_examined);
+                }
+            }
+        }
+    }
+
+    /// Under parallel readers the atomic I/O counters and the per-answer
+    /// breakdowns tell the same story: summing every answer's I/O reproduces
+    /// the store counters' deltas exactly.
+    #[test]
+    fn io_counters_are_consistent_under_parallel_readers(
+        case in (60..140usize, 0..2u8, 0..2u8, 800.0..2_500.0f64, 0..10_000u64)
+    ) {
+        let (n, method_pick, kind_pick, sigma, seed) = case;
+        let (dataset, system) = build_case(n, method_pick, kind_pick, sigma, seed);
+        let queries = dataset.query_points(32, seed ^ 0xcafe);
+        for cache in [true, false] {
+            let engine = QueryEngine::new(system.index(), system.object_store())
+                .with_workers(4)
+                .with_cache(cache);
+            system.index().store().reset_io();
+            system.object_store().store().reset_io();
+            let answers = engine.pnn_batch(&queries);
+            let total = QueryBreakdown::sum(answers.iter().map(|a| &a.breakdown));
+            prop_assert_eq!(total.index_io, system.index().store().io().reads);
+            prop_assert_eq!(total.object_io, system.object_store().store().io().reads);
+            // No query writes pages.
+            prop_assert_eq!(system.index().store().io().writes, 0);
+            prop_assert_eq!(system.object_store().store().io().writes, 0);
+        }
+    }
+}

@@ -31,5 +31,5 @@ pub use generator::{Dataset, DatasetKind, GeneratorConfig};
 pub use object::{ObjectId, UncertainObject};
 pub use pdf::{Pdf, DEFAULT_HISTOGRAM_BARS};
 pub use probability::{qualification_probabilities, DistanceDistribution};
-pub use stats::{PnnAnswer, QueryBreakdown};
+pub use stats::{AnswerDelta, PnnAnswer, QueryBreakdown};
 pub use storage::{ObjectEntry, ObjectStore};

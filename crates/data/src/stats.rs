@@ -44,6 +44,16 @@ impl QueryBreakdown {
         self.index_io += other.index_io;
         self.object_io += other.object_io;
     }
+
+    /// Component-wise sum over a whole workload (e.g. every answer of a
+    /// batched PNN run).
+    pub fn sum<'a>(breakdowns: impl IntoIterator<Item = &'a QueryBreakdown>) -> QueryBreakdown {
+        let mut acc = QueryBreakdown::default();
+        for b in breakdowns {
+            acc.accumulate(b);
+        }
+        acc
+    }
 }
 
 /// Result of a probabilistic nearest-neighbour query: the answer objects with
@@ -76,6 +86,55 @@ impl PnnAnswer {
     }
 }
 
+/// Set difference between two consecutive PNN answers — the unit of a
+/// moving-PNN (trajectory) workload, where a stream of query points along a
+/// path is answered and only the *changes* to the answer set matter (cf. the
+/// probabilistic moving-NN formulation of Ali et al.).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnswerDelta {
+    /// Objects that joined the answer set at this step (sorted ascending).
+    pub entered: Vec<ObjectId>,
+    /// Objects that dropped out of the answer set at this step (sorted
+    /// ascending).
+    pub left: Vec<ObjectId>,
+    /// Number of objects present in both the previous and the current answer.
+    pub retained: usize,
+}
+
+impl AnswerDelta {
+    /// Delta from `prev` to `next`, comparing the answer id sets.
+    pub fn between(prev: &PnnAnswer, next: &PnnAnswer) -> Self {
+        let before = prev.answer_ids();
+        let after = next.answer_ids();
+        let entered: Vec<ObjectId> = after
+            .iter()
+            .copied()
+            .filter(|id| before.binary_search(id).is_err())
+            .collect();
+        let left: Vec<ObjectId> = before
+            .iter()
+            .copied()
+            .filter(|id| after.binary_search(id).is_err())
+            .collect();
+        let retained = after.len() - entered.len();
+        Self {
+            entered,
+            left,
+            retained,
+        }
+    }
+
+    /// `true` when the answer set did not change at all.
+    pub fn is_unchanged(&self) -> bool {
+        self.entered.is_empty() && self.left.is_empty()
+    }
+
+    /// Number of objects that entered or left — the churn of this step.
+    pub fn churn(&self) -> usize {
+        self.entered.len() + self.left.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +158,59 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.traversal, Duration::from_millis(4));
         assert_eq!(a.index_io, 5);
+    }
+
+    #[test]
+    fn breakdown_sum_over_workload() {
+        let parts = vec![
+            QueryBreakdown {
+                traversal: Duration::from_millis(1),
+                index_io: 2,
+                ..Default::default()
+            },
+            QueryBreakdown {
+                retrieval: Duration::from_millis(4),
+                object_io: 3,
+                ..Default::default()
+            },
+        ];
+        let total = QueryBreakdown::sum(&parts);
+        assert_eq!(total.traversal, Duration::from_millis(1));
+        assert_eq!(total.retrieval, Duration::from_millis(4));
+        assert_eq!(total.index_io, 2);
+        assert_eq!(total.object_io, 3);
+        assert_eq!(QueryBreakdown::sum([]), QueryBreakdown::default());
+    }
+
+    fn answer_with(ids: &[(ObjectId, f64)]) -> PnnAnswer {
+        PnnAnswer {
+            probabilities: ids.to_vec(),
+            candidates_examined: ids.len(),
+            breakdown: QueryBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn answer_delta_tracks_entered_left_retained() {
+        let a = answer_with(&[(1, 0.5), (2, 0.3), (3, 0.2)]);
+        let b = answer_with(&[(2, 0.6), (4, 0.4)]);
+        let d = AnswerDelta::between(&a, &b);
+        assert_eq!(d.entered, vec![4]);
+        assert_eq!(d.left, vec![1, 3]);
+        assert_eq!(d.retained, 1);
+        assert_eq!(d.churn(), 3);
+        assert!(!d.is_unchanged());
+
+        let same = AnswerDelta::between(&a, &a);
+        assert!(same.is_unchanged());
+        assert_eq!(same.retained, 3);
+        assert_eq!(same.churn(), 0);
+
+        // From an empty answer everything enters.
+        let from_empty = AnswerDelta::between(&PnnAnswer::default(), &a);
+        assert_eq!(from_empty.entered, vec![1, 2, 3]);
+        assert!(from_empty.left.is_empty());
+        assert_eq!(from_empty.retained, 0);
     }
 
     #[test]

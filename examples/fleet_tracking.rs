@@ -1,0 +1,160 @@
+//! Fleet tracking: a moving-PNN workload served by the concurrent batched
+//! query engine.
+//!
+//! A city's roadside infrastructure (charging points, depots, service bays)
+//! is known only up to sensor uncertainty — each site is an uncertain object.
+//! A fleet of delivery vehicles streams GPS fixes; every tick the dispatcher
+//! asks, for every vehicle at once, "which site is most likely the nearest?"
+//! — a batch of PNN queries per tick, and per vehicle a trajectory whose
+//! answer *deltas* (handovers between sites) are what the dispatcher reacts
+//! to. This is the workload shape of probabilistic moving-NN queries (Ali et
+//! al.) on top of the paper's UV-index.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example fleet_tracking
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use uv_diagram::prelude::*;
+
+/// Uncertain infrastructure sites: clustered in a few districts, with
+/// larger uncertainty for sites surveyed from older records.
+fn survey_sites(n: usize, domain: Rect, seed: u64) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let districts: Vec<Point> = (0..6)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(domain.min_x + 1_500.0..domain.max_x - 1_500.0),
+                rng.gen_range(domain.min_y + 1_500.0..domain.max_y - 1_500.0),
+            )
+        })
+        .collect();
+    (0..n as u32)
+        .map(|id| {
+            let d = districts[id as usize % districts.len()];
+            let x = (d.x + rng.gen_range(-1_400.0..1_400.0f64)).clamp(domain.min_x, domain.max_x);
+            let y = (d.y + rng.gen_range(-1_400.0..1_400.0f64)).clamp(domain.min_y, domain.max_y);
+            let old_record = id % 5 == 0;
+            let radius = if old_record {
+                rng.gen_range(40.0..80.0)
+            } else {
+                rng.gen_range(8.0..25.0)
+            };
+            UncertainObject::with_gaussian(id, Point::new(x, y), radius)
+        })
+        .collect()
+}
+
+/// Straight-line trajectory of `steps` GPS fixes between two waypoints.
+fn trajectory(from: Point, to: Point, steps: usize) -> Vec<Point> {
+    (0..steps)
+        .map(|i| {
+            let t = i as f64 / (steps - 1).max(1) as f64;
+            Point::new(from.x + (to.x - from.x) * t, from.y + (to.y - from.y) * t)
+        })
+        .collect()
+}
+
+fn main() {
+    let domain = Rect::square(10_000.0);
+    let sites = survey_sites(3_000, domain, 4242);
+    println!("surveyed {} uncertain infrastructure sites", sites.len());
+
+    let system = UvSystem::with_defaults(sites, domain);
+    println!(
+        "UV-index: {} leaves, {} non-leaf nodes, built in {:.2?}",
+        system.construction_stats().leaf_nodes,
+        system.construction_stats().nonleaf_nodes,
+        system.construction_stats().total
+    );
+
+    // The fleet: vehicles en route between random waypoints.
+    let vehicles = 24usize;
+    let steps = 30usize;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut wp = || {
+        Point::new(
+            rng.gen_range(500.0..domain.max_x - 500.0),
+            rng.gen_range(500.0..domain.max_y - 500.0),
+        )
+    };
+    let routes: Vec<(Point, Point)> = (0..vehicles).map(|_| (wp(), wp())).collect();
+
+    // --- Per-tick batches: all vehicle positions answered at once. ----------
+    let engine = system.engine();
+    println!(
+        "\nserving {} vehicles x {} ticks with {} workers (leaf cache {})",
+        vehicles,
+        steps,
+        engine.workers(),
+        if engine.cache_enabled() { "on" } else { "off" }
+    );
+
+    let paths: Vec<Vec<Point>> = routes
+        .iter()
+        .map(|(from, to)| trajectory(*from, *to, steps))
+        .collect();
+    let all_fixes: Vec<Point> = (0..steps)
+        .flat_map(|tick| paths.iter().map(move |path| path[tick]))
+        .collect();
+
+    let t = Instant::now();
+    let sequential: Vec<PnnAnswer> = all_fixes.iter().map(|q| system.pnn(*q)).collect();
+    let seq_wall = t.elapsed();
+
+    let (batched, batch_wall) = {
+        let t = Instant::now();
+        let answers = engine.pnn_batch(&all_fixes);
+        (answers, t.elapsed())
+    };
+    for (a, s) in batched.iter().zip(&sequential) {
+        assert_eq!(
+            a.probabilities, s.probabilities,
+            "batched answers must match the sequential path"
+        );
+    }
+    let n_queries = all_fixes.len() as f64;
+    println!(
+        "  sequential loop: {:>8.1} queries/s",
+        n_queries / seq_wall.as_secs_f64()
+    );
+    println!(
+        "  batched engine:  {:>8.1} queries/s ({:.1}x, {} leaves cached)",
+        n_queries / batch_wall.as_secs_f64(),
+        seq_wall.as_secs_f64() / batch_wall.as_secs_f64(),
+        engine.cached_leaves()
+    );
+
+    // --- Per-vehicle trajectories: handovers from answer deltas. ------------
+    let mut handovers = 0usize;
+    let mut quiet_steps = 0usize;
+    let mut total_steps = 0usize;
+    for (v, path) in paths.iter().enumerate() {
+        let steps_v = engine.pnn_trajectory(path);
+        if v < 5 {
+            let churn: usize = steps_v.iter().skip(1).map(|s| s.delta.churn()).sum();
+            let best_start = steps_v.first().and_then(|s| s.answer.best());
+            let best_end = steps_v.last().and_then(|s| s.answer.best());
+            println!(
+                "  vehicle {v}: likely site {} -> {} ({churn} answer-set changes en route)",
+                best_start.map_or("-".to_string(), |(id, _)| id.to_string()),
+                best_end.map_or("-".to_string(), |(id, _)| id.to_string()),
+            );
+        }
+        for step in steps_v.iter().skip(1) {
+            total_steps += 1;
+            if step.delta.is_unchanged() {
+                quiet_steps += 1;
+            } else {
+                handovers += step.delta.churn();
+            }
+        }
+    }
+    println!(
+        "\nfleet summary: {handovers} handovers across {total_steps} steps; {:.0}% of steps kept the answer set unchanged",
+        quiet_steps as f64 / total_steps.max(1) as f64 * 100.0
+    );
+}

@@ -43,11 +43,11 @@ pub use uv_store as store;
 /// Commonly used items, re-exported for `use uv_diagram::prelude::*`.
 pub mod prelude {
     pub use uv_core::{
-        build_uv_index, ConstructionStats, Method, PartitionCell, PossibleRegion, UvCell, UvConfig,
-        UvIndex, UvSystem,
+        build_uv_index, ConstructionStats, Method, PartitionCell, PossibleRegion, QueryEngine,
+        TrajectoryStep, UvCell, UvConfig, UvIndex, UvSystem,
     };
     pub use uv_data::{
-        Dataset, DatasetKind, GeneratorConfig, ObjectId, ObjectStore, Pdf, PnnAnswer,
+        AnswerDelta, Dataset, DatasetKind, GeneratorConfig, ObjectId, ObjectStore, Pdf, PnnAnswer,
         QueryBreakdown, UncertainObject,
     };
     pub use uv_geom::{Circle, Point, Rect};

@@ -12,6 +12,7 @@ use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
     "quickstart",
+    "fleet_tracking",
     "privacy_cloaking",
     "satellite_tracking",
     "virus_pattern_analysis",
