@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of dynamic maintenance: applying a 1% churn
+//! batch (insert + delete + move) through the localized UV-partition repair
+//! versus rebuilding the whole system from scratch, plus the single-op
+//! latencies a live feed cares about.
+//!
+//! Each maintenance iteration applies a batch and then its inverse, so the
+//! system returns to its initial state and iterations stay comparable (the
+//! inverse costs the same work, making the reported time ~2x one batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uv_core::{Method, UpdateBatch, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig, UncertainObject};
+use uv_geom::Point;
+
+const N: usize = 1_000;
+
+fn dynamic_config() -> UvConfig {
+    UvConfig::default()
+        .with_seed_knn(32)
+        .with_leaf_split_capacity(12)
+        .with_max_nonleaf(20_000)
+}
+
+fn build_system() -> (Dataset, UvSystem) {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(N));
+    let system = UvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        Method::IC,
+        dynamic_config(),
+    );
+    (dataset, system)
+}
+
+/// A 1% churn batch and its exact inverse over the initial state.
+fn churn_and_inverse(dataset: &Dataset) -> (UpdateBatch, UpdateBatch) {
+    let n = dataset.len() as u32;
+    let mut forward = UpdateBatch::new();
+    let mut inverse = UpdateBatch::new();
+    // 4 inserts / 3 deletes / 3 moves = 1% of 1k objects.
+    for k in 0..4u32 {
+        let o = UncertainObject::with_gaussian(
+            n + k,
+            Point::new(1_500.0 + 2_000.0 * k as f64, 3_333.0),
+            20.0,
+        );
+        forward = forward.insert(o);
+        inverse = inverse.delete(n + k);
+    }
+    for id in [11u32, 444, 888] {
+        forward = forward.delete(id);
+        inverse = inverse.insert(dataset.objects[id as usize].clone());
+    }
+    for id in [77u32, 555, 999] {
+        let c = dataset.objects[id as usize].center();
+        forward = forward.move_to(id, Point::new(c.x + 40.0, c.y - 40.0));
+        inverse = inverse.move_to(id, c);
+    }
+    (forward, inverse)
+}
+
+fn bench_churn_vs_rebuild(c: &mut Criterion) {
+    let (dataset, mut system) = build_system();
+    let (forward, inverse) = churn_and_inverse(&dataset);
+
+    let mut group = c.benchmark_group("dynamic_maintenance_1k");
+    group.bench_with_input(
+        BenchmarkId::new("incremental_churn_roundtrip", N / 100 * 2),
+        &N,
+        |b, _| {
+            b.iter(|| {
+                system
+                    .apply(forward.clone())
+                    .expect("forward batch applies");
+                system
+                    .apply(inverse.clone())
+                    .expect("inverse batch applies");
+                std::hint::black_box(system.epoch());
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("full_rebuild", N), &N, |b, _| {
+        b.iter(|| {
+            std::hint::black_box(UvSystem::build(
+                dataset.objects.clone(),
+                dataset.domain,
+                Method::IC,
+                dynamic_config(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    let (dataset, mut system) = build_system();
+    let mut group = c.benchmark_group("single_op_1k");
+    group.bench_function("move_roundtrip", |b| {
+        let c0 = dataset.objects[123].center();
+        b.iter(|| {
+            system
+                .move_object(123, Point::new(c0.x + 30.0, c0.y))
+                .expect("move applies");
+            system.move_object(123, c0).expect("move back applies");
+        })
+    });
+    group.bench_function("insert_delete_roundtrip", |b| {
+        let o = UncertainObject::with_gaussian(500_000, Point::new(4_950.0, 5_050.0), 20.0);
+        b.iter(|| {
+            system.insert_object(o.clone()).expect("insert applies");
+            system.delete_object(500_000).expect("delete applies");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn_vs_rebuild, bench_single_ops);
+criterion_main!(benches);

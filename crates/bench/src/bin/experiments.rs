@@ -7,14 +7,15 @@
 //! ```
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
-//! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory throughput all`.
+//! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory throughput churn
+//! all`.
 //!
 //! `--scale` multiplies the paper's dataset cardinalities (default 0.05, i.e.
 //! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
 //! queries per measurement (default 50, as in the paper).
 
 use std::collections::BTreeSet;
-use uv_bench::{fig6, fig7, print_table, sensitivity, table2, throughput, ExperimentScale};
+use uv_bench::{churn, fig6, fig7, print_table, sensitivity, table2, throughput, ExperimentScale};
 
 const ALL: &[&str] = &[
     "fig6a",
@@ -33,6 +34,7 @@ const ALL: &[&str] = &[
     "sens_theta",
     "sens_memory",
     "throughput",
+    "churn",
 ];
 
 fn main() {
@@ -270,6 +272,35 @@ fn main() {
                 "queries/s",
             ],
             &throughput::trajectory_table(&summary),
+        );
+    }
+    if wants("churn") {
+        let (rows, summary) = churn::churn_experiment(&scale, 5);
+        print_table(
+            "Dynamic maintenance: 1% churn steps (incremental repair locality)",
+            &[
+                "step",
+                "ops (i/d/m)",
+                "re-derived",
+                "leaves refined",
+                "total leaves",
+                "refined %",
+                "splits/merges",
+                "apply (ms)",
+            ],
+            &churn::churn_rows(&rows),
+        );
+        print_table(
+            "Churn summary (final state verified against a cold rebuild)",
+            &[
+                "|O|",
+                "ops/step",
+                "avg refined %",
+                "incremental total (ms)",
+                "one full rebuild (ms)",
+                "verified",
+            ],
+            &churn::churn_summary_row(&summary),
         );
     }
 }

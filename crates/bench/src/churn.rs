@@ -1,0 +1,302 @@
+//! Churn experiment (beyond the paper): dynamic maintenance under a live
+//! workload of joins, leaves and moves.
+//!
+//! Every step applies a batch of update operations equal to 1% of the
+//! dataset (the *churn rate*) through [`UvSystem::apply`] and records the
+//! [`uv_core::UpdateStats`] locality counters: how many leaf page lists the
+//! localized repair rewrote versus the leaf count a full rebuild would
+//! rewrite. The final state is verified bit-identical against a cold
+//! rebuild — the same oracle the property tests enforce.
+//!
+//! The configuration is the *dynamic-serving* tuning: a seed-selection `k`
+//! proportionate to the dataset (the paper's 300 targets 10K–80K objects;
+//! pruning stays sound for any `k`) and a small leaf split capacity, which
+//! trades non-leaf memory for smaller, more local leaves.
+
+use crate::workload::ExperimentScale;
+use std::time::Instant;
+use uv_core::{Method, UpdateBatch, UpdateStats, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig, UncertainObject};
+use uv_geom::Point;
+
+/// Per-step measurements of the churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Step number (1-based).
+    pub step: usize,
+    /// Update statistics of the applied batch.
+    pub stats: UpdateStats,
+    /// Wall-clock time of the incremental apply in milliseconds.
+    pub apply_ms: f64,
+}
+
+/// Summary of the whole churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnSummary {
+    /// Objects at the start of the run.
+    pub initial_objects: usize,
+    /// Operations per step (1% of the dataset, at least 3).
+    pub ops_per_step: usize,
+    /// Average fraction of leaves refined per step.
+    pub avg_refine_fraction: f64,
+    /// Total incremental apply time in milliseconds.
+    pub incremental_ms: f64,
+    /// Wall-clock time of one cold full rebuild of the final state, for
+    /// comparison, in milliseconds.
+    pub rebuild_ms: f64,
+    /// `true` when the final state was verified bit-identical to the cold
+    /// rebuild (leaf structure and PNN answers).
+    pub verified: bool,
+}
+
+/// A leaf in canonical form: bit-exact region corners plus the id-sorted
+/// member list (mirrors the oracle of `crates/core/tests/proptest_update.rs`).
+type CanonicalLeaf = ((u64, u64, u64, u64), Vec<u32>);
+
+/// The dynamic-serving configuration the churn workload runs under.
+pub fn dynamic_config(n: usize) -> UvConfig {
+    UvConfig::default()
+        .with_seed_knn((n / 32).clamp(16, 300))
+        // Smaller, more local leaves than the paper's one-page trigger; the
+        // non-leaf budget is raised accordingly (they trade against each
+        // other, and a bound budget forces full rebuilds). Capacities far
+        // below the dataset's cell co-overlap count degenerate (splits stop
+        // separating anything), so this stays in the low tens.
+        .with_leaf_split_capacity(12)
+        .with_max_nonleaf(20_000)
+}
+
+/// Deterministic xorshift64* generator — the op mix must be reproducible at
+/// a fixed seed without pulling a rand dependency into the harness.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn coord(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() as f64 / u64::MAX as f64) * (hi - lo)
+    }
+}
+
+/// One churn step: 1% of the live set as a batch of 60% moves (local GPS-fix
+/// jitter), 20% joins and 20% leaves.
+fn churn_batch(sys: &UvSystem, rng: &mut XorShift, next_id: &mut u32) -> UpdateBatch {
+    let live: Vec<u32> = sys.objects().iter().map(|o| o.id).collect();
+    let ops = (live.len() / 100).max(3);
+    let domain = sys.domain();
+    let mut batch = UpdateBatch::new();
+    let mut used: Vec<u32> = Vec::new();
+    for k in 0..ops {
+        match k * 10 / ops {
+            0..=5 => {
+                // Move: a local position update, the dominant op of a
+                // fleet-tracking feed (a GPS fix drifts by road-segment
+                // scale, not across the city).
+                let id = live[rng.pick(live.len())];
+                if used.contains(&id) {
+                    continue;
+                }
+                let o = sys.objects().iter().find(|o| o.id == id).unwrap();
+                let c = o.center();
+                let jitter = domain.width() / 250.0;
+                let x = (c.x + rng.coord(-jitter, jitter))
+                    .clamp(domain.min_x + 25.0, domain.max_x - 25.0);
+                let y = (c.y + rng.coord(-jitter, jitter))
+                    .clamp(domain.min_y + 25.0, domain.max_y - 25.0);
+                batch = batch.move_to(id, Point::new(x, y));
+                used.push(id);
+            }
+            6..=7 => {
+                // Join: a new object somewhere in the domain.
+                batch = batch.insert(UncertainObject::with_gaussian(
+                    *next_id,
+                    Point::new(
+                        rng.coord(domain.min_x + 25.0, domain.max_x - 25.0),
+                        rng.coord(domain.min_y + 25.0, domain.max_y - 25.0),
+                    ),
+                    20.0,
+                ));
+                *next_id += 1;
+            }
+            _ => {
+                // Leave.
+                let id = live[rng.pick(live.len())];
+                if used.contains(&id) {
+                    continue;
+                }
+                batch = batch.delete(id);
+                used.push(id);
+            }
+        }
+    }
+    batch
+}
+
+/// Runs the churn experiment: builds the system, applies `steps` churn
+/// batches, verifies the final state against a cold rebuild.
+pub fn churn_experiment(scale: &ExperimentScale, steps: usize) -> (Vec<ChurnRow>, ChurnSummary) {
+    let n = scale.scaled(20_000);
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(n));
+    let config = dynamic_config(n);
+    let mut sys = UvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config);
+
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    let mut next_id = n as u32;
+    let mut rows = Vec::with_capacity(steps);
+    let mut incremental_ms = 0.0;
+    for step in 1..=steps {
+        let batch = churn_batch(&sys, &mut rng, &mut next_id);
+        let t = Instant::now();
+        let stats = sys.apply(batch).expect("churn batch must validate");
+        let apply_ms = t.elapsed().as_secs_f64() * 1_000.0;
+        incremental_ms += apply_ms;
+        rows.push(ChurnRow {
+            step,
+            stats,
+            apply_ms,
+        });
+    }
+
+    // Oracle: a cold rebuild of the final object set must be bit-identical —
+    // the full canonical leaf structure (regions and member lists), exactly
+    // as the property tests compare it, plus sampled PNN answers.
+    let t = Instant::now();
+    let rebuilt = UvSystem::build(sys.objects().to_vec(), sys.domain(), Method::IC, config);
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let canonical = |s: &UvSystem| {
+        let mut leaves: Vec<CanonicalLeaf> = s
+            .index()
+            .leaves()
+            .map(|(r, ids)| {
+                (
+                    (
+                        r.min_x.to_bits(),
+                        r.min_y.to_bits(),
+                        r.max_x.to_bits(),
+                        r.max_y.to_bits(),
+                    ),
+                    ids.to_vec(),
+                )
+            })
+            .collect();
+        leaves.sort();
+        leaves
+    };
+    let mut verified = canonical(&sys) == canonical(&rebuilt);
+    for q in dataset.query_points(25, 77) {
+        let a = sys.pnn(q);
+        let b = rebuilt.pnn(q);
+        verified &=
+            a.probabilities == b.probabilities && a.candidates_examined == b.candidates_examined;
+    }
+
+    let ops_per_step = (n / 100).max(3);
+    let avg_refine_fraction =
+        rows.iter().map(|r| r.stats.refine_fraction()).sum::<f64>() / rows.len().max(1) as f64;
+    let summary = ChurnSummary {
+        initial_objects: n,
+        ops_per_step,
+        avg_refine_fraction,
+        incremental_ms,
+        rebuild_ms,
+        verified,
+    };
+    (rows, summary)
+}
+
+/// Formats [`ChurnRow`]s for `print_table`.
+pub fn churn_rows(rows: &[ChurnRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.step.to_string(),
+                format!(
+                    "{}i/{}d/{}m",
+                    r.stats.inserted, r.stats.deleted, r.stats.moved
+                ),
+                r.stats.objects_rederived.to_string(),
+                r.stats.leaves_refined.to_string(),
+                r.stats.total_leaves.to_string(),
+                format!("{:.1}%", r.stats.refine_fraction() * 100.0),
+                format!("{}/{}", r.stats.leaves_split, r.stats.leaves_merged),
+                format!("{:.1}", r.apply_ms),
+            ]
+        })
+        .collect()
+}
+
+/// Formats the [`ChurnSummary`] for `print_table`.
+pub fn churn_summary_row(s: &ChurnSummary) -> Vec<Vec<String>> {
+    vec![vec![
+        s.initial_objects.to_string(),
+        s.ops_per_step.to_string(),
+        format!("{:.1}%", s.avg_refine_fraction * 100.0),
+        format!("{:.1}", s.incremental_ms),
+        format!("{:.1}", s.rebuild_ms),
+        if s.verified {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
+    ]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ISSUE's locality acceptance criterion, at a fixed seed: on a 1%
+    /// churn step over >= 1k objects, the incremental repair refines at most
+    /// 10% of the leaves a full rebuild would refine (a full rebuild writes
+    /// every leaf), and the final state verifies against the oracle.
+    #[test]
+    fn one_percent_churn_refines_at_most_ten_percent_of_leaves() {
+        let scale = ExperimentScale {
+            size_factor: 0.05, // 1_000 objects
+            ..ExperimentScale::default()
+        };
+        let (rows, summary) = churn_experiment(&scale, 5);
+        assert_eq!(summary.initial_objects, 1_000);
+        assert!(summary.ops_per_step >= 10);
+        assert!(summary.verified, "final state diverged from a cold rebuild");
+        for row in &rows {
+            assert!(
+                !row.stats.full_rebuild,
+                "step {} unexpectedly fell back to a full rebuild",
+                row.step
+            );
+            assert!(
+                row.stats.refine_fraction() <= 0.10,
+                "step {} refined {:.1}% of {} leaves (limit 10%)",
+                row.step,
+                row.stats.refine_fraction() * 100.0,
+                row.stats.total_leaves,
+            );
+        }
+        assert!(summary.avg_refine_fraction <= 0.10);
+    }
+
+    #[test]
+    fn tiny_scale_churn_smoke() {
+        let scale = ExperimentScale {
+            size_factor: 0.01,
+            ..ExperimentScale::default()
+        };
+        let (rows, summary) = churn_experiment(&scale, 2);
+        assert_eq!(rows.len(), 2);
+        assert!(summary.verified);
+        assert_eq!(churn_rows(&rows).len(), 2);
+        assert_eq!(churn_summary_row(&summary)[0].len(), 6);
+    }
+}

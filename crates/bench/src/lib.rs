@@ -16,11 +16,13 @@
 //! | [`table2`] | Table II: Germany-like datasets |
 //! | [`sensitivity`] | Section VI-B(1): split-threshold sensitivity |
 //! | [`throughput`] | beyond the paper: sequential vs. concurrent batched PNN serving throughput, trajectory workload |
+//! | [`churn`] | beyond the paper: dynamic maintenance under a live join/leave/move workload — locality of the incremental UV-partition repair |
 //!
 //! *The paper-to-code map for the whole workspace — every definition, lemma,
 //! algorithm and experiment of the paper, with its module and key functions —
 //! lives in `docs/PAPER_MAP.md` at the repository root.*
 
+pub mod churn;
 pub mod fig6;
 pub mod fig7;
 pub mod sensitivity;

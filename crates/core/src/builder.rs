@@ -9,22 +9,30 @@
 //! * **IC** — derive cr-objects and hand them directly to Algorithm 3 without
 //!   refinement; the paper's recommended method.
 //!
-//! Indexing follows Algorithms 3 (`InsertObj`) and 4 (`CheckSplit`) with the
-//! split fraction `theta`, split threshold `T_theta` and the memory cap `M`
-//! on non-leaf nodes; overlap tests are Algorithm 5's 4-point test.
+//! Indexing realises Algorithms 3 (`InsertObj`) and 4 (`CheckSplit`) as an
+//! *order-canonical* top-down build: a node's member set is the objects whose
+//! Algorithm 5 overlap test passes for its region, and a node splits exactly
+//! when its member count exceeds the leaf capacity, the split fraction
+//! `theta` falls below `T_theta`, and the memory cap `M` on non-leaf nodes
+//! permits. Unlike a literal insertion-order replay of Algorithm 3, the
+//! resulting grid is a pure function of the per-object reference sets — the
+//! property the dynamic maintenance subsystem ([`crate::update`]) relies on
+//! to repair the partition locally while staying bit-identical to a full
+//! rebuild. Member lists are kept in ascending id order for the same reason.
 
 use crate::cell::build_exact_cell;
 use crate::config::UvConfig;
-use crate::crobjects::derive_cr_objects;
+use crate::crobjects::{derive_cr_objects, UpdateSensitivity};
 use crate::index::{check_overlap, GridNode, UvIndex};
 use crate::stats::{ConstructionStats, PruneStats};
+use crate::update::{ObjectState, RefTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uv_data::{ObjectEntry, ObjectId, ObjectStore, UncertainObject};
 use uv_geom::{Circle, Rect};
 use uv_rtree::RTree;
-use uv_store::{PageStore, PagedList, Record};
+use uv_store::{PageStore, PagedList};
 
 /// UV-index construction method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,12 +57,13 @@ impl Method {
 }
 
 /// Per-object result of the reference-object derivation phase.
-struct PerObject {
-    id: ObjectId,
-    reference_ids: Vec<ObjectId>,
-    prune: PruneStats,
-    prune_time: Duration,
-    refine_time: Duration,
+pub(crate) struct PerObject {
+    pub(crate) id: ObjectId,
+    pub(crate) reference_ids: Vec<ObjectId>,
+    pub(crate) sensitivity: UpdateSensitivity,
+    pub(crate) prune: PruneStats,
+    pub(crate) prune_time: Duration,
+    pub(crate) refine_time: Duration,
 }
 
 /// Builds a UV-index over `objects` with the chosen `method`.
@@ -75,6 +84,23 @@ pub fn build_uv_index(
     method: Method,
     config: UvConfig,
 ) -> (UvIndex, ConstructionStats) {
+    let (index, stats, _) =
+        build_uv_index_full(objects, object_store, rtree, domain, store, method, config);
+    (index, stats)
+}
+
+/// Like [`build_uv_index`], additionally returning the per-object reference
+/// sets and update-sensitivity bounds — the state [`crate::update`] needs to
+/// maintain the index incrementally.
+pub(crate) fn build_uv_index_full(
+    objects: &[UncertainObject],
+    object_store: &ObjectStore,
+    rtree: &RTree,
+    domain: Rect,
+    store: Arc<PageStore>,
+    method: Method,
+    config: UvConfig,
+) -> (UvIndex, ConstructionStats, RefTable) {
     config.validate().expect("invalid UvConfig");
     let t_total = Instant::now();
 
@@ -84,24 +110,40 @@ pub fn build_uv_index(
     // cr-id through it instead of scanning `objects` per id (which made the
     // refinement phase quadratic in the dataset size).
     let by_id: HashMap<ObjectId, &UncertainObject> = objects.iter().map(|o| (o.id, o)).collect();
-    let per_object = if config.parallel && objects.len() > 64 {
-        derive_parallel(objects, &by_id, rtree, &domain, &config, method)
-    } else {
-        objects
-            .iter()
-            .map(|o| derive_one(o, objects, &by_id, rtree, &domain, &config, method))
-            .collect()
-    };
+    let subjects: Vec<&UncertainObject> = objects.iter().collect();
+    let per_object = derive_subset(&subjects, objects, &by_id, rtree, &domain, &config, method);
     let phase_a_wall = t_phase_a.elapsed();
 
-    // ---- Phase B: insert every object into the adaptive grid -----------------
+    // ---- Phase B: canonical top-down grid build ------------------------------
     let t_phase_b = Instant::now();
     let mut index = UvIndex::new(domain, Arc::clone(&store), config);
-    let mut inserter = Inserter::new(&mut index, objects, object_store, &per_object);
-    for o in objects {
-        inserter.insert(o.id);
-    }
-    index.seal();
+    let ref_table: RefTable = per_object
+        .iter()
+        .map(|p| {
+            (
+                p.id,
+                ObjectState {
+                    reference_ids: p.reference_ids.clone(),
+                    sensitivity: p.sensitivity,
+                },
+            )
+        })
+        .collect();
+    let mbcs: HashMap<ObjectId, Circle> = objects.iter().map(|o| (o.id, o.mbc())).collect();
+    let entries: HashMap<ObjectId, ObjectEntry> = objects
+        .iter()
+        .map(|o| (o.id, ObjectEntry::new(o, object_store.ptr_of(o.id))))
+        .collect();
+    let ctx = GridCtx {
+        mbcs: &mbcs,
+        entries: &entries,
+        states: &ref_table,
+    };
+    let mut root_members: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+    root_members.sort_unstable();
+    root_members.retain(|id| ctx.overlaps(*id, &domain));
+    let mut grow = GrowStats::default();
+    grow_node(&mut index, 0, root_members, &ctx, &mut grow);
     let indexing_time = t_phase_b.elapsed();
 
     // ---- Statistics -----------------------------------------------------------
@@ -135,10 +177,10 @@ pub fn build_uv_index(
         leaf_nodes: index.num_leaf_nodes(),
         leaf_pages: index.num_leaf_pages(),
     };
-    (index, stats)
+    (index, stats, ref_table)
 }
 
-fn derive_one(
+pub(crate) fn derive_one(
     subject: &UncertainObject,
     objects: &[UncertainObject],
     by_id: &HashMap<ObjectId, &UncertainObject>,
@@ -159,6 +201,9 @@ fn derive_one(
             PerObject {
                 id: subject.id,
                 reference_ids: cell.r_objects,
+                // Basic derives against the whole dataset with no pruning
+                // structure to bound the change radius.
+                sensitivity: UpdateSensitivity::always_affected(),
                 prune: PruneStats {
                     total_others: objects.len().saturating_sub(1),
                     ..PruneStats::default()
@@ -182,6 +227,7 @@ fn derive_one(
             PerObject {
                 id: subject.id,
                 reference_ids: cell.r_objects,
+                sensitivity: cr.sensitivity,
                 prune: cr.stats,
                 prune_time,
                 refine_time,
@@ -193,6 +239,7 @@ fn derive_one(
             PerObject {
                 id: subject.id,
                 reference_ids: cr.cr_ids,
+                sensitivity: cr.sensitivity,
                 prune: cr.stats,
                 prune_time: t.elapsed(),
                 refine_time: Duration::ZERO,
@@ -201,7 +248,12 @@ fn derive_one(
     }
 }
 
-fn derive_parallel(
+/// Derives the reference objects of `subjects` (a subset of the dataset),
+/// fanning out over threads when the configuration allows and the subset is
+/// large enough to amortise the spawns. Used by the full build (over every
+/// object) and by [`crate::update`] (over the affected objects only).
+pub(crate) fn derive_subset(
+    subjects: &[&UncertainObject],
     objects: &[UncertainObject],
     by_id: &HashMap<ObjectId, &UncertainObject>,
     rtree: &RTree,
@@ -209,14 +261,20 @@ fn derive_parallel(
     config: &UvConfig,
     method: Method,
 ) -> Vec<PerObject> {
+    if !(config.parallel && subjects.len() > 64) {
+        return subjects
+            .iter()
+            .map(|o| derive_one(o, objects, by_id, rtree, domain, config, method))
+            .collect();
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(objects.len());
-    let chunk_size = objects.len().div_ceil(threads);
-    let mut results: Vec<PerObject> = Vec::with_capacity(objects.len());
+        .min(subjects.len());
+    let chunk_size = subjects.len().div_ceil(threads);
+    let mut results: Vec<PerObject> = Vec::with_capacity(subjects.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = objects
+        let handles: Vec<_> = subjects
             .chunks(chunk_size)
             .map(|chunk| {
                 scope.spawn(move || {
@@ -234,152 +292,137 @@ fn derive_parallel(
     results
 }
 
-/// Decision of Algorithm 4.
-enum SplitDecision {
-    /// NORMAL or OVERFLOW: append the entry to the leaf (the page list
-    /// allocates a new page by itself when the current one is full).
-    Insert,
-    /// SPLIT: redistribute the leaf's objects (plus the new one) into the
-    /// four child members returned here.
-    Split([Vec<ObjectId>; 4]),
+/// Read-only context for overlap tests and leaf-page construction: current
+/// MBCs, leaf entries and reference sets of every live object.
+pub(crate) struct GridCtx<'a> {
+    pub(crate) mbcs: &'a HashMap<ObjectId, Circle>,
+    pub(crate) entries: &'a HashMap<ObjectId, ObjectEntry>,
+    pub(crate) states: &'a RefTable,
 }
 
-/// Mutable insertion machinery around a [`UvIndex`] under construction.
-struct Inserter<'a> {
-    index: &'a mut UvIndex,
-    /// Object id -> uncertainty-region MBC.
-    mbcs: HashMap<ObjectId, Circle>,
-    /// Object id -> leaf entry (`<ID, MBC, pointer>`).
-    entries: HashMap<ObjectId, ObjectEntry>,
-    /// Object id -> reference objects used by the overlap test.
-    references: HashMap<ObjectId, Vec<ObjectId>>,
-    /// Entries per leaf page.
-    records_per_page: usize,
-}
-
-impl<'a> Inserter<'a> {
-    fn new(
-        index: &'a mut UvIndex,
-        objects: &[UncertainObject],
-        object_store: &ObjectStore,
-        per_object: &[PerObject],
-    ) -> Self {
-        let mbcs: HashMap<ObjectId, Circle> = objects.iter().map(|o| (o.id, o.mbc())).collect();
-        let entries: HashMap<ObjectId, ObjectEntry> = objects
-            .iter()
-            .map(|o| (o.id, ObjectEntry::new(o, object_store.ptr_of(o.id))))
-            .collect();
-        let references: HashMap<ObjectId, Vec<ObjectId>> = per_object
-            .iter()
-            .map(|p| (p.id, p.reference_ids.clone()))
-            .collect();
-        let records_per_page = (index.store.page_size() / ObjectEntry::SIZE).max(1);
-        Self {
-            index,
-            mbcs,
-            entries,
-            references,
-            records_per_page,
-        }
-    }
-
-    /// Algorithm 3 (`InsertObj`), starting from the root.
-    fn insert(&mut self, id: ObjectId) {
-        self.insert_rec(0, id);
-    }
-
-    fn insert_rec(&mut self, node: usize, id: ObjectId) {
-        if !self.overlaps(id, &self.index.node_regions[node]) {
-            return;
-        }
-        match &self.index.nodes[node] {
-            GridNode::Internal { children } => {
-                let children = *children;
-                for child in children {
-                    self.insert_rec(child as usize, id);
-                }
-            }
-            GridNode::Leaf { .. } => match self.check_split(node, id) {
-                SplitDecision::Insert => self.push_entry(node, id),
-                SplitDecision::Split(members) => self.split(node, members),
-            },
-        }
-    }
-
-    /// Algorithm 5 via the cr-objects of `id`.
-    fn overlaps(&self, id: ObjectId, region: &Rect) -> bool {
+impl GridCtx<'_> {
+    /// Algorithm 5 via the reference objects of `id`.
+    pub(crate) fn overlaps(&self, id: ObjectId, region: &Rect) -> bool {
         let subject = self.mbcs[&id];
-        let crs: Vec<Circle> = self.references[&id]
+        let crs: Vec<Circle> = self.states[&id]
+            .reference_ids
             .iter()
             .filter_map(|r| self.mbcs.get(r).copied())
             .collect();
         check_overlap(subject, &crs, region)
     }
+}
 
-    /// Algorithm 4 (`CheckSplit`).
-    fn check_split(&self, node: usize, new_id: ObjectId) -> SplitDecision {
-        let GridNode::Leaf { list, object_ids } = &self.index.nodes[node] else {
-            unreachable!("check_split is only called on leaves");
-        };
-        // NORMAL: the current page still has room.
-        let has_space = list.is_empty() || list.len() % self.records_per_page != 0;
-        if has_space {
-            return SplitDecision::Insert;
-        }
-        // OVERFLOW: the memory budget for non-leaf nodes is exhausted.
-        if self.index.nonleaf_count + 1 > self.index.config.max_nonleaf {
-            return SplitDecision::Insert;
-        }
-        // Tentatively distribute A = {new object} ∪ g.list over the quadrants.
-        let quadrants = self.index.node_regions[node].quadrants();
-        let mut all: Vec<ObjectId> = Vec::with_capacity(object_ids.len() + 1);
-        all.push(new_id);
-        all.extend_from_slice(object_ids);
-        let mut members: [Vec<ObjectId>; 4] = Default::default();
-        for id in &all {
-            for (k, quadrant) in quadrants.iter().enumerate() {
-                if self.overlaps(*id, quadrant) {
-                    members[k].push(*id);
-                }
+/// Counters of one grow pass (initial build, leaf split or leaf merge).
+#[derive(Debug, Default)]
+pub(crate) struct GrowStats {
+    /// Leaf page lists written.
+    pub(crate) leaves_built: usize,
+    /// Nodes turned into internal nodes.
+    pub(crate) splits: usize,
+}
+
+/// Algorithm 4 (`CheckSplit`), canonical form: returns the four quadrant
+/// member lists when `members` of `region` warrant a split — the member count
+/// exceeds the leaf capacity and the split fraction `theta` (smallest
+/// quadrant member count over the node's member count) stays below
+/// `T_theta`. The memory cap `M` is *not* checked here; callers decide what a
+/// denied split means (the builder degrades to an overflowing leaf, the
+/// updater falls back to a full rebuild).
+/// A node whose region side has shrunk below this fraction of the domain
+/// side never splits, bounding the grid depth at ~20 regardless of the
+/// non-leaf budget. Like every split-rule input this is a pure function of
+/// the region, so the canonical structure stays reproducible by local
+/// repair.
+const MIN_LEAF_SIDE_FRACTION: f64 = 1.0 / (1 << 20) as f64;
+
+pub(crate) fn split_members(
+    index: &UvIndex,
+    ctx: &GridCtx<'_>,
+    region: &Rect,
+    members: &[ObjectId],
+) -> Option<[Vec<ObjectId>; 4]> {
+    if members.len() <= index.split_capacity() {
+        return None;
+    }
+    let domain = index.domain();
+    if region.width() <= domain.width() * MIN_LEAF_SIDE_FRACTION
+        || region.height() <= domain.height() * MIN_LEAF_SIDE_FRACTION
+    {
+        return None;
+    }
+    let quadrants = region.quadrants();
+    let mut parts: [Vec<ObjectId>; 4] = Default::default();
+    for id in members {
+        for (k, quadrant) in quadrants.iter().enumerate() {
+            if ctx.overlaps(*id, quadrant) {
+                parts[k].push(*id);
             }
         }
-        let min_child = members.iter().map(Vec::len).min().unwrap_or(0);
-        let theta = min_child as f64 / object_ids.len().max(1) as f64;
-        if theta < self.index.config.split_threshold {
-            SplitDecision::Split(members)
+    }
+    let min_child = parts.iter().map(Vec::len).min().unwrap_or(0);
+    let theta = min_child as f64 / members.len() as f64;
+    (theta < index.config().split_threshold).then_some(parts)
+}
+
+/// Builds the subtree rooted at slot `node` (whose region is already set)
+/// from its canonical member set: split while Algorithm 4 says so and the
+/// memory budget permits, otherwise write a leaf page list.
+pub(crate) fn grow_node(
+    index: &mut UvIndex,
+    node: usize,
+    members: Vec<ObjectId>,
+    ctx: &GridCtx<'_>,
+    stats: &mut GrowStats,
+) {
+    let region = index.node_regions[node];
+    if let Some(parts) = split_members(index, ctx, &region, &members) {
+        if index.nonleaf_count + 1 > index.config().max_nonleaf {
+            // OVERFLOW of Algorithm 4: the memory budget for non-leaf nodes
+            // is exhausted; the leaf keeps an overlong page list. Budget
+            // allocation is order-dependent, so incremental repair is no
+            // longer exact from here on — record that.
+            index.budget_bound = true;
         } else {
-            SplitDecision::Insert
-        }
-    }
-
-    fn push_entry(&mut self, node: usize, id: ObjectId) {
-        if let GridNode::Leaf { list, object_ids } = &mut self.index.nodes[node] {
-            list.push(self.entries[&id]);
-            object_ids.push(id);
-        }
-    }
-
-    /// SPLIT branch of Algorithm 3: the leaf becomes an internal node whose
-    /// four children receive the redistributed objects.
-    fn split(&mut self, node: usize, members: [Vec<ObjectId>; 4]) {
-        let quadrants = self.index.node_regions[node].quadrants();
-        let mut children = [0u32; 4];
-        for k in 0..4 {
-            let mut list = PagedList::new(Arc::clone(&self.index.store));
-            for id in &members[k] {
-                list.push(self.entries[id]);
+            index.nonleaf_count += 1;
+            stats.splits += 1;
+            let quadrants = region.quadrants();
+            let mut children = [0u32; 4];
+            for (k, quadrant) in quadrants.iter().enumerate() {
+                children[k] = index.alloc_node(GridNode::Free, *quadrant);
             }
-            let child_idx = self.index.nodes.len() as u32;
-            self.index.nodes.push(GridNode::Leaf {
-                list,
-                object_ids: members[k].clone(),
-            });
-            self.index.node_regions.push(quadrants[k]);
-            children[k] = child_idx;
+            index.nodes[node] = GridNode::Internal {
+                children,
+                object_ids: members,
+            };
+            for (k, part) in parts.into_iter().enumerate() {
+                grow_node(index, children[k] as usize, part, ctx, stats);
+            }
+            return;
         }
-        self.index.nodes[node] = GridNode::Internal { children };
-        self.index.nonleaf_count += 1;
     }
+    make_leaf(index, node, members, ctx, stats);
+}
+
+/// Writes slot `node` as a leaf: one `<ID, MBC, pointer>` entry per member,
+/// packed into a sealed page list.
+pub(crate) fn make_leaf(
+    index: &mut UvIndex,
+    node: usize,
+    members: Vec<ObjectId>,
+    ctx: &GridCtx<'_>,
+    stats: &mut GrowStats,
+) {
+    let mut list = PagedList::new(Arc::clone(&index.store));
+    for id in &members {
+        list.push(ctx.entries[id]);
+    }
+    list.seal();
+    index.nodes[node] = GridNode::Leaf {
+        list,
+        object_ids: members,
+    };
+    stats.leaves_built += 1;
 }
 
 #[cfg(test)]
@@ -570,6 +613,25 @@ mod tests {
     }
 
     #[test]
+    fn custom_leaf_split_capacity_makes_smaller_leaves() {
+        let f = fixture(400);
+        let (default_index, _) = build(&f, Method::IC, UvConfig::default());
+        let (fine_index, _) = build(
+            &f,
+            Method::IC,
+            UvConfig::default().with_leaf_split_capacity(16),
+        );
+        assert!(fine_index.num_leaf_nodes() > default_index.num_leaf_nodes());
+        for (_, ids) in fine_index.leaves() {
+            // A leaf either respects the capacity or could not be split
+            // further (theta >= T_theta keeps co-overlapping members
+            // together).
+            assert!(ids.len() <= 400);
+        }
+        answers_match_brute_force(&f, &fine_index, 5, 59);
+    }
+
+    #[test]
     fn construction_stats_are_consistent() {
         let f = fixture(300);
         let (index, stats) = build(&f, Method::IC, UvConfig::default());
@@ -612,6 +674,18 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|s| *s), "some object is in no leaf");
+    }
+
+    #[test]
+    fn leaf_member_lists_are_id_sorted() {
+        // The canonical build keeps every member list in ascending id order —
+        // what makes delete-then-reinsert land an object back in exactly the
+        // slot a full rebuild would give it.
+        let f = fixture(500);
+        let (index, _) = build(&f, Method::IC, UvConfig::default());
+        for (_, ids) in index.leaves() {
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "unsorted leaf list");
+        }
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct UvConfig {
     /// landing in the same leaf reuse the page read and the region-level
     /// `d_minmax` candidate screen.
     pub leaf_cache: bool,
+    /// Member count above which a leaf is considered for splitting. `0`
+    /// (the default) uses the number of `<ID, MBC, pointer>` tuples that fit
+    /// one disk page, which is the paper's trigger; smaller values produce
+    /// more, smaller leaves, which localises incremental updates (see
+    /// [`crate::update`]) at the cost of more non-leaf nodes.
+    pub leaf_split_capacity: usize,
 }
 
 impl Default for UvConfig {
@@ -51,6 +57,7 @@ impl Default for UvConfig {
             parallel: true,
             query_workers: 0,
             leaf_cache: true,
+            leaf_split_capacity: 0,
         }
     }
 }
@@ -86,7 +93,45 @@ impl UvConfig {
                 "integration_steps must be at least 2",
             ));
         }
+        if self.curve_samples == 0 {
+            return Err(UvError::InvalidConfig("curve_samples must be positive"));
+        }
         Ok(())
+    }
+
+    /// Builder-style setter for the seed-selection k-NN size (`k`, the paper
+    /// uses 300).
+    pub fn with_seed_knn(mut self, k: usize) -> Self {
+        self.seed_knn = k;
+        self
+    }
+
+    /// Builder-style setter for the number of sectors / seeds (`k_s`, the
+    /// paper uses 8).
+    pub fn with_num_seeds(mut self, seeds: usize) -> Self {
+        self.num_seeds = seeds;
+        self
+    }
+
+    /// Builder-style setter for the number of integration steps of
+    /// qualification-probability computation.
+    pub fn with_integration_steps(mut self, steps: usize) -> Self {
+        self.integration_steps = steps;
+        self
+    }
+
+    /// Builder-style setter for the number of extra vertices per clipped
+    /// UV-edge chord.
+    pub fn with_curve_samples(mut self, samples: usize) -> Self {
+        self.curve_samples = samples;
+        self
+    }
+
+    /// Builder-style setter for the leaf split capacity (`0` = one full disk
+    /// page of entries, the paper's trigger).
+    pub fn with_leaf_split_capacity(mut self, capacity: usize) -> Self {
+        self.leaf_split_capacity = capacity;
+        self
     }
 
     /// Builder-style setter for the split threshold `T_theta`.
@@ -191,6 +236,12 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(UvConfig {
+            curve_samples: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -200,12 +251,23 @@ mod tests {
             .with_max_nonleaf(128)
             .with_parallel(false)
             .with_query_workers(3)
-            .with_leaf_cache(false);
+            .with_leaf_cache(false)
+            .with_seed_knn(50)
+            .with_num_seeds(6)
+            .with_integration_steps(40)
+            .with_curve_samples(4)
+            .with_leaf_split_capacity(16);
         assert_eq!(c.split_threshold, 0.5);
         assert_eq!(c.max_nonleaf, 128);
         assert!(!c.parallel);
         assert_eq!(c.query_workers, 3);
         assert!(!c.leaf_cache);
+        assert_eq!(c.seed_knn, 50);
+        assert_eq!(c.num_seeds, 6);
+        assert_eq!(c.integration_steps, 40);
+        assert_eq!(c.curve_samples, 4);
+        assert_eq!(c.leaf_split_capacity, 16);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -25,6 +25,55 @@ use uv_data::{ObjectEntry, ObjectId, UncertainObject};
 use uv_geom::{Circle, Point, Rect};
 use uv_rtree::RTree;
 
+/// How far away another object's change can be while still (possibly)
+/// altering the subject's cr-derivation — the *affected-object bound* of the
+/// dynamic maintenance subsystem ([`crate::update`]).
+///
+/// `derive_cr_objects` consumes exactly two index queries: the seed-selection
+/// k-NN and the I-pruning circular range query. An insert/delete/move of an
+/// object `O_j` can therefore only change the subject's derivation when `O_j`
+/// enters or leaves one of those two result sets:
+///
+/// * `knn_dist` — the distance of the k-th nearest neighbour (under the k-NN
+///   metric `distmin(O_j, c_i)`). A change strictly farther than this cannot
+///   alter the k-NN set, hence not the seeds nor the possible region.
+/// * `prune_radius` — the I-pruning radius `2d - r_i` (Lemma 2). A change
+///   whose centre is strictly outside this circle cannot alter the I-pruning
+///   survivors (and C-pruning only filters those).
+///
+/// Both are `f64::INFINITY` when the derivation is globally sensitive: fewer
+/// than `k` other objects exist (every change alters the k-NN set) or the
+/// degenerate co-located path was taken (its branch condition depends on the
+/// dataset cardinality).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateSensitivity {
+    /// Distance of the k-th seed-selection neighbour (`distmin` metric).
+    pub knn_dist: f64,
+    /// The I-pruning radius `max(0, 2d - r_i)` around the subject centre.
+    pub prune_radius: f64,
+}
+
+impl UpdateSensitivity {
+    /// Sensitivity of a derivation that must be repeated on *any* change.
+    pub fn always_affected() -> Self {
+        Self {
+            knn_dist: f64::INFINITY,
+            prune_radius: f64::INFINITY,
+        }
+    }
+
+    /// `true` when a change of an object with MBC `mbc` (its old or new
+    /// state) can alter a derivation done from `center` with this
+    /// sensitivity. Sound with a small tolerance: flagging too much merely
+    /// costs a re-derivation, flagging too little would desynchronise the
+    /// index, so ties err on the affected side.
+    pub fn affected_by(&self, center: uv_geom::Point, mbc: &Circle) -> bool {
+        use uv_geom::EPS;
+        mbc.dist_min(center) <= self.knn_dist + EPS
+            || mbc.center.dist(center) <= self.prune_radius + EPS
+    }
+}
+
 /// The cr-objects of one subject object, with the possible region and the
 /// pruning statistics that produced them.
 #[derive(Debug, Clone)]
@@ -37,6 +86,8 @@ pub struct CrObjects {
     pub region: PossibleRegion,
     /// Pruning statistics (seed count, survivors of each phase).
     pub stats: PruneStats,
+    /// Affected-object bound for dynamic maintenance.
+    pub sensitivity: UpdateSensitivity,
 }
 
 impl CrObjects {
@@ -95,6 +146,9 @@ pub fn derive_cr_objects(
             cr_ids,
             region: PossibleRegion::full(subject.mbc(), domain),
             stats,
+            // The branch condition compares against the dataset cardinality,
+            // so any change re-derives.
+            sensitivity: UpdateSensitivity::always_affected(),
         };
     }
 
@@ -135,11 +189,25 @@ pub fn derive_cr_objects(
         after_c_pruning: cr_ids.len(),
     };
 
+    // When fewer than `k` other objects exist, any insert enters the k-NN
+    // result; otherwise a change beyond the k-th neighbour distance (the
+    // canonical knn result is sorted, so the last entry is farthest) cannot
+    // alter the k-NN set.
+    let knn_dist = if neighbours.len() < config.seed_knn {
+        f64::INFINITY
+    } else {
+        neighbours.last().map_or(f64::INFINITY, |e| e.dist_min(ci))
+    };
+
     CrObjects {
         object_id: subject.id,
         cr_ids,
         region,
         stats,
+        sensitivity: UpdateSensitivity {
+            knn_dist,
+            prune_radius: i_radius,
+        },
     }
 }
 

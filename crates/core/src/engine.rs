@@ -58,16 +58,25 @@ struct CachedLeaf {
 /// Lazily filled per-leaf cache, indexed by grid-node id. `OnceLock` makes
 /// concurrent fills race-free: exactly one worker reads the pages, everyone
 /// else blocks briefly and reuses the result.
+///
+/// The cache is tagged with the index [`UvIndex::epoch`] it was created for.
+/// Dynamic maintenance ([`crate::update`]) bumps the epoch on every applied
+/// batch; a cache whose epoch no longer matches is bypassed entirely, so a
+/// reader can never be served leaf pages from before an update. (While an
+/// engine borrows the index the borrow checker already forbids mutation —
+/// the epoch tag keeps the invariant explicit and robust under future shared
+/// ownership.)
 #[derive(Debug)]
 struct LeafCache {
+    epoch: u64,
     slots: Vec<OnceLock<CachedLeaf>>,
 }
 
 impl LeafCache {
-    fn new(nodes: usize) -> Self {
+    fn new(epoch: u64, nodes: usize) -> Self {
         let mut slots = Vec::with_capacity(nodes);
         slots.resize_with(nodes, OnceLock::new);
-        Self { slots }
+        Self { epoch, slots }
     }
 
     /// Number of leaves whose pages have been read and memoized so far.
@@ -132,7 +141,9 @@ impl<'a> QueryEngine<'a> {
     /// cache toggle and integration steps from the index's [`crate::UvConfig`].
     pub fn new(index: &'a UvIndex, objects: &'a ObjectStore) -> Self {
         let config = index.config();
-        let cache = config.leaf_cache.then(|| LeafCache::new(index.nodes.len()));
+        let cache = config
+            .leaf_cache
+            .then(|| LeafCache::new(index.epoch(), index.nodes.len()));
         Self {
             index,
             objects,
@@ -150,7 +161,7 @@ impl<'a> QueryEngine<'a> {
 
     /// Enables or disables the per-leaf cache (dropping any cached leaves).
     pub fn with_cache(mut self, enabled: bool) -> Self {
-        self.cache = enabled.then(|| LeafCache::new(self.index.nodes.len()));
+        self.cache = enabled.then(|| LeafCache::new(self.index.epoch(), self.index.nodes.len()));
         self
     }
 
@@ -169,14 +180,29 @@ impl<'a> QueryEngine<'a> {
         self.cache.as_ref().map_or(0, LeafCache::filled)
     }
 
+    /// The index epoch the leaf cache was created for, if caching is
+    /// enabled. A cache is only ever consulted while this matches
+    /// [`UvIndex::epoch`].
+    pub fn cache_epoch(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.epoch)
+    }
+
     /// Answers a single PNN query through the engine (leaf cache, if
     /// enabled, but no fan-out). Bit-identical to [`UvIndex::pnn`].
     pub fn pnn(&self, q: Point) -> PnnAnswer {
         let t_traversal = Instant::now();
-        let Some(cache) = &self.cache else {
-            let Some((_, entries, io)) = self.index.read_leaf_entries(q) else {
-                return PnnAnswer::default();
-            };
+        let Some(leaf) = self.index.locate_leaf(q) else {
+            return PnnAnswer::default();
+        };
+        // The cache is only usable while its epoch matches the index (and
+        // its slot table still covers the node id): anything else falls back
+        // to a direct leaf read, so stale pages are unreachable.
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|c| c.epoch == self.index.epoch() && leaf < c.slots.len());
+        let Some(cache) = cache else {
+            let (entries, io) = self.index.leaf_entries(leaf);
             return verify_and_refine(
                 self.objects,
                 q,
@@ -185,9 +211,6 @@ impl<'a> QueryEngine<'a> {
                 io,
                 t_traversal,
             );
-        };
-        let Some(leaf) = self.index.locate_leaf(q) else {
-            return PnnAnswer::default();
         };
         let mut filled_here = false;
         let cached = cache.slots[leaf].get_or_init(|| {

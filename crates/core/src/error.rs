@@ -9,6 +9,10 @@ pub enum UvError {
     InvalidConfig(&'static str),
     /// An object id was not found in the dataset / index.
     UnknownObject(u32),
+    /// An insert used an object id that is already live.
+    DuplicateObject(u32),
+    /// An object has non-finite coordinates or a negative radius.
+    InvalidObject(u32),
     /// The query point lies outside the indexed domain.
     OutOfDomain,
     /// The index was built over an empty dataset.
@@ -20,6 +24,13 @@ impl fmt::Display for UvError {
         match self {
             UvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             UvError::UnknownObject(id) => write!(f, "unknown object id {id}"),
+            UvError::DuplicateObject(id) => write!(f, "object id {id} is already live"),
+            UvError::InvalidObject(id) => {
+                write!(
+                    f,
+                    "object {id} has a non-finite position or negative radius"
+                )
+            }
             UvError::OutOfDomain => write!(f, "query point lies outside the indexed domain"),
             UvError::EmptyIndex => write!(f, "the index contains no objects"),
         }
@@ -39,6 +50,11 @@ mod tests {
             "invalid configuration: x"
         );
         assert_eq!(UvError::UnknownObject(3).to_string(), "unknown object id 3");
+        assert_eq!(
+            UvError::DuplicateObject(4).to_string(),
+            "object id 4 is already live"
+        );
+        assert!(UvError::InvalidObject(5).to_string().contains("object 5"));
         assert!(UvError::OutOfDomain.to_string().contains("outside"));
         assert!(UvError::EmptyIndex.to_string().contains("no objects"));
     }

@@ -16,14 +16,22 @@ use uv_data::{
     qualification_probabilities, ObjectEntry, ObjectId, ObjectStore, PnnAnswer, QueryBreakdown,
 };
 use uv_geom::{Circle, OutsideRegion, Point, Rect, EPS};
-use uv_store::{PageStore, PagedList};
+use uv_store::{PageStore, PagedList, Record};
 
 /// A node of the adaptive grid.
 #[derive(Debug)]
 pub(crate) enum GridNode {
     /// Internal node with exactly four children (one per quadrant, in
-    /// `[SW, SE, NE, NW]` order).
-    Internal { children: [u32; 4] },
+    /// `[SW, SE, NE, NW]` order). `object_ids` is the node's canonical member
+    /// set — the objects whose overlap test (Algorithm 5) passes for the
+    /// node's region, id-sorted. It is what a collapse (leaf merge) under
+    /// dynamic maintenance turns back into a leaf list: an object can be a
+    /// member of an internal node while failing the test for all four
+    /// children, so the set is *not* recoverable from the descendants.
+    Internal {
+        children: [u32; 4],
+        object_ids: Vec<ObjectId>,
+    },
     /// Leaf node: a page list of object entries plus the memory-resident
     /// object-id summary used by offline pattern analysis (Section V-C keeps
     /// an offline counter per leaf; we keep the ids, which subsumes it).
@@ -31,6 +39,10 @@ pub(crate) enum GridNode {
         list: PagedList<ObjectEntry>,
         object_ids: Vec<ObjectId>,
     },
+    /// A recycled slot: the node was freed by a leaf merge (dynamic
+    /// maintenance) and its index is available for reuse. Never reachable
+    /// from the root.
+    Free,
 }
 
 /// The UV-index.
@@ -42,6 +54,18 @@ pub struct UvIndex {
     pub(crate) node_regions: Vec<Rect>,
     pub(crate) nonleaf_count: usize,
     pub(crate) store: Arc<PageStore>,
+    /// Version counter: bumped once per applied update batch (and per full
+    /// rebuild). Query-side caches tag themselves with the epoch they were
+    /// filled at and are bypassed on mismatch, so a reader can never be
+    /// served leaf pages from before an update.
+    pub(crate) epoch: u64,
+    /// Node slots freed by leaf merges, available for reuse by splits.
+    pub(crate) free_slots: Vec<u32>,
+    /// `true` when construction (or a later repair) wanted to split a leaf
+    /// but the non-leaf memory budget `M` denied it. Incremental maintenance
+    /// falls back to a full rebuild while the budget binds, because budget
+    /// allocation is order-dependent and no longer localisable.
+    pub(crate) budget_bound: bool,
 }
 
 impl UvIndex {
@@ -58,6 +82,58 @@ impl UvIndex {
             node_regions: vec![domain],
             nonleaf_count: 0,
             store,
+            epoch: 0,
+            free_slots: Vec::new(),
+            budget_bound: false,
+        }
+    }
+
+    /// Current index epoch. Starts at 0 and is bumped once per applied
+    /// update batch; see [`crate::update`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Member count above which a leaf is considered for splitting:
+    /// [`UvConfig::leaf_split_capacity`], with `0` resolved to the number of
+    /// `<ID, MBC, pointer>` tuples that fit one disk page.
+    pub(crate) fn split_capacity(&self) -> usize {
+        if self.config.leaf_split_capacity > 0 {
+            self.config.leaf_split_capacity
+        } else {
+            (self.store.page_size() / ObjectEntry::SIZE).max(1)
+        }
+    }
+
+    /// Allocates a node slot (reusing freed ones first).
+    pub(crate) fn alloc_node(&mut self, node: GridNode, region: Rect) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            self.nodes[slot as usize] = node;
+            self.node_regions[slot as usize] = region;
+            slot
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(node);
+            self.node_regions.push(region);
+            slot
+        }
+    }
+
+    /// Frees the descendants of `node` (not `node` itself), returning their
+    /// slots to the free list and decrementing the non-leaf count for every
+    /// freed internal node.
+    pub(crate) fn free_children(&mut self, node: usize) {
+        let GridNode::Internal { children, .. } = &self.nodes[node] else {
+            return;
+        };
+        let children = *children;
+        for child in children {
+            self.free_children(child as usize);
+            if matches!(self.nodes[child as usize], GridNode::Internal { .. }) {
+                self.nonleaf_count -= 1;
+            }
+            self.nodes[child as usize] = GridNode::Free;
+            self.free_slots.push(child);
         }
     }
 
@@ -95,7 +171,7 @@ impl UvIndex {
             .iter()
             .filter_map(|n| match n {
                 GridNode::Leaf { list, .. } => Some(list.num_pages()),
-                GridNode::Internal { .. } => None,
+                _ => None,
             })
             .sum()
     }
@@ -105,13 +181,14 @@ impl UvIndex {
         fn depth(index: &UvIndex, node: usize) -> usize {
             match &index.nodes[node] {
                 GridNode::Leaf { .. } => 1,
-                GridNode::Internal { children } => {
+                GridNode::Internal { children, .. } => {
                     1 + children
                         .iter()
                         .map(|c| depth(index, *c as usize))
                         .max()
                         .unwrap_or(0)
                 }
+                GridNode::Free => unreachable!("free nodes are unreachable from the root"),
             }
         }
         depth(self, 0)
@@ -126,7 +203,7 @@ impl UvIndex {
             .zip(&self.node_regions)
             .filter_map(|(node, region)| match node {
                 GridNode::Leaf { object_ids, .. } => Some((region, object_ids.as_slice())),
-                GridNode::Internal { .. } => None,
+                _ => None,
             })
     }
 
@@ -148,7 +225,8 @@ impl UvIndex {
         loop {
             match &self.nodes[node] {
                 GridNode::Leaf { .. } => return Some(node),
-                GridNode::Internal { children } => {
+                GridNode::Free => unreachable!("free nodes are unreachable from the root"),
+                GridNode::Internal { children, .. } => {
                     let region = self.node_regions[node];
                     let c = region.center();
                     // Quadrant order matches Rect::quadrants(): SW, SE, NE, NW.
@@ -170,7 +248,7 @@ impl UvIndex {
     pub(crate) fn leaf_entries(&self, leaf: usize) -> (Vec<ObjectEntry>, u64) {
         match &self.nodes[leaf] {
             GridNode::Leaf { list, .. } => (list.read_all(), list.num_pages() as u64),
-            GridNode::Internal { .. } => unreachable!("leaf_entries is only called on leaves"),
+            _ => unreachable!("leaf_entries is only called on leaves"),
         }
     }
 
@@ -205,16 +283,6 @@ impl UvIndex {
             index_io,
             t_traversal,
         )
-    }
-
-    /// Seals every leaf page list (flushes in-memory tails to disk pages).
-    /// Called once at the end of construction.
-    pub(crate) fn seal(&mut self) {
-        for node in &mut self.nodes {
-            if let GridNode::Leaf { list, .. } = node {
-                list.seal();
-            }
-        }
     }
 }
 

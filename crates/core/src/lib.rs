@@ -19,6 +19,9 @@
 //!   read-only index: worker-pool fan-out, per-leaf memoization and
 //!   trajectory (moving-PNN) workloads — beyond the paper, toward the
 //!   production system of `ROADMAP.md`.
+//! * [`update`] — dynamic maintenance beyond the paper: incremental
+//!   insert/delete/move with localized UV-partition repair, bit-identical to
+//!   a cold rebuild, on an epoch-versioned index.
 //!
 //! # Quick start
 //!
@@ -63,11 +66,12 @@ pub mod pattern;
 pub mod region;
 pub mod stats;
 pub mod system;
+pub mod update;
 
 pub use builder::{build_uv_index, Method};
 pub use cell::UvCell;
 pub use config::UvConfig;
-pub use crobjects::CrObjects;
+pub use crobjects::{CrObjects, UpdateSensitivity};
 pub use engine::{QueryEngine, TrajectoryStep};
 pub use error::UvError;
 pub use index::UvIndex;
@@ -75,3 +79,4 @@ pub use pattern::PartitionCell;
 pub use region::PossibleRegion;
 pub use stats::{ConstructionStats, PruneStats};
 pub use system::UvSystem;
+pub use update::{ObjectState, UpdateBatch, UpdateOp, UpdateStats, Updater};

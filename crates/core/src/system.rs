@@ -6,11 +6,12 @@
 //! individual pieces remain available for callers that want to manage
 //! storage themselves.
 
-use crate::builder::{build_uv_index, Method};
+use crate::builder::{build_uv_index_full, Method};
 use crate::config::UvConfig;
 use crate::engine::{QueryEngine, TrajectoryStep};
 use crate::index::UvIndex;
 use crate::stats::ConstructionStats;
+use crate::update::RefTable;
 use std::sync::Arc;
 use uv_data::{ObjectId, ObjectStore, PnnAnswer, UncertainObject};
 use uv_geom::{Point, Rect};
@@ -18,15 +19,25 @@ use uv_rtree::{pnn_query, RTree};
 use uv_store::PageStore;
 
 /// A complete UV-diagram deployment over one dataset.
+///
+/// Beyond the paper's frozen-dataset setting, the system is *dynamic*:
+/// [`UvSystem::updater`], [`UvSystem::apply`] and the single-op wrappers
+/// ([`UvSystem::insert_object`], [`UvSystem::delete_object`],
+/// [`UvSystem::move_object`]) maintain every structure incrementally with
+/// answers bit-identical to a cold rebuild — see [`crate::update`].
 #[derive(Debug)]
 pub struct UvSystem {
-    objects: Vec<UncertainObject>,
-    domain: Rect,
-    object_store: ObjectStore,
-    rtree: RTree,
-    index: UvIndex,
-    construction: ConstructionStats,
-    config: UvConfig,
+    pub(crate) objects: Vec<UncertainObject>,
+    pub(crate) domain: Rect,
+    pub(crate) object_store: ObjectStore,
+    pub(crate) rtree: RTree,
+    pub(crate) index: UvIndex,
+    pub(crate) construction: ConstructionStats,
+    pub(crate) config: UvConfig,
+    pub(crate) method: Method,
+    /// Per-object reference sets and update-sensitivity bounds, kept in sync
+    /// with the index by [`crate::update`].
+    pub(crate) ref_table: RefTable,
 }
 
 impl UvSystem {
@@ -43,7 +54,7 @@ impl UvSystem {
         let rtree_pages = Arc::new(PageStore::new());
         let rtree = RTree::build(&objects, &object_store, rtree_pages);
         let index_pages = Arc::new(PageStore::new());
-        let (index, construction) = build_uv_index(
+        let (index, construction, ref_table) = build_uv_index_full(
             &objects,
             &object_store,
             &rtree,
@@ -60,6 +71,8 @@ impl UvSystem {
             index,
             construction,
             config,
+            method,
+            ref_table,
         }
     }
 
@@ -68,14 +81,41 @@ impl UvSystem {
         Self::build(objects, domain, Method::IC, UvConfig::default())
     }
 
-    /// The indexed objects.
+    /// The indexed objects. Under dynamic maintenance the slice reflects the
+    /// current live set: deletes remove, inserts append, moves mutate in
+    /// place (the index itself orders members canonically by id, so slice
+    /// order carries no meaning).
     pub fn objects(&self) -> &[UncertainObject] {
         &self.objects
     }
 
-    /// The indexed domain.
+    /// The indexed domain (it can grow when an update inserts or moves an
+    /// object beyond it, which triggers a full rebuild).
     pub fn domain(&self) -> Rect {
         self.domain
+    }
+
+    /// The construction method the system was built with (re-used by
+    /// incremental re-derivations).
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &UvConfig {
+        &self.config
+    }
+
+    /// Current index epoch: 0 after construction, bumped once per applied
+    /// update batch.
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
+    /// The retained maintenance state of one object (reference ids and
+    /// sensitivity bound), if it is live.
+    pub fn object_state(&self, id: ObjectId) -> Option<&crate::update::ObjectState> {
+        self.ref_table.get(&id)
     }
 
     /// The UV-index.

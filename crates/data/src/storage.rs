@@ -82,6 +82,13 @@ impl Record for ObjectEntry {
 /// read unless the page was already read for an earlier object of the same
 /// query batch (the per-query cache models the buffer the paper's
 /// implementation would enjoy within a single query).
+///
+/// The store is *dynamic*: [`ObjectStore::insert`] appends records
+/// (compacting into the current append page while it has room),
+/// [`ObjectStore::remove`] tombstones a record in place (the directory entry
+/// disappears, the page bytes stay), and [`ObjectStore::update`] combines
+/// the two. Tombstoned slots are never reused — a log-structured layout
+/// whose garbage is bounded by the churn volume, not the dataset size.
 #[derive(Debug)]
 pub struct ObjectStore {
     store: Arc<PageStore>,
@@ -90,6 +97,10 @@ pub struct ObjectStore {
     /// Decoded objects for verification-free access paths (construction).
     objects: HashMap<ObjectId, UncertainObject>,
     objects_per_page: usize,
+    /// The partially filled page appends go to, with its live record count.
+    append_page: Option<(PageId, usize)>,
+    /// Records removed from the directory whose page bytes remain.
+    tombstones: usize,
 }
 
 /// Fixed encoded size of one object record: id (4) + bar count (4) +
@@ -102,6 +113,8 @@ impl ObjectStore {
         let objects_per_page = (store.page_size() / OBJECT_RECORD_SIZE).max(1);
         let mut directory = HashMap::with_capacity(objects.len());
         let mut map = HashMap::with_capacity(objects.len());
+        // A partially filled final page keeps accepting appends.
+        let mut append_page = None;
         for chunk in objects.chunks(objects_per_page) {
             let mut buf = Vec::with_capacity(chunk.len() * OBJECT_RECORD_SIZE);
             for o in chunk {
@@ -112,13 +125,74 @@ impl ObjectStore {
                 directory.insert(o.id, page);
                 map.insert(o.id, o.clone());
             }
+            append_page = (chunk.len() < objects_per_page).then_some((page, chunk.len()));
         }
         Self {
             store,
             directory,
             objects: map,
             objects_per_page,
+            append_page,
+            tombstones: 0,
         }
+    }
+
+    /// Appends a new object record, packing it into the current append page
+    /// when that still has room (one page write either way).
+    ///
+    /// # Panics
+    /// Panics if an object with the same id is already stored — callers
+    /// validate ids before mutating the store.
+    pub fn insert(&mut self, object: &UncertainObject) {
+        assert!(
+            !self.directory.contains_key(&object.id),
+            "object {} is already stored",
+            object.id
+        );
+        let mut record = Vec::with_capacity(OBJECT_RECORD_SIZE);
+        encode_object(object, &mut record);
+        let page = match self.append_page {
+            Some((page, count)) if count < self.objects_per_page => {
+                let mut bytes = self.store.read_uncounted(page).to_vec();
+                bytes.extend_from_slice(&record);
+                self.store.write(page, Bytes::from(bytes));
+                self.append_page = Some((page, count + 1));
+                page
+            }
+            _ => {
+                let page = self.store.allocate(Bytes::from(record));
+                self.append_page = Some((page, 1));
+                page
+            }
+        };
+        self.directory.insert(object.id, page);
+        self.objects.insert(object.id, object.clone());
+    }
+
+    /// Tombstones the record of `id`: the directory entry and decoded object
+    /// disappear, the page bytes stay behind as garbage. Returns `false`
+    /// when the id was not stored.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        if self.directory.remove(&id).is_none() {
+            return false;
+        }
+        self.objects.remove(&id);
+        self.tombstones += 1;
+        true
+    }
+
+    /// Rewrites the record of `object` (tombstone + append).
+    ///
+    /// # Panics
+    /// Panics if the object is not currently stored.
+    pub fn update(&mut self, object: &UncertainObject) {
+        assert!(self.remove(object.id), "object {} is not stored", object.id);
+        self.insert(object);
+    }
+
+    /// Number of tombstoned (removed but not reclaimed) records.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
     }
 
     /// Number of objects per full page.
@@ -276,6 +350,92 @@ mod tests {
         assert!(store.fetch(99, &mut touched).is_none());
         assert!(store.get(99).is_none());
         assert_eq!(store.ptr_of(99), 0);
+    }
+
+    #[test]
+    fn churn_keeps_ptr_of_and_fetch_consistent() {
+        // Regression for the dynamic store: after interleaved tombstoned
+        // deletes, appends and rewrites, every live object must fetch to its
+        // exact record, its pointer must name the page the record lives on,
+        // and dead ids must be gone.
+        let page_store = Arc::new(PageStore::new());
+        let mut objects = sample_objects(40);
+        let mut store = ObjectStore::build(Arc::clone(&page_store), &objects);
+
+        // Delete every fourth object.
+        for id in (0..40u32).step_by(4) {
+            assert!(store.remove(id));
+            assert!(!store.remove(id), "double delete must report false");
+        }
+        assert_eq!(store.len(), 30);
+        assert_eq!(store.tombstones(), 10);
+
+        // Append a fresh batch (re-using two of the freed ids).
+        let mut fresh = sample_objects(48)[40..].to_vec();
+        fresh.push(UncertainObject::with_uniform(0, Point::new(7.0, 7.0), 2.0));
+        fresh.push(UncertainObject::with_gaussian(4, Point::new(9.0, 9.0), 3.0));
+        for o in &fresh {
+            store.insert(o);
+        }
+        // Move a survivor: its record is rewritten on an append page.
+        objects[13] = UncertainObject::with_gaussian(13, Point::new(-3.0, -4.0), 5.0);
+        store.update(&objects[13]);
+
+        // `objects[13]` already holds the rewritten record.
+        let live: Vec<UncertainObject> = objects
+            .iter()
+            .filter(|o| o.id % 4 != 0)
+            .chain(fresh.iter())
+            .cloned()
+            .collect();
+        for o in &live {
+            let mut touched = HashSet::new();
+            let fetched = store.fetch(o.id, &mut touched).unwrap();
+            assert_eq!(&fetched, o, "object {} fetched a stale record", o.id);
+            assert_eq!(store.get(o.id), Some(o));
+            assert_eq!(
+                store.ptr_of(o.id),
+                touched.iter().next().copied().unwrap() as u64,
+                "pointer of {} does not name its record page",
+                o.id
+            );
+        }
+        for dead in [8u32, 12, 16] {
+            let mut touched = HashSet::new();
+            assert!(store.fetch(dead, &mut touched).is_none());
+            assert_eq!(store.ptr_of(dead), 0);
+        }
+
+        // I/O accounting stays exact under churn: fetching every live object
+        // in one batch charges exactly one read per distinct directory page,
+        // which must equal the store's atomic read counter delta.
+        page_store.reset_io();
+        let mut touched = HashSet::new();
+        for o in &live {
+            store.fetch(o.id, &mut touched).unwrap();
+        }
+        let distinct_pages: HashSet<u32> = live.iter().map(|o| store.ptr_of(o.id) as u32).collect();
+        assert_eq!(touched.len(), distinct_pages.len());
+        assert_eq!(page_store.io().reads, touched.len() as u64);
+    }
+
+    #[test]
+    fn appends_compact_into_the_open_page() {
+        let page_store = Arc::new(PageStore::new());
+        let mut store = ObjectStore::build(Arc::clone(&page_store), &[]);
+        let per_page = store.objects_per_page();
+        let pages_before = page_store.num_pages();
+        for o in sample_objects(per_page as u32) {
+            store.insert(&o);
+        }
+        // A full page worth of appends allocates exactly one page.
+        assert_eq!(page_store.num_pages(), pages_before + 1);
+        store.insert(&UncertainObject::with_uniform(
+            per_page as u32,
+            Point::new(1.0, 1.0),
+            1.0,
+        ));
+        assert_eq!(page_store.num_pages(), pages_before + 2);
     }
 
     #[test]

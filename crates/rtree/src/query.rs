@@ -91,20 +91,37 @@ impl RTree {
     /// uncertainty regions have the smallest minimum distance from `q`
     /// (Section IV-B seed selection). An optional `exclude` id is skipped
     /// (the query object itself).
+    ///
+    /// The result is *canonical*: entries come back sorted by
+    /// `(dist_min, id)`, and ties at the k-th distance are resolved by the
+    /// smaller id. This makes the answer a pure function of the object
+    /// geometry, independent of how the tree happens to be packed — which the
+    /// dynamic UV-index maintenance relies on (it rebuilds the packed tree on
+    /// every update batch and must get bit-identical seed selections for
+    /// unaffected objects).
     pub fn knn(&self, q: Point, k: usize, exclude: Option<u32>) -> Vec<ObjectEntry> {
-        let mut result = Vec::with_capacity(k);
         if k == 0 {
-            return result;
+            return Vec::new();
         }
         let Some(root) = self.root() else {
-            return result;
+            return Vec::new();
         };
+        // Best-first traversal collecting every entry whose distance is at
+        // most the k-th smallest seen so far (popped distances are
+        // non-decreasing, so once `k` entries are collected the k-th of them
+        // is the true k-th distance and anything strictly farther can stop
+        // the search).
+        let mut collected: Vec<(f64, ObjectEntry)> = Vec::with_capacity(k + 4);
+        let mut kth = f64::INFINITY;
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
         heap.push(HeapItem {
             dist: self.node_mbr(root).dist_min(q),
             payload: HeapPayload::Node(root),
         });
         while let Some(item) = heap.pop() {
+            if item.dist > kth {
+                break;
+            }
             match item.payload {
                 HeapPayload::Node(NodeRef::Internal(idx)) => {
                     for child in &self.internal(idx).children {
@@ -126,14 +143,20 @@ impl RTree {
                     }
                 }
                 HeapPayload::Entry(e) => {
-                    result.push(e);
-                    if result.len() >= k {
-                        break;
+                    collected.push((item.dist, e));
+                    if collected.len() == k {
+                        kth = item.dist;
                     }
                 }
             }
         }
-        result
+        collected.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.id.cmp(&b.1.id))
+        });
+        collected.truncate(k);
+        collected.into_iter().map(|(_, e)| e).collect()
     }
 }
 
@@ -252,6 +275,34 @@ mod tests {
                 assert!(ds.objects[*id as usize].dist_min(q) <= kth_dist + EPS);
             }
         }
+    }
+
+    #[test]
+    fn knn_is_canonical_sorted_with_id_tie_breaks() {
+        // Co-located objects produce exact distance ties; the result must be
+        // sorted by (dist, id) and resolve boundary ties to smaller ids so
+        // the answer is a pure function of the geometry, not the packing.
+        let pages = Arc::new(PageStore::new());
+        let mut objects: Vec<UncertainObject> = (0..8u32)
+            .map(|i| UncertainObject::with_uniform(i, Point::new(100.0, 100.0), 5.0))
+            .collect();
+        objects.push(UncertainObject::with_uniform(
+            8,
+            Point::new(300.0, 100.0),
+            5.0,
+        ));
+        let store = ObjectStore::build(Arc::clone(&pages), &objects);
+        let tree = RTree::build(&objects, &store, pages);
+        let q = Point::new(100.0, 100.0);
+        // k = 4 cuts through an 8-way tie: the four smallest ids win.
+        let got: Vec<u32> = tree.knn(q, 4, None).into_iter().map(|e| e.id).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        // With an excluded id the tie resolves to the next smallest ids.
+        let got: Vec<u32> = tree.knn(q, 4, Some(1)).into_iter().map(|e| e.id).collect();
+        assert_eq!(got, vec![0, 2, 3, 4]);
+        // A full query is globally sorted by (dist, id).
+        let all: Vec<u32> = tree.knn(q, 9, None).into_iter().map(|e| e.id).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

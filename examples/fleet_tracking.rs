@@ -10,6 +10,11 @@
 //! to. This is the workload shape of probabilistic moving-NN queries (Ali et
 //! al.) on top of the paper's UV-index.
 //!
+//! The final phase goes live: sites join, leave and drift between ticks, and
+//! the dynamic maintenance subsystem repairs the UV-partition locally — the
+//! dispatcher keeps serving from an index that is bit-identical to a full
+//! rebuild, at a fraction of the cost.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example fleet_tracking
@@ -63,7 +68,7 @@ fn main() {
     let sites = survey_sites(3_000, domain, 4242);
     println!("surveyed {} uncertain infrastructure sites", sites.len());
 
-    let system = UvSystem::with_defaults(sites, domain);
+    let mut system = UvSystem::with_defaults(sites, domain);
     println!(
         "UV-index: {} leaves, {} non-leaf nodes, built in {:.2?}",
         system.construction_stats().leaf_nodes,
@@ -156,5 +161,83 @@ fn main() {
     println!(
         "\nfleet summary: {handovers} handovers across {total_steps} steps; {:.0}% of steps kept the answer set unchanged",
         quiet_steps as f64 / total_steps.max(1) as f64 * 100.0
+    );
+
+    // --- Live infrastructure churn: join / leave / move between ticks. ------
+    // The engine borrows the system, so it is dropped before each update and
+    // recreated after — its leaf cache is tagged with the index epoch, so a
+    // dispatcher can never serve pre-update pages.
+    drop(engine);
+    println!("\nlive churn: sites join, leave and drift while serving continues");
+    let probe = paths[0][steps - 1];
+    let mut next_id = 3_000u32;
+    for tick in 0..3 {
+        // Re-surveyed sites drift to corrected positions (targets are read
+        // before the updater takes its mutable borrow).
+        let drifted: Vec<(u32, Point)> = (0..5u32)
+            .map(|k| {
+                let id = 1_000 + tick * 10 + k;
+                let c = system
+                    .objects()
+                    .iter()
+                    .find(|o| o.id == id)
+                    .unwrap()
+                    .center();
+                (
+                    id,
+                    Point::new(
+                        (c.x + rng.gen_range(-60.0..60.0f64)).clamp(100.0, domain.max_x - 100.0),
+                        (c.y + rng.gen_range(-60.0..60.0f64)).clamp(100.0, domain.max_y - 100.0),
+                    ),
+                )
+            })
+            .collect();
+        let joins: Vec<UncertainObject> = (0..5)
+            .map(|_| {
+                let o = UncertainObject::with_gaussian(
+                    next_id,
+                    Point::new(
+                        rng.gen_range(500.0..domain.max_x - 500.0),
+                        rng.gen_range(500.0..domain.max_y - 500.0),
+                    ),
+                    15.0,
+                );
+                next_id += 1;
+                o
+            })
+            .collect();
+
+        let mut batch = system.updater();
+        for site in joins {
+            batch = batch.insert(site); // new sites come online
+        }
+        for k in 0..5u32 {
+            batch = batch.delete(tick * 10 + k); // old ones are decommissioned
+        }
+        for (id, to) in drifted {
+            batch = batch.move_to(id, to);
+        }
+        let stats = batch.commit().expect("churn batch applies");
+        let engine = system.engine();
+        let answer = engine.pnn(probe);
+        println!(
+            "  tick {tick}: epoch {} | {}i/{}d/{}m -> {} of {} leaves refined ({:.1}%), {} re-derived{} | probe best site: {}",
+            stats.epoch,
+            stats.inserted,
+            stats.deleted,
+            stats.moved,
+            stats.leaves_refined,
+            stats.total_leaves,
+            stats.refine_fraction() * 100.0,
+            stats.objects_rederived,
+            if stats.full_rebuild { " (full rebuild)" } else { "" },
+            answer.best().map_or("-".to_string(), |(id, _)| id.to_string()),
+        );
+        assert_eq!(engine.cache_epoch(), Some(system.epoch()));
+    }
+    println!(
+        "after churn: {} sites live, index epoch {}",
+        system.objects().len(),
+        system.epoch()
     );
 }
