@@ -4,18 +4,25 @@
 //! cargo run --release -p uv-bench --bin experiments -- all
 //! cargo run --release -p uv-bench --bin experiments -- fig6a fig6b
 //! cargo run --release -p uv-bench --bin experiments -- --scale 0.1 --queries 50 fig7a
+//! cargo run --release -p uv-bench --bin experiments -- --json churn snapshot
 //! ```
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
 //! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory throughput churn
-//! all`.
+//! snapshot all`.
 //!
 //! `--scale` multiplies the paper's dataset cardinalities (default 0.05, i.e.
 //! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
-//! queries per measurement (default 50, as in the paper).
+//! queries per measurement (default 50, as in the paper); `--json` replaces
+//! the tables with one stable-schema JSON document (see `uv_bench::json`)
+//! suitable for committing as `BENCH_*.json` and diffing across PRs.
 
 use std::collections::BTreeSet;
-use uv_bench::{churn, fig6, fig7, print_table, sensitivity, table2, throughput, ExperimentScale};
+use uv_bench::json::JsonExperiment;
+use uv_bench::{
+    churn, fig6, fig7, json, print_table, sensitivity, snapshot, table2, throughput,
+    ExperimentScale,
+};
 
 const ALL: &[&str] = &[
     "fig6a",
@@ -35,11 +42,35 @@ const ALL: &[&str] = &[
     "sens_memory",
     "throughput",
     "churn",
+    "snapshot",
 ];
+
+/// Routes every experiment's rows either to the human-readable table
+/// printer or into the collected JSON document.
+struct Output {
+    json: bool,
+    collected: Vec<JsonExperiment>,
+}
+
+impl Output {
+    fn table(&mut self, id: &str, title: &str, header: &[&str], rows: Vec<Vec<String>>) {
+        if self.json {
+            self.collected.push(JsonExperiment {
+                id: id.to_string(),
+                title: title.to_string(),
+                columns: header.iter().map(|h| h.to_string()).collect(),
+                rows,
+            });
+        } else {
+            print_table(title, header, &rows);
+        }
+    }
+}
 
 fn main() {
     let mut scale = ExperimentScale::default();
     let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut as_json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,10 +86,15 @@ fn main() {
                 let v = args.next().expect("--basic-cap needs a value");
                 scale.basic_cap = v.parse().expect("--basic-cap must be an integer");
             }
+            "--json" => {
+                as_json = true;
+            }
             "--help" | "-h" => {
                 println!("Regenerates the evaluation of the UV-diagram paper (Section VI).");
                 println!();
-                println!("usage: experiments [--scale F] [--queries N] [--basic-cap N] <ids|all>");
+                println!(
+                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] <ids|all>"
+                );
                 println!();
                 println!(
                     "  --scale F      multiply the paper's dataset cardinalities (default 0.05)"
@@ -67,6 +103,7 @@ fn main() {
                 println!(
                     "  --basic-cap N  largest dataset the Basic method is run on (it is O(n^3))"
                 );
+                println!("  --json         emit one stable-schema JSON document instead of tables");
                 println!();
                 println!("ids: {}", ALL.join(" "));
                 println!("With no ids, every experiment runs (same as `all`).");
@@ -80,7 +117,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: experiments [--scale F] [--queries N] [--basic-cap N] <ids|all>");
+                eprintln!(
+                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] <ids|all>"
+                );
                 eprintln!("ids: {}", ALL.join(" "));
                 std::process::exit(2);
             }
@@ -90,24 +129,31 @@ fn main() {
         requested.extend(ALL.iter().map(|s| s.to_string()));
     }
 
-    println!(
-        "UV-diagram experiments — scale factor {}, {} queries per measurement",
-        scale.size_factor, scale.queries
-    );
-    println!(
-        "(paper sizes 10K-80K are scaled to {}-{} objects; absolute numbers differ from the paper,",
-        scale.scaled(10_000),
-        scale.scaled(80_000)
-    );
-    println!(" the comparisons and trends are what is being reproduced)");
+    if !as_json {
+        println!(
+            "UV-diagram experiments — scale factor {}, {} queries per measurement",
+            scale.size_factor, scale.queries
+        );
+        println!(
+            "(paper sizes 10K-80K are scaled to {}-{} objects; absolute numbers differ from the paper,",
+            scale.scaled(10_000),
+            scale.scaled(80_000)
+        );
+        println!(" the comparisons and trends are what is being reproduced)");
+    }
 
     let wants = |id: &str| requested.contains(id);
+    let mut out = Output {
+        json: as_json,
+        collected: Vec::new(),
+    };
 
     // Figure 6(a)-(c) share one dataset-size sweep.
     if wants("fig6a") || wants("fig6b") || wants("fig6c") {
         let sweep = fig6::size_sweep(&scale);
         if wants("fig6a") {
-            print_table(
+            out.table(
+                "fig6a",
                 "Figure 6(a): PNN query time vs |O|",
                 &[
                     "|O|",
@@ -117,18 +163,20 @@ fn main() {
                     "Tq UV-diagram (ms, disk-adjusted)",
                     "speedup (disk-adjusted)",
                 ],
-                &fig6::fig6a_rows(&sweep),
+                fig6::fig6a_rows(&sweep),
             );
         }
         if wants("fig6b") {
-            print_table(
+            out.table(
+                "fig6b",
                 "Figure 6(b): PNN leaf-page I/O vs |O|",
                 &["|O|", "I/O R-tree", "I/O UV-diagram", "ratio"],
-                &fig6::fig6b_rows(&sweep),
+                fig6::fig6b_rows(&sweep),
             );
         }
         if wants("fig6c") {
-            print_table(
+            out.table(
+                "fig6c",
                 "Figure 6(c): query-time breakdown",
                 &[
                     "index",
@@ -136,13 +184,14 @@ fn main() {
                     "object retrieval (ms)",
                     "probability (ms)",
                 ],
-                &fig6::fig6c_rows(&sweep),
+                fig6::fig6c_rows(&sweep),
             );
         }
     }
     if wants("fig6d") {
         let sweep = fig6::uncertainty_sweep(&scale);
-        print_table(
+        out.table(
+            "fig6d",
             "Figure 6(d): query time vs uncertainty-region size",
             &[
                 "diameter",
@@ -151,12 +200,13 @@ fn main() {
                 "Tq R-tree (ms, disk-adjusted)",
                 "Tq UV-diagram (ms, disk-adjusted)",
             ],
-            &fig6::fig6d_rows(&sweep),
+            fig6::fig6d_rows(&sweep),
         );
     }
     if wants("tab2") {
         let rows = table2::table2(&scale);
-        print_table(
+        out.table(
+            "tab2",
             "Table II: Germany-like datasets",
             &[
                 "dataset",
@@ -166,7 +216,7 @@ fn main() {
                 "Tc IC (s)",
                 "pc",
             ],
-            &table2::table2_rows(&rows),
+            table2::table2_rows(&rows),
         );
     }
 
@@ -174,65 +224,74 @@ fn main() {
     if wants("fig7a") || wants("fig7b") || wants("fig7c") || wants("fig7d") || wants("fig7e") {
         let sweep = fig7::construction_sweep(&scale);
         if wants("fig7a") {
-            print_table(
+            out.table(
+                "fig7a",
                 "Figure 7(a): construction time vs |O|",
                 &["|O|", "Basic (s)", "ICR (s)", "IC (s)"],
-                &fig7::fig7a_rows(&sweep),
+                fig7::fig7a_rows(&sweep),
             );
         }
         if wants("fig7b") {
-            print_table(
+            out.table(
+                "fig7b",
                 "Figure 7(b): pruning ratio vs |O|",
                 &["|O|", "I-pruning", "C-pruning"],
-                &fig7::fig7b_rows(&sweep),
+                fig7::fig7b_rows(&sweep),
             );
         }
         if wants("fig7c") {
-            print_table(
+            out.table(
+                "fig7c",
                 "Figure 7(c): construction time, IC vs ICR",
                 &["|O|", "ICR (s)", "IC (s)", "ICR/IC"],
-                &fig7::fig7c_rows(&sweep),
+                fig7::fig7c_rows(&sweep),
             );
         }
         if wants("fig7d") {
-            print_table(
+            out.table(
+                "fig7d",
                 "Figure 7(d): ICR time breakdown",
                 &["|O|", "I+C pruning", "r-object generation", "indexing"],
-                &fig7::fig7d_rows(&sweep),
+                fig7::fig7d_rows(&sweep),
             );
         }
         if wants("fig7e") {
-            print_table(
+            out.table(
+                "fig7e",
                 "Figure 7(e): IC time breakdown",
                 &["|O|", "I+C pruning", "indexing"],
-                &fig7::fig7e_rows(&sweep),
+                fig7::fig7e_rows(&sweep),
             );
         }
     }
     if wants("fig7f") {
-        print_table(
+        out.table(
+            "fig7f",
             "Figure 7(f): construction time vs uncertainty-region size",
             &["diameter", "ICR (s)", "IC (s)"],
-            &fig7::fig7f_rows(&scale),
+            fig7::fig7f_rows(&scale),
         );
     }
     if wants("fig7g") {
-        print_table(
+        out.table(
+            "fig7g",
             "Figure 7(g): construction time vs skew (sigma of centres)",
             &["sigma", "Tc IC (s)", "avg cr-objects"],
-            &fig7::fig7g_rows(&scale),
+            fig7::fig7g_rows(&scale),
         );
     }
     if wants("fig7h") {
-        print_table(
+        out.table(
+            "fig7h",
             "Figure 7(h): UV-partition query vs query-region size",
             &["region side", "Tq (ms)", "partitions returned"],
-            &fig7::fig7h_rows(&scale),
+            fig7::fig7h_rows(&scale),
         );
     }
     if wants("sens_theta") {
         let rows = sensitivity::theta_sweep(&scale);
-        print_table(
+        out.table(
+            "sens_theta",
             "Sensitivity: split threshold T_theta",
             &[
                 "T_theta",
@@ -242,26 +301,29 @@ fn main() {
                 "Tq (ms)",
                 "Tq (I/O)",
             ],
-            &sensitivity::theta_rows(&rows),
+            sensitivity::theta_rows(&rows),
         );
     }
     if wants("sens_memory") {
-        print_table(
+        out.table(
+            "sens_memory",
             "Ablation: non-leaf memory budget M",
             &["M", "non-leaf nodes", "Tq (I/O)", "Tq (ms)"],
-            &sensitivity::memory_budget_sweep(&scale),
+            sensitivity::memory_budget_sweep(&scale),
         );
     }
     if wants("throughput") {
         let (dataset, system) = throughput::build_throughput_system(&scale);
         let rows = throughput::throughput_sweep(&scale, &dataset, &system);
-        print_table(
+        out.table(
+            "throughput",
             "Serving throughput: sequential vs concurrent batched PNN",
             &["mode", "workers", "batch wall (ms)", "queries/s", "speedup"],
-            &throughput::throughput_table(&rows),
+            throughput::throughput_table(&rows),
         );
         let summary = throughput::trajectory_workload(&scale, &dataset, &system);
-        print_table(
+        out.table(
+            "throughput_trajectory",
             "Trajectory (moving-PNN) workload",
             &[
                 "vehicles",
@@ -271,16 +333,23 @@ fn main() {
                 "unchanged steps",
                 "queries/s",
             ],
-            &throughput::trajectory_table(&summary),
+            throughput::trajectory_table(&summary),
         );
     }
+    // Oracle failures (a maintained or loaded state diverging from a cold
+    // rebuild) must fail the process, not just print "NO" — the CI smokes
+    // rely on the exit code.
+    let mut verification_failed = false;
     if wants("churn") {
         let (rows, summary) = churn::churn_experiment(&scale, 5);
-        print_table(
+        verification_failed |= !summary.verified;
+        out.table(
+            "churn",
             "Dynamic maintenance: 1% churn steps (incremental repair locality)",
             &[
                 "step",
                 "ops (i/d/m)",
+                "in knn radius",
                 "re-derived",
                 "leaves refined",
                 "total leaves",
@@ -288,9 +357,10 @@ fn main() {
                 "splits/merges",
                 "apply (ms)",
             ],
-            &churn::churn_rows(&rows),
+            churn::churn_rows(&rows),
         );
-        print_table(
+        out.table(
+            "churn_summary",
             "Churn summary (final state verified against a cold rebuild)",
             &[
                 "|O|",
@@ -300,7 +370,36 @@ fn main() {
                 "one full rebuild (ms)",
                 "verified",
             ],
-            &churn::churn_summary_row(&summary),
+            churn::churn_summary_row(&summary),
         );
+    }
+    if wants("snapshot") {
+        let report = snapshot::snapshot_experiment(&scale);
+        verification_failed |= !report.verified;
+        out.table(
+            "snapshot",
+            "Snapshot persistence: build once, load many",
+            &[
+                "|O|",
+                "build (ms)",
+                "save (ms)",
+                "load (ms)",
+                "bytes",
+                "load speedup",
+                "verified",
+            ],
+            snapshot::snapshot_rows(&report),
+        );
+    }
+
+    if as_json {
+        println!(
+            "{}",
+            json::render(scale.size_factor, scale.queries, &out.collected)
+        );
+    }
+    if verification_failed {
+        eprintln!("verification FAILED: a maintained/loaded state diverged from its oracle");
+        std::process::exit(1);
     }
 }

@@ -49,10 +49,6 @@ pub struct ChurnSummary {
     pub verified: bool,
 }
 
-/// A leaf in canonical form: bit-exact region corners plus the id-sorted
-/// member list (mirrors the oracle of `crates/core/tests/proptest_update.rs`).
-type CanonicalLeaf = ((u64, u64, u64, u64), Vec<u32>);
-
 /// The dynamic-serving configuration the churn workload runs under.
 pub fn dynamic_config(n: usize) -> UvConfig {
     UvConfig::default()
@@ -174,26 +170,7 @@ pub fn churn_experiment(scale: &ExperimentScale, steps: usize) -> (Vec<ChurnRow>
     let t = Instant::now();
     let rebuilt = UvSystem::build(sys.objects().to_vec(), sys.domain(), Method::IC, config);
     let rebuild_ms = t.elapsed().as_secs_f64() * 1_000.0;
-    let canonical = |s: &UvSystem| {
-        let mut leaves: Vec<CanonicalLeaf> = s
-            .index()
-            .leaves()
-            .map(|(r, ids)| {
-                (
-                    (
-                        r.min_x.to_bits(),
-                        r.min_y.to_bits(),
-                        r.max_x.to_bits(),
-                        r.max_y.to_bits(),
-                    ),
-                    ids.to_vec(),
-                )
-            })
-            .collect();
-        leaves.sort();
-        leaves
-    };
-    let mut verified = canonical(&sys) == canonical(&rebuilt);
+    let mut verified = sys.index().canonical_leaves() == rebuilt.index().canonical_leaves();
     for q in dataset.query_points(25, 77) {
         let a = sys.pnn(q);
         let b = rebuilt.pnn(q);
@@ -225,6 +202,7 @@ pub fn churn_rows(rows: &[ChurnRow]) -> Vec<Vec<String>> {
                     "{}i/{}d/{}m",
                     r.stats.inserted, r.stats.deleted, r.stats.moved
                 ),
+                r.stats.objects_in_knn_radius.to_string(),
                 r.stats.objects_rederived.to_string(),
                 r.stats.leaves_refined.to_string(),
                 r.stats.total_leaves.to_string(),
@@ -256,12 +234,18 @@ pub fn churn_summary_row(s: &ChurnSummary) -> Vec<Vec<String>> {
 mod tests {
     use super::*;
 
-    /// The ISSUE's locality acceptance criterion, at a fixed seed: on a 1%
-    /// churn step over >= 1k objects, the incremental repair refines at most
-    /// 10% of the leaves a full rebuild would refine (a full rebuild writes
-    /// every leaf), and the final state verifies against the oracle.
+    /// Two ISSUE acceptance criteria over one fixed-seed 1k-object churn
+    /// run (the fixture is expensive — a 1k build plus 5 churn steps plus
+    /// the cold-rebuild oracle — so both assertions share it):
+    ///
+    /// * **Locality** (PR 3): each 1% churn step refines at most 10% of
+    ///   the leaves a full rebuild would write, and the final state
+    ///   verifies bit-identical against the oracle.
+    /// * **Seed-sector prefilter** (PR 4 regression): the re-derivation
+    ///   count drops well below the PR-3 k-NN-radius bound (which flagged
+    ///   ~30% of 1k objects at k=31), with the same oracle still holding.
     #[test]
-    fn one_percent_churn_refines_at_most_ten_percent_of_leaves() {
+    fn one_percent_churn_stays_local_and_prefilter_cuts_rederivations() {
         let scale = ExperimentScale {
             size_factor: 0.05, // 1_000 objects
             ..ExperimentScale::default()
@@ -285,6 +269,22 @@ mod tests {
             );
         }
         assert!(summary.avg_refine_fraction <= 0.10);
+
+        let rederived: usize = rows.iter().map(|r| r.stats.objects_rederived).sum();
+        let in_radius: usize = rows.iter().map(|r| r.stats.objects_in_knn_radius).sum();
+        assert!(
+            rederived * 2 <= in_radius,
+            "prefilter saved too little: {rederived} re-derived of {in_radius} in the k-NN radius"
+        );
+        // The loose bound still sits near the ~30%-per-step level PR 3
+        // measured, so the saving is real, not a degenerate workload.
+        let live = summary.initial_objects as f64;
+        let avg_in_radius = in_radius as f64 / rows.len() as f64;
+        assert!(
+            avg_in_radius > live * 0.10,
+            "the k-NN-radius bound flags too few objects ({avg_in_radius} of {live}) \
+             for the comparison to be meaningful"
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Machine-readable experiment output (`experiments --json`).
+//!
+//! The harness's human-readable tables double as the measurement record, so
+//! `--json` re-emits exactly the same rows under a *stable schema* that
+//! future PRs can diff and track (e.g. committed as `BENCH_*.json`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "scale": 0.05,
+//!   "queries": 50,
+//!   "experiments": [
+//!     {
+//!       "id": "snapshot",
+//!       "title": "Snapshot persistence: build once, load many",
+//!       "columns": ["|O|", "build (ms)", "save (ms)", "load (ms)",
+//!                    "bytes", "load speedup", "verified"],
+//!       "rows": [[1000, 5632.1, 12.0, 9.4, 1492992, 599.2, "yes"]]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Every cell that parses as a finite number is emitted as a JSON number
+//! (after stripping a trailing `%`), everything else as a JSON string —
+//! so wall-clocks, I/O counters and byte sizes are directly plottable.
+//! The encoder is hand-rolled (like the snapshot codec, it does not lean
+//! on the vendored serde shim).
+
+/// One collected experiment: id, title, column names and data rows.
+#[derive(Debug, Clone)]
+pub struct JsonExperiment {
+    /// Stable experiment id (the CLI id: `fig6a`, `churn`, `snapshot`, …).
+    pub id: String,
+    /// Human-readable title (the table heading).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows, same arity as `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits a cell as a JSON number when it parses as one (a trailing `%` is
+/// stripped first), as a JSON string otherwise.
+fn cell(s: &str) -> String {
+    let numeric = s.strip_suffix('%').unwrap_or(s);
+    match numeric.parse::<f64>() {
+        Ok(v) if v.is_finite() && !numeric.is_empty() => {
+            // Round-trippable decimal form; integers stay integers.
+            if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        _ => format!("\"{}\"", escape(s)),
+    }
+}
+
+/// Renders the collected experiments as the schema-version-1 JSON document.
+pub fn render(scale_factor: f64, queries: usize, experiments: &[JsonExperiment]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"scale\": {scale_factor},\n"));
+    out.push_str(&format!("  \"queries\": {queries},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, e) in experiments.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", escape(&e.id)));
+        out.push_str(&format!("      \"title\": \"{}\",\n", escape(&e.title)));
+        let columns: Vec<String> = e
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", escape(c)))
+            .collect();
+        out.push_str(&format!("      \"columns\": [{}],\n", columns.join(", ")));
+        out.push_str("      \"rows\": [\n");
+        for (j, row) in e.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|c| cell(c)).collect();
+            out.push_str(&format!(
+                "        [{}]{}\n",
+                cells.join(", "),
+                if j + 1 < e.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < experiments.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_type_correctly() {
+        assert_eq!(cell("42"), "42");
+        assert_eq!(cell("3.5"), "3.5");
+        assert_eq!(cell("8.1%"), "8.1");
+        assert_eq!(cell("yes"), "\"yes\"");
+        assert_eq!(cell("4i/3d/3m"), "\"4i/3d/3m\"");
+        assert_eq!(cell(""), "\"\"");
+        assert_eq!(cell("NaN"), "\"NaN\"");
+        assert_eq!(cell("quote\"tab\t"), "\"quote\\\"tab\\t\"");
+    }
+
+    #[test]
+    fn render_produces_wellformed_document() {
+        let doc = render(
+            0.05,
+            50,
+            &[
+                JsonExperiment {
+                    id: "snapshot".into(),
+                    title: "Snapshot".into(),
+                    columns: vec!["|O|".into(), "verified".into()],
+                    rows: vec![vec!["1000".into(), "yes".into()]],
+                },
+                JsonExperiment {
+                    id: "churn".into(),
+                    title: "Churn".into(),
+                    columns: vec!["refined %".into()],
+                    rows: vec![vec!["8.1%".into()], vec!["7.9%".into()]],
+                },
+            ],
+        );
+        // Structural smoke checks (no JSON parser in the tree): balanced
+        // braces/brackets, schema fields, typed cells.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"schema_version\": 1"));
+        assert!(doc.contains("\"scale\": 0.05"));
+        assert!(doc.contains("\"id\": \"snapshot\""));
+        assert!(doc.contains("[1000, \"yes\"]"));
+        assert!(doc.contains("[8.1],"));
+        // No trailing commas before closing brackets.
+        assert!(!doc.contains(",\n      ]"));
+        assert!(!doc.contains(",\n  ]"));
+    }
+}

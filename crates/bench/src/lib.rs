@@ -17,6 +17,11 @@
 //! | [`sensitivity`] | Section VI-B(1): split-threshold sensitivity |
 //! | [`throughput`] | beyond the paper: sequential vs. concurrent batched PNN serving throughput, trajectory workload |
 //! | [`churn`] | beyond the paper: dynamic maintenance under a live join/leave/move workload — locality of the incremental UV-partition repair |
+//! | [`snapshot`] | beyond the paper: snapshot persistence round-trip — cold-build vs load wall-clock, bytes, bit-exact verification |
+//!
+//! Every experiment can also emit its rows as a stable JSON document
+//! (`experiments --json`, see [`json`]) for machine-tracked perf
+//! trajectories.
 //!
 //! *The paper-to-code map for the whole workspace — every definition, lemma,
 //! algorithm and experiment of the paper, with its module and key functions —
@@ -25,7 +30,9 @@
 pub mod churn;
 pub mod fig6;
 pub mod fig7;
+pub mod json;
 pub mod sensitivity;
+pub mod snapshot;
 pub mod table2;
 pub mod throughput;
 pub mod workload;

@@ -124,7 +124,7 @@ pub(crate) fn build_uv_index_full(
                 p.id,
                 ObjectState {
                     reference_ids: p.reference_ids.clone(),
-                    sensitivity: p.sensitivity,
+                    sensitivity: p.sensitivity.clone(),
                 },
             )
         })

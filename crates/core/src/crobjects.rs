@@ -45,12 +45,79 @@ use uv_rtree::RTree;
 /// than `k` other objects exist (every change alters the k-NN set) or the
 /// degenerate co-located path was taken (its branch condition depends on the
 /// dataset cardinality).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// # The seed-sector prefilter
+///
+/// The two radii alone are loose: at the dynamic-serving tuning they flag
+/// ~30% of a uniform dataset per 1% churn step, yet almost none of those
+/// derivations come back different. Two exact observations tighten them,
+/// valid whenever the derivation is *boundary-safe* — the k-NN query
+/// returned a full `k` result and every seed is strictly closer than the
+/// k-th neighbour:
+///
+/// * **Seed-sector gate** (k-NN radius). The k-NN result feeds the
+///   derivation *only through the seeds* — per sector, the closest
+///   neighbour. An object *appearing* (insert, or the destination of a
+///   move) in sector `s` strictly farther than `seed_dists[s]` cannot
+///   displace that sector's seed (an unseeded sector keeps `INFINITY`
+///   there, so appearances in it always re-derive), and the k-NN
+///   membership churn it causes is harmless: it evicts the k-th member,
+///   which (boundary safety) is farther than every seed and therefore no
+///   seed. An object *disappearing* (delete, or the origin of a move)
+///   beyond every seed was itself no seed, and the member its departure
+///   admits arrives at a distance at least the k-th — no seed either, but
+///   only when **every** sector is seeded; with an unseeded sector the
+///   admitted member could seed it, so disappearances inside the k-NN
+///   radius of a partially-seeded subject always re-derive. That also
+///   keeps the stored `knn_dist` conservative for such subjects: only
+///   skipped *appearances* can drift the true k-th distance, and they only
+///   move it closer.
+/// * **C-pruning gate** (I-pruning circle). A change whose centre lies
+///   inside the I-pruning circle enters/leaves the I-survivor set — but
+///   C-pruning (Lemma 3) discards any survivor whose centre lies outside
+///   every d-bound before it can shape the cr set. With seeds unchanged the
+///   possible region, its hull and therefore the `d_bounds` are unchanged,
+///   so a centre outside every d-bound (old and new position) leaves the
+///   cr-objects exactly as they were.
+///
+/// Unchanged seeds mean an unchanged possible region, I-pruning radius,
+/// seed distances and d-bounds, so the stored bound remains sound without
+/// re-derivation, inductively across any number of skipped changes.
+/// `seed_dists`/`d_bounds` are empty when the prefilter is unusable (fewer
+/// than `k` neighbours exist, a seed ties the k-th distance, or a
+/// degenerate path ran); the tests then fall back to the plain radii.
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateSensitivity {
     /// Distance of the k-th seed-selection neighbour (`distmin` metric).
     pub knn_dist: f64,
     /// The I-pruning radius `max(0, 2d - r_i)` around the subject centre.
     pub prune_radius: f64,
+    /// Per-sector seed distances (`distmin` of each sector's seed from the
+    /// subject centre, `INFINITY` for unseeded sectors); empty when the
+    /// seed-sector prefilter does not apply.
+    pub(crate) seed_dists: Vec<f64>,
+    /// The C-pruning d-bounds of the derivation (Lemma 3): one circle per
+    /// hull vertex of the possible region, passing through the subject
+    /// centre. Empty exactly when `seed_dists` is.
+    pub(crate) d_bounds: Vec<Circle>,
+}
+
+/// What an update elsewhere means for one subject's retained state — the
+/// verdict of [`UpdateSensitivity::move_impact`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChangeImpact {
+    /// The change cannot alter the subject's derivation or its grid
+    /// placement: skip it entirely.
+    Unaffected,
+    /// The reference *id list* is provably unchanged but a referenced
+    /// object's geometry moved: the subject's overlap tests must be
+    /// re-evaluated (grid repair), yet the expensive cr-derivation can be
+    /// skipped. Only exact for the IC method, whose reference ids are the
+    /// cr-ids themselves — ICR refines through the references' geometry,
+    /// so its callers must escalate this to [`ChangeImpact::Rederive`].
+    RepartitionOnly,
+    /// The derivation itself may change: re-derive the subject.
+    Rederive,
 }
 
 impl UpdateSensitivity {
@@ -59,15 +126,141 @@ impl UpdateSensitivity {
         Self {
             knn_dist: f64::INFINITY,
             prune_radius: f64::INFINITY,
+            seed_dists: Vec::new(),
+            d_bounds: Vec::new(),
         }
     }
 
-    /// `true` when a change of an object with MBC `mbc` (its old or new
-    /// state) can alter a derivation done from `center` with this
-    /// sensitivity. Sound with a small tolerance: flagging too much merely
-    /// costs a re-derivation, flagging too little would desynchronise the
-    /// index, so ties err on the affected side.
+    /// Per-sector seed distances when the seed-sector prefilter applies.
+    pub fn seed_dists(&self) -> Option<&[f64]> {
+        (!self.seed_dists.is_empty()).then_some(self.seed_dists.as_slice())
+    }
+
+    /// `true` when the seed-sector/C-pruning prefilter state is available.
+    fn tight(&self) -> bool {
+        !self.seed_dists.is_empty() && !self.d_bounds.is_empty()
+    }
+
+    /// Pruning admission: a centre inside the I-pruning circle *and* inside
+    /// some d-bound survives to the cr set (`contains` carries its own
+    /// tolerance, matching the derivation exactly). Only meaningful when
+    /// [`UpdateSensitivity::tight`].
+    fn admitted(&self, center: uv_geom::Point, mbc: &Circle) -> bool {
+        use uv_geom::EPS;
+        mbc.center.dist(center) <= self.prune_radius + EPS
+            && self.d_bounds.iter().any(|b| b.contains(mbc.center))
+    }
+
+    /// `true` when some sector is unseeded, i.e. an object admitted into
+    /// the k-NN set could become a brand-new seed.
+    fn any_unseeded(&self) -> bool {
+        self.seed_dists.iter().any(|s| s.is_infinite())
+    }
+
+    /// Per-sector seed-displacement gate for a state at `distmin` `d` from
+    /// the subject (the caller has already established `d` is inside the
+    /// k-NN radius). A change centred exactly on the subject has no sector
+    /// and always hits; a state in an unseeded sector hits through the
+    /// `INFINITY` entry.
+    fn sector_gate(&self, center: uv_geom::Point, mbc: &Circle, d: f64) -> bool {
+        use uv_geom::EPS;
+        match sector_of(center, mbc.center, self.seed_dists.len()) {
+            Some(sector) => d <= self.seed_dists[sector] + EPS,
+            None => true,
+        }
+    }
+
+    /// Seed-displacement gate, capped by the k-NN radius. `removed` states
+    /// of partially-seeded subjects always hit (the admitted (k+1)-th
+    /// member could seed an unseeded sector).
+    fn seed_hit(&self, center: uv_geom::Point, mbc: &Circle, removed: bool) -> bool {
+        use uv_geom::EPS;
+        let d = mbc.dist_min(center);
+        if d > self.knn_dist + EPS {
+            return false;
+        }
+        if removed && self.any_unseeded() {
+            return true;
+        }
+        self.sector_gate(center, mbc, d)
+    }
+
+    /// `true` when an object *appearing* with MBC `mbc` (an insert) can
+    /// alter a derivation done from `center` with this sensitivity. Sound
+    /// with a small tolerance: flagging too much merely costs a
+    /// re-derivation, flagging too little would desynchronise the index,
+    /// so ties err on the affected side.
+    pub fn affected_by_added(&self, center: uv_geom::Point, mbc: &Circle) -> bool {
+        if !self.tight() {
+            return self.affected_by_knn_bound(center, mbc);
+        }
+        self.seed_hit(center, mbc, false) || self.admitted(center, mbc)
+    }
+
+    /// `true` when an object *disappearing* with MBC `mbc` (a delete) can
+    /// alter the derivation. Same tolerance contract as
+    /// [`UpdateSensitivity::affected_by_added`].
+    pub fn affected_by_removed(&self, center: uv_geom::Point, mbc: &Circle) -> bool {
+        if !self.tight() {
+            return self.affected_by_knn_bound(center, mbc);
+        }
+        self.seed_hit(center, mbc, true) || self.admitted(center, mbc)
+    }
+
+    /// Direction-agnostic test: affected as either an appearance or a
+    /// disappearance.
     pub fn affected_by(&self, center: uv_geom::Point, mbc: &Circle) -> bool {
+        self.affected_by_removed(center, mbc) || self.affected_by_added(center, mbc)
+    }
+
+    /// Joint verdict for a *move* `old → new` of another object. A move is
+    /// strictly weaker than a delete + insert pair:
+    ///
+    /// * a move whose both states are inside the k-NN radius changes no
+    ///   k-NN *membership* — nothing leaves, so no (k+1)-th member is
+    ///   admitted and the unseeded-sector hazard of plain deletes does not
+    ///   arise; only the per-sector seed gates matter;
+    /// * a move whose both states pass the pruning admission while
+    ///   displacing no seed keeps the cr *id set* exactly — the moved
+    ///   object stays a cr-object — so the subject needs its overlap tests
+    ///   re-run ([`ChangeImpact::RepartitionOnly`]) but not its
+    ///   derivation.
+    pub fn move_impact(&self, center: uv_geom::Point, old: &Circle, new: &Circle) -> ChangeImpact {
+        use uv_geom::EPS;
+        if !self.tight() {
+            return if self.affected_by_knn_bound(center, old)
+                || self.affected_by_knn_bound(center, new)
+            {
+                ChangeImpact::Rederive
+            } else {
+                ChangeImpact::Unaffected
+            };
+        }
+        let d_old = old.dist_min(center);
+        let d_new = new.dist_min(center);
+        let old_in = d_old <= self.knn_dist + EPS;
+        let new_in = d_new <= self.knn_dist + EPS;
+        // Leaving the k-NN set admits the (k+1)-th member, which could
+        // seed an unseeded sector.
+        if old_in && !new_in && self.any_unseeded() {
+            return ChangeImpact::Rederive;
+        }
+        if (old_in && self.sector_gate(center, old, d_old))
+            || (new_in && self.sector_gate(center, new, d_new))
+        {
+            return ChangeImpact::Rederive;
+        }
+        match (self.admitted(center, old), self.admitted(center, new)) {
+            (true, true) => ChangeImpact::RepartitionOnly,
+            (false, false) => ChangeImpact::Unaffected,
+            _ => ChangeImpact::Rederive,
+        }
+    }
+
+    /// The PR-3 bound: [`UpdateSensitivity::affected_by`] without the
+    /// seed-sector prefilter. Kept for reporting — the churn experiment
+    /// shows how many re-derivations the prefilter skips.
+    pub fn affected_by_knn_bound(&self, center: uv_geom::Point, mbc: &Circle) -> bool {
         use uv_geom::EPS;
         mbc.dist_min(center) <= self.knn_dist + EPS
             || mbc.center.dist(center) <= self.prune_radius + EPS
@@ -199,6 +392,30 @@ pub fn derive_cr_objects(
         neighbours.last().map_or(f64::INFINITY, |e| e.dist_min(ci))
     };
 
+    // Seed-sector / C-pruning prefilter state: usable only when the
+    // derivation is boundary-safe — a full-`k` neighbour set with every
+    // seed strictly inside the k-th neighbour distance, so k-NN membership
+    // churn beyond the seeds can never promote or demote a seed (see the
+    // type docs). Unseeded sectors keep `INFINITY` (appearances there
+    // always re-derive). The d-bounds are the exact circles C-pruning
+    // filtered with above; everything stays valid for as long as the seeds
+    // do.
+    let mut seed_dists = vec![f64::INFINITY; config.num_seeds.max(1)];
+    for seed in &seeds {
+        if let Some(sector) = sector_of(ci, seed.mbc.center, seed_dists.len()) {
+            seed_dists[sector] = seed.mbc.dist_min(ci);
+        }
+    }
+    let max_seed = seeds
+        .iter()
+        .map(|s| s.mbc.dist_min(ci))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let boundary_safe =
+        knn_dist.is_finite() && max_seed + uv_geom::EPS < knn_dist && !d_bounds.is_empty();
+    if !boundary_safe {
+        seed_dists.clear();
+    }
+
     CrObjects {
         object_id: subject.id,
         cr_ids,
@@ -207,8 +424,31 @@ pub fn derive_cr_objects(
         sensitivity: UpdateSensitivity {
             knn_dist,
             prune_radius: i_radius,
+            seed_dists,
+            d_bounds: if boundary_safe { d_bounds } else { Vec::new() },
         },
     }
+}
+
+/// The sector (of `num_seeds` equal angular sectors around `ci`) that the
+/// point `c` falls into; `None` when `c` coincides with `ci` (no direction).
+///
+/// Shared by seed selection and by the seed-sector prefilter of
+/// [`UpdateSensitivity::affected_by`] — the two must bucket a centre into
+/// the same sector or the prefilter would be unsound.
+pub(crate) fn sector_of(ci: Point, c: Point, num_seeds: usize) -> Option<usize> {
+    if num_seeds == 0 {
+        return None;
+    }
+    let dir = c - ci;
+    if dir.norm() <= f64::EPSILON {
+        return None;
+    }
+    let mut angle = dir.y.atan2(dir.x);
+    if angle < 0.0 {
+        angle += std::f64::consts::TAU;
+    }
+    Some(((angle / std::f64::consts::TAU * num_seeds as f64) as usize).min(num_seeds - 1))
 }
 
 /// Selects at most `num_seeds` seeds from the k-NN result by dividing the
@@ -218,16 +458,9 @@ fn select_seeds(ci: Point, neighbours: &[ObjectEntry], num_seeds: usize) -> Vec<
     let num_seeds = num_seeds.max(1);
     let mut best: Vec<Option<(f64, ObjectEntry)>> = vec![None; num_seeds];
     for e in neighbours {
-        let dir = e.mbc.center - ci;
-        if dir.norm() <= f64::EPSILON {
+        let Some(sector) = sector_of(ci, e.mbc.center, num_seeds) else {
             continue;
-        }
-        let mut angle = dir.y.atan2(dir.x);
-        if angle < 0.0 {
-            angle += std::f64::consts::TAU;
-        }
-        let sector =
-            ((angle / std::f64::consts::TAU * num_seeds as f64) as usize).min(num_seeds - 1);
+        };
         let dist = e.mbc.dist_min(ci);
         match &best[sector] {
             Some((d, _)) if *d <= dist => {}
@@ -436,6 +669,73 @@ mod tests {
             &config,
         );
         assert!(cr_objects_cover_r_objects(&cr, &cell.r_objects));
+    }
+
+    #[test]
+    fn seed_sector_prefilter_tightens_the_knn_bound() {
+        let (ds, tree) = setup(600, DatasetKind::Uniform);
+        // A k small enough that the k-NN radius is local, mirroring the
+        // dynamic-serving tuning.
+        let config = UvConfig {
+            parallel: false,
+            seed_knn: 32,
+            ..UvConfig::default()
+        };
+        let mut prefiltered = 0usize;
+        let mut tightened = 0usize;
+        for subject in ds.objects.iter().step_by(17) {
+            let cr = derive_cr_objects(subject, &tree, &ds.objects, &ds.domain, &config);
+            let s = &cr.sensitivity;
+            let Some(seed_dists) = s.seed_dists() else {
+                continue;
+            };
+            prefiltered += 1;
+            assert_eq!(seed_dists.len(), config.num_seeds);
+            let max_seed = seed_dists
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .fold(f64::MIN, f64::max);
+            assert!(
+                max_seed < s.knn_dist,
+                "boundary safety requires every seed strictly inside the k-th distance"
+            );
+            // Anything the tight bound flags, the loose bound flags too.
+            let ci = subject.center();
+            for other in ds.objects.iter().step_by(23) {
+                let mbc = other.mbc();
+                if s.affected_by(ci, &mbc) {
+                    assert!(
+                        s.affected_by_knn_bound(ci, &mbc),
+                        "tight bound flagged an object the loose bound missed"
+                    );
+                } else if s.affected_by_knn_bound(ci, &mbc) {
+                    tightened += 1;
+                }
+            }
+            // A change closer than its sector's seed is always affected.
+            for (sector, dist) in seed_dists.iter().enumerate() {
+                if !dist.is_finite() {
+                    continue; // unseeded sector
+                }
+                let angle = (sector as f64 + 0.5) / seed_dists.len() as f64 * std::f64::consts::TAU;
+                let c = Point::new(
+                    ci.x + angle.cos() * dist * 0.5,
+                    ci.y + angle.sin() * dist * 0.5,
+                );
+                assert!(s.affected_by(ci, &Circle::new(c, 0.0)));
+            }
+            // A co-located change has no sector and stays affected.
+            assert!(s.affected_by(ci, &Circle::new(ci, 0.0)));
+        }
+        assert!(
+            prefiltered >= 20,
+            "uniform data at k=32 should be boundary-safe almost everywhere ({prefiltered})"
+        );
+        assert!(
+            tightened > 0,
+            "the prefilter should skip some objects inside the k-NN radius"
+        );
     }
 
     #[test]

@@ -17,6 +17,23 @@ pub enum UvError {
     OutOfDomain,
     /// The index was built over an empty dataset.
     EmptyIndex,
+    /// An underlying I/O operation failed (snapshot file access).
+    Io(String),
+    /// A snapshot failed structural validation: bad magic, a checksum or
+    /// section-framing mismatch, a truncated stream, or decoded state that
+    /// violates an invariant. The payload describes the first violation.
+    SnapshotCorrupt(String),
+    /// The snapshot was written by an unsupported format version.
+    SnapshotVersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The snapshot's configuration fingerprint does not match its persisted
+    /// configuration (or, via [`crate::UvSystem::load_snapshot_expecting`],
+    /// the configuration the caller requires).
+    ConfigMismatch,
 }
 
 impl fmt::Display for UvError {
@@ -33,6 +50,29 @@ impl fmt::Display for UvError {
             }
             UvError::OutOfDomain => write!(f, "query point lies outside the indexed domain"),
             UvError::EmptyIndex => write!(f, "the index contains no objects"),
+            UvError::Io(msg) => write!(f, "snapshot I/O failed: {msg}"),
+            UvError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+            UvError::SnapshotVersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            UvError::ConfigMismatch => {
+                write!(f, "snapshot configuration does not match the expected one")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for UvError {
+    /// Decoder-reported malformation (`InvalidData`) and premature
+    /// end-of-input both mean the snapshot bytes cannot be trusted; anything
+    /// else is an environmental I/O failure.
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => {
+                UvError::SnapshotCorrupt(e.to_string())
+            }
+            _ => UvError::Io(e.to_string()),
         }
     }
 }
@@ -57,6 +97,37 @@ mod tests {
         assert!(UvError::InvalidObject(5).to_string().contains("object 5"));
         assert!(UvError::OutOfDomain.to_string().contains("outside"));
         assert!(UvError::EmptyIndex.to_string().contains("no objects"));
+        assert!(UvError::Io("disk on fire".into())
+            .to_string()
+            .contains("disk on fire"));
+        assert!(UvError::SnapshotCorrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        let v = UvError::SnapshotVersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.to_string().contains('9') && v.to_string().contains('1'));
+        assert!(UvError::ConfigMismatch
+            .to_string()
+            .contains("configuration"));
+    }
+
+    #[test]
+    fn io_errors_map_by_kind() {
+        use std::io::{Error, ErrorKind};
+        assert!(matches!(
+            UvError::from(Error::new(ErrorKind::InvalidData, "bad byte")),
+            UvError::SnapshotCorrupt(_)
+        ));
+        assert!(matches!(
+            UvError::from(Error::new(ErrorKind::UnexpectedEof, "short read")),
+            UvError::SnapshotCorrupt(_)
+        ));
+        assert!(matches!(
+            UvError::from(Error::new(ErrorKind::PermissionDenied, "nope")),
+            UvError::Io(_)
+        ));
     }
 
     #[test]

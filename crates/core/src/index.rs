@@ -7,6 +7,10 @@
 //! a point lookup: descend to the leaf containing the query point, read its
 //! page list, verify the candidates with the `d_minmax` test of \[14\] and
 //! compute qualification probabilities for the survivors.
+//!
+//! The whole grid — nodes, member lists, epoch, free slots and the budget
+//! flag — has an explicit persistent representation in [`crate::snapshot`];
+//! only the I/O counters of the backing store are runtime state.
 
 use crate::config::UvConfig;
 use std::collections::HashSet;
@@ -44,6 +48,10 @@ pub(crate) enum GridNode {
     /// from the root.
     Free,
 }
+
+/// One leaf of [`UvIndex::canonical_leaves`]: the region's corner
+/// coordinates as raw `f64` bits plus the id-sorted member list.
+pub type CanonicalLeaf = ((u64, u64, u64, u64), Vec<ObjectId>);
 
 /// The UV-index.
 #[derive(Debug)]
@@ -192,6 +200,31 @@ impl UvIndex {
             }
         }
         depth(self, 0)
+    }
+
+    /// The grid's canonical, bit-exact leaf view: every leaf's region
+    /// corners as raw `f64` bits plus its id-sorted member list, ordered by
+    /// region. Two indexes are structurally identical iff their canonical
+    /// views are equal — the oracle the dynamic-maintenance and snapshot
+    /// test suites (and the churn/snapshot experiments) compare against a
+    /// cold rebuild.
+    pub fn canonical_leaves(&self) -> Vec<CanonicalLeaf> {
+        let mut out: Vec<_> = self
+            .leaves()
+            .map(|(r, ids)| {
+                (
+                    (
+                        r.min_x.to_bits(),
+                        r.min_y.to_bits(),
+                        r.max_x.to_bits(),
+                        r.max_y.to_bits(),
+                    ),
+                    ids.to_vec(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Iterates over the leaves as `(region, object ids)` pairs, using only

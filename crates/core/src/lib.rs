@@ -22,6 +22,10 @@
 //! * [`update`] — dynamic maintenance beyond the paper: incremental
 //!   insert/delete/move with localized UV-partition repair, bit-identical to
 //!   a cold rebuild, on an epoch-versioned index.
+//! * [`snapshot`] — persistence beyond the paper: the whole system saved to
+//!   a versioned, checksummed binary format and loaded back query-ready in
+//!   `O(bytes)` with zero re-derivation — the *build once, query many* cost
+//!   model made durable across process restarts.
 //!
 //! # Quick start
 //!
@@ -64,6 +68,7 @@ pub mod error;
 pub mod index;
 pub mod pattern;
 pub mod region;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 pub mod update;
@@ -71,7 +76,7 @@ pub mod update;
 pub use builder::{build_uv_index, Method};
 pub use cell::UvCell;
 pub use config::UvConfig;
-pub use crobjects::{CrObjects, UpdateSensitivity};
+pub use crobjects::{ChangeImpact, CrObjects, UpdateSensitivity};
 pub use engine::{QueryEngine, TrajectoryStep};
 pub use error::UvError;
 pub use index::UvIndex;

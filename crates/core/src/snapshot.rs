@@ -1,0 +1,798 @@
+//! Snapshot persistence: save a whole [`UvSystem`] to a versioned binary
+//! stream and load it back query-ready, with **zero re-derivation**.
+//!
+//! The UV-diagram's cost model is *build once, query many* (Sections IV–VI
+//! of the paper): deriving reference sets and the adaptive grid is the
+//! expensive part, PNN queries are cheap index probes. A deployment that
+//! pays the construction cost on every process start throws that asymmetry
+//! away — warm restarts, replicas and crash recovery all want the derived
+//! state on disk. This module persists it:
+//!
+//! * the [`uv_data::ObjectStore`] pages, directory and tombstones;
+//! * the packed [`uv_rtree::RTree`];
+//! * the [`UvIndex`] grid — nodes, member lists, epoch, free slots and the
+//!   budget flag, plus its leaf page store;
+//! * the per-object [`crate::update::ObjectState`] (reference ids and
+//!   [`crate::UpdateSensitivity`]) that dynamic maintenance needs;
+//! * the [`UvConfig`], method, domain, object set and construction stats.
+//!
+//! Runtime-only state — I/O counters, the query engine's per-leaf
+//! `OnceLock` cache — is *not* persisted; counters restart at zero and
+//! caches refill lazily, exactly as after a cold build.
+//!
+//! # Format
+//!
+//! Everything is little-endian, written through [`uv_store::codec`] (not the
+//! vendored `serde` shim — the layout is an explicit stability contract):
+//!
+//! ```text
+//! magic   b"UVDSNAP\0"                      8 bytes
+//! version u32 (= FORMAT_VERSION)            4 bytes
+//! config  u64 FNV-1a fingerprint            8 bytes
+//! then, in fixed order, framed sections     tag u8 | len u64 | payload | fnv64
+//!   1 CONFIG   2 META      3 OBJECTS   4 OBJECT_PAGES  5 OBJECT_STORE
+//!   6 RTREE_PAGES  7 RTREE  8 INDEX_PAGES  9 INDEX  10 REF_TABLE  11 STATS
+//! ```
+//!
+//! Every malformation maps to a typed [`UvError`], never a panic: a wrong
+//! magic, flipped byte, truncated stream or invariant-violating payload is
+//! [`UvError::SnapshotCorrupt`]; an unknown `version` is
+//! [`UvError::SnapshotVersionMismatch`]; a header fingerprint that
+//! disagrees with the persisted configuration is [`UvError::ConfigMismatch`];
+//! environmental failures are [`UvError::Io`].
+//!
+//! # Correctness contract
+//!
+//! A loaded system is *bit-identical* to the saved one: leaf structure and
+//! member lists, PNN answers (probabilities, candidate counts, per-query
+//! I/O), `cell_area`, epoch — and updates applied after a load equal updates
+//! applied without the round-trip (property-tested in
+//! `tests/proptest_snapshot.rs`). Loading is `O(bytes)`.
+
+use crate::builder::Method;
+use crate::config::UvConfig;
+use crate::crobjects::UpdateSensitivity;
+use crate::index::{GridNode, UvIndex};
+use crate::stats::ConstructionStats;
+use crate::system::UvSystem;
+use crate::update::{ObjectState, RefTable};
+use crate::UvError;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+use uv_data::{ObjectStore, UncertainObject};
+use uv_geom::Rect;
+use uv_rtree::RTree;
+use uv_store::codec::{corrupt, fnv64, read_section, to_bytes, write_section, Decode, Encode};
+use uv_store::{PageStore, PagedList};
+
+/// Magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 8] = *b"UVDSNAP\0";
+
+/// The snapshot format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+mod tag {
+    pub const CONFIG: u8 = 1;
+    pub const META: u8 = 2;
+    pub const OBJECTS: u8 = 3;
+    pub const OBJECT_PAGES: u8 = 4;
+    pub const OBJECT_STORE: u8 = 5;
+    pub const RTREE_PAGES: u8 = 6;
+    pub const RTREE: u8 = 7;
+    pub const INDEX_PAGES: u8 = 8;
+    pub const INDEX: u8 = 9;
+    pub const REF_TABLE: u8 = 10;
+    pub const STATS: u8 = 11;
+}
+
+// ---------------------------------------------------------------------------
+// Codec impls for the core types (field order is part of the format).
+// ---------------------------------------------------------------------------
+
+impl Encode for UvConfig {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.curve_samples.write_to(w)?;
+        self.max_edge_len_fraction.write_to(w)?;
+        self.seed_knn.write_to(w)?;
+        self.num_seeds.write_to(w)?;
+        self.max_nonleaf.write_to(w)?;
+        self.split_threshold.write_to(w)?;
+        self.integration_steps.write_to(w)?;
+        self.parallel.write_to(w)?;
+        self.query_workers.write_to(w)?;
+        self.leaf_cache.write_to(w)?;
+        self.leaf_split_capacity.write_to(w)
+    }
+}
+
+impl Decode for UvConfig {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Self {
+            curve_samples: usize::read_from(r)?,
+            max_edge_len_fraction: f64::read_from(r)?,
+            seed_knn: usize::read_from(r)?,
+            num_seeds: usize::read_from(r)?,
+            max_nonleaf: usize::read_from(r)?,
+            split_threshold: f64::read_from(r)?,
+            integration_steps: usize::read_from(r)?,
+            parallel: bool::read_from(r)?,
+            query_workers: usize::read_from(r)?,
+            leaf_cache: bool::read_from(r)?,
+            leaf_split_capacity: usize::read_from(r)?,
+        })
+    }
+}
+
+impl Encode for Method {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        let tag: u8 = match self {
+            Method::Basic => 0,
+            Method::ICR => 1,
+            Method::IC => 2,
+        };
+        tag.write_to(w)
+    }
+}
+
+impl Decode for Method {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        match u8::read_from(r)? {
+            0 => Ok(Method::Basic),
+            1 => Ok(Method::ICR),
+            2 => Ok(Method::IC),
+            other => Err(corrupt(format!("invalid construction method {other}"))),
+        }
+    }
+}
+
+impl Encode for UpdateSensitivity {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.knn_dist.write_to(w)?;
+        self.prune_radius.write_to(w)?;
+        self.seed_dists.write_to(w)?;
+        self.d_bounds.write_to(w)
+    }
+}
+
+impl Decode for UpdateSensitivity {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Self {
+            knn_dist: f64::read_from(r)?,
+            prune_radius: f64::read_from(r)?,
+            seed_dists: Vec::read_from(r)?,
+            d_bounds: Vec::read_from(r)?,
+        })
+    }
+}
+
+impl Encode for ObjectState {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.reference_ids.write_to(w)?;
+        self.sensitivity.write_to(w)
+    }
+}
+
+impl Decode for ObjectState {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Self {
+            reference_ids: Vec::read_from(r)?,
+            sensitivity: UpdateSensitivity::read_from(r)?,
+        })
+    }
+}
+
+fn write_duration<W: Write + ?Sized>(d: Duration, w: &mut W) -> io::Result<()> {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).write_to(w)
+}
+
+fn read_duration<R: Read + ?Sized>(r: &mut R) -> io::Result<Duration> {
+    Ok(Duration::from_nanos(u64::read_from(r)?))
+}
+
+impl Encode for ConstructionStats {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.objects.write_to(w)?;
+        write_duration(self.total, w)?;
+        write_duration(self.seed_time, w)?;
+        write_duration(self.pruning_time, w)?;
+        write_duration(self.refinement_time, w)?;
+        write_duration(self.indexing_time, w)?;
+        self.avg_i_ratio.write_to(w)?;
+        self.avg_c_ratio.write_to(w)?;
+        self.avg_reference_objects.write_to(w)?;
+        self.nonleaf_nodes.write_to(w)?;
+        self.leaf_nodes.write_to(w)?;
+        self.leaf_pages.write_to(w)
+    }
+}
+
+impl Decode for ConstructionStats {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Self {
+            objects: usize::read_from(r)?,
+            total: read_duration(r)?,
+            seed_time: read_duration(r)?,
+            pruning_time: read_duration(r)?,
+            refinement_time: read_duration(r)?,
+            indexing_time: read_duration(r)?,
+            avg_i_ratio: f64::read_from(r)?,
+            avg_c_ratio: f64::read_from(r)?,
+            avg_reference_objects: f64::read_from(r)?,
+            nonleaf_nodes: usize::read_from(r)?,
+            leaf_nodes: usize::read_from(r)?,
+            leaf_pages: usize::read_from(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UvIndex persistence
+// ---------------------------------------------------------------------------
+
+/// Writes the persistent state of the grid. The leaf page *contents* belong
+/// to the index page store (its own section); here go the node table with
+/// per-leaf page-list states, node regions, epoch, free slots and the
+/// budget flag. The non-leaf count is derivable and recomputed on load.
+fn write_index<W: Write + ?Sized>(index: &UvIndex, w: &mut W) -> io::Result<()> {
+    index.epoch.write_to(w)?;
+    index.budget_bound.write_to(w)?;
+    index.free_slots.write_to(w)?;
+    index.nodes.len().write_to(w)?;
+    for (node, region) in index.nodes.iter().zip(&index.node_regions) {
+        region.write_to(w)?;
+        match node {
+            GridNode::Internal {
+                children,
+                object_ids,
+            } => {
+                0u8.write_to(w)?;
+                for child in children {
+                    child.write_to(w)?;
+                }
+                object_ids.write_to(w)?;
+            }
+            GridNode::Leaf { list, object_ids } => {
+                1u8.write_to(w)?;
+                list.write_state(w)?;
+                object_ids.write_to(w)?;
+            }
+            GridNode::Free => 2u8.write_to(w)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reconstructs the grid over an already-loaded page `store`. Child and
+/// free-slot references are validated so corrupt input errors out instead
+/// of panicking in a later `locate_leaf`.
+fn read_index<R: Read + ?Sized>(
+    store: Arc<PageStore>,
+    domain: Rect,
+    config: UvConfig,
+    r: &mut R,
+) -> io::Result<UvIndex> {
+    let epoch = u64::read_from(r)?;
+    let budget_bound = bool::read_from(r)?;
+    let free_slots: Vec<u32> = Vec::read_from(r)?;
+    let num_nodes = usize::read_from(r)?;
+    if num_nodes == 0 {
+        return Err(corrupt("grid without a root node"));
+    }
+    let mut nodes = Vec::with_capacity(num_nodes.min(4_096));
+    let mut node_regions = Vec::with_capacity(num_nodes.min(4_096));
+    for _ in 0..num_nodes {
+        node_regions.push(Rect::read_from(r)?);
+        let node = match u8::read_from(r)? {
+            0 => {
+                let mut children = [0u32; 4];
+                for child in &mut children {
+                    *child = u32::read_from(r)?;
+                }
+                GridNode::Internal {
+                    children,
+                    object_ids: Vec::read_from(r)?,
+                }
+            }
+            1 => GridNode::Leaf {
+                list: PagedList::read_state(Arc::clone(&store), r)?,
+                object_ids: Vec::read_from(r)?,
+            },
+            2 => GridNode::Free,
+            other => Err(corrupt(format!("invalid grid-node tag {other}")))?,
+        };
+        nodes.push(node);
+    }
+    for node in &nodes {
+        if let GridNode::Internal { children, .. } = node {
+            for child in children {
+                if (*child as usize) >= nodes.len() {
+                    return Err(corrupt(format!("grid child {child} out of range")));
+                }
+            }
+        }
+    }
+    for slot in &free_slots {
+        if (*slot as usize) >= nodes.len() {
+            return Err(corrupt(format!("free slot {slot} out of range")));
+        }
+        if !matches!(nodes[*slot as usize], GridNode::Free) {
+            return Err(corrupt(format!("free slot {slot} names a live node")));
+        }
+    }
+    if matches!(nodes[0], GridNode::Free) {
+        return Err(corrupt("the root node is free"));
+    }
+    let nonleaf_count = nodes
+        .iter()
+        .filter(|n| matches!(n, GridNode::Internal { .. }))
+        .count();
+    Ok(UvIndex {
+        config,
+        domain,
+        nodes,
+        node_regions,
+        nonleaf_count,
+        store,
+        epoch,
+        free_slots,
+        budget_bound,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------------
+
+/// Bytes one framed section adds on top of its payload: tag (1) +
+/// length (8) + checksum (8).
+const SECTION_OVERHEAD: u64 = 17;
+
+impl UvSystem {
+    /// Serialises the whole system — object store, R-tree, UV-index,
+    /// per-object maintenance state, configuration and construction
+    /// statistics — to `w`. Returns the number of bytes written.
+    ///
+    /// Sections are built and written one at a time, so transient memory
+    /// peaks at the largest single section (a page store), not the whole
+    /// snapshot. The inverse is [`UvSystem::load_snapshot`]; see the
+    /// [module docs](crate::snapshot) for the format and the correctness
+    /// contract.
+    pub fn save_snapshot<W: Write>(&self, w: &mut W) -> Result<u64, UvError> {
+        let config_payload = to_bytes(&self.config);
+
+        w.write_all(&MAGIC)?;
+        FORMAT_VERSION.write_to(w)?;
+        fnv64(&config_payload).write_to(w)?;
+        let mut written: u64 = MAGIC.len() as u64 + 4 + 8;
+        let emit = |w: &mut W, tag: u8, payload: Vec<u8>| -> io::Result<u64> {
+            write_section(w, tag, &payload)?;
+            Ok(SECTION_OVERHEAD + payload.len() as u64)
+        };
+
+        written += emit(w, tag::CONFIG, config_payload)?;
+
+        let mut meta = Vec::new();
+        self.domain.write_to(&mut meta)?;
+        self.method.write_to(&mut meta)?;
+        written += emit(w, tag::META, meta)?;
+
+        written += emit(w, tag::OBJECTS, to_bytes(&self.objects))?;
+        written += emit(w, tag::OBJECT_PAGES, to_bytes(&**self.object_store.store()))?;
+
+        let mut object_store_state = Vec::new();
+        self.object_store.write_state(&mut object_store_state)?;
+        written += emit(w, tag::OBJECT_STORE, object_store_state)?;
+
+        written += emit(w, tag::RTREE_PAGES, to_bytes(&**self.rtree.store()))?;
+        let mut rtree_state = Vec::new();
+        self.rtree.write_state(&mut rtree_state)?;
+        written += emit(w, tag::RTREE, rtree_state)?;
+
+        written += emit(w, tag::INDEX_PAGES, to_bytes(&**self.index.store()))?;
+        let mut index_state = Vec::new();
+        write_index(&self.index, &mut index_state)?;
+        written += emit(w, tag::INDEX, index_state)?;
+
+        let mut ref_table: Vec<(u32, &ObjectState)> =
+            self.ref_table.iter().map(|(id, s)| (*id, s)).collect();
+        ref_table.sort_unstable_by_key(|(id, _)| *id);
+        let mut ref_payload = Vec::new();
+        ref_table.len().write_to(&mut ref_payload)?;
+        for (id, state) in &ref_table {
+            id.write_to(&mut ref_payload)?;
+            state.write_to(&mut ref_payload)?;
+        }
+        written += emit(w, tag::REF_TABLE, ref_payload)?;
+
+        written += emit(w, tag::STATS, to_bytes(&self.construction))?;
+        w.flush()?;
+        Ok(written)
+    }
+
+    /// Saves a snapshot to a file (created or truncated), returning the
+    /// number of bytes written.
+    pub fn save_snapshot_to_path<P: AsRef<Path>>(&self, path: P) -> Result<u64, UvError> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_snapshot(&mut w)
+    }
+
+    /// Loads a snapshot written by [`UvSystem::save_snapshot`],
+    /// reconstructing a query-ready system in `O(bytes)` with zero
+    /// re-derivation. I/O counters start at zero; query-engine caches
+    /// refill lazily.
+    pub fn load_snapshot<R: Read>(r: &mut R) -> Result<UvSystem, UvError> {
+        Self::load_snapshot_inner(r, None)
+    }
+
+    fn load_snapshot_inner<R: Read>(
+        r: &mut R,
+        expected: Option<&UvConfig>,
+    ) -> Result<UvSystem, UvError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(UvError::SnapshotCorrupt(format!("bad magic {magic:02x?}")));
+        }
+        let version = u32::read_from(r)?;
+        if version != FORMAT_VERSION {
+            return Err(UvError::SnapshotVersionMismatch {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let fingerprint = u64::read_from(r)?;
+        if let Some(expected) = expected {
+            // Reject a wrong tuning from the header alone — before paying
+            // the O(bytes) reconstruction (the decoded config is compared
+            // again below, so a fingerprint collision cannot slip through).
+            if fnv64(&to_bytes(expected)) != fingerprint {
+                return Err(UvError::ConfigMismatch);
+            }
+        }
+
+        let config_payload = read_section(r, tag::CONFIG)?;
+        if fnv64(&config_payload) != fingerprint {
+            return Err(UvError::ConfigMismatch);
+        }
+        let config: UvConfig = uv_store::codec::from_bytes(&config_payload)?;
+        config
+            .validate()
+            .map_err(|e| UvError::SnapshotCorrupt(format!("persisted configuration: {e}")))?;
+
+        let meta = read_section(r, tag::META)?;
+        let mut meta_r: &[u8] = &meta;
+        let domain = Rect::read_from(&mut meta_r)?;
+        let method = Method::read_from(&mut meta_r)?;
+
+        let objects: Vec<UncertainObject> =
+            uv_store::codec::from_bytes(&read_section(r, tag::OBJECTS)?)?;
+
+        let object_pages: PageStore =
+            uv_store::codec::from_bytes(&read_section(r, tag::OBJECT_PAGES)?)?;
+        let object_pages = Arc::new(object_pages);
+        let store_state = read_section(r, tag::OBJECT_STORE)?;
+        let object_store =
+            ObjectStore::read_state(object_pages, &objects, &mut store_state.as_slice())?;
+
+        let rtree_pages: PageStore =
+            uv_store::codec::from_bytes(&read_section(r, tag::RTREE_PAGES)?)?;
+        let rtree_state = read_section(r, tag::RTREE)?;
+        let rtree = RTree::read_state(Arc::new(rtree_pages), &mut rtree_state.as_slice())?;
+        if rtree.len() != objects.len() {
+            return Err(UvError::SnapshotCorrupt(format!(
+                "R-tree indexes {} objects, dataset holds {}",
+                rtree.len(),
+                objects.len()
+            )));
+        }
+
+        let index_pages: PageStore =
+            uv_store::codec::from_bytes(&read_section(r, tag::INDEX_PAGES)?)?;
+        let index_state = read_section(r, tag::INDEX)?;
+        let index = read_index(
+            Arc::new(index_pages),
+            domain,
+            config,
+            &mut index_state.as_slice(),
+        )?;
+
+        let ref_payload = read_section(r, tag::REF_TABLE)?;
+        let mut ref_r: &[u8] = &ref_payload;
+        let entries = usize::read_from(&mut ref_r)?;
+        let mut ref_table = RefTable::with_capacity(entries.min(4_096));
+        for _ in 0..entries {
+            let id = u32::read_from(&mut ref_r)?;
+            let state = ObjectState::read_from(&mut ref_r)?;
+            if ref_table.insert(id, state).is_some() {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "object {id} appears twice in the reference table"
+                )));
+            }
+        }
+        if ref_table.len() != objects.len()
+            || objects.iter().any(|o| !ref_table.contains_key(&o.id))
+        {
+            return Err(UvError::SnapshotCorrupt(
+                "reference table does not cover the live object set".into(),
+            ));
+        }
+
+        let construction: ConstructionStats =
+            uv_store::codec::from_bytes(&read_section(r, tag::STATS)?)?;
+
+        // The stats section is the last one: anything after it (a second
+        // snapshot concatenated on, a partially overwritten longer file) is
+        // corruption, not data to ignore.
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(UvError::SnapshotCorrupt(
+                "trailing bytes after the final section".into(),
+            ));
+        }
+
+        Ok(UvSystem {
+            objects,
+            domain,
+            object_store,
+            rtree,
+            index,
+            construction,
+            config,
+            method,
+            ref_table,
+        })
+    }
+
+    /// Loads a snapshot from a file.
+    pub fn load_snapshot_from_path<P: AsRef<Path>>(path: P) -> Result<UvSystem, UvError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = std::io::BufReader::new(file);
+        Self::load_snapshot(&mut r)
+    }
+
+    /// Like [`UvSystem::load_snapshot`], but additionally requires the
+    /// persisted configuration to equal `expected` — the replica-fleet
+    /// use case where every process is compiled against one known tuning.
+    /// Returns [`UvError::ConfigMismatch`] otherwise; a wrong tuning is
+    /// rejected from the header fingerprint alone, before any section is
+    /// reconstructed.
+    pub fn load_snapshot_expecting<R: Read>(
+        r: &mut R,
+        expected: &UvConfig,
+    ) -> Result<UvSystem, UvError> {
+        let system = Self::load_snapshot_inner(r, Some(expected))?;
+        if system.config() != expected {
+            return Err(UvError::ConfigMismatch);
+        }
+        Ok(system)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateBatch;
+    use uv_data::{Dataset, GeneratorConfig};
+    use uv_geom::Point;
+
+    fn fixture(n: usize) -> (Dataset, UvSystem) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let config = UvConfig::default()
+            .with_seed_knn(24)
+            .with_leaf_split_capacity(16);
+        let sys = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config);
+        (ds, sys)
+    }
+
+    fn snapshot_bytes(sys: &UvSystem) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let written = sys.save_snapshot(&mut bytes).expect("save must succeed");
+        assert_eq!(written, bytes.len() as u64);
+        bytes
+    }
+
+    fn assert_bit_identical(ds: &Dataset, a: &UvSystem, b: &UvSystem) {
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.domain(), b.domain());
+        assert_eq!(a.objects(), b.objects());
+        assert_eq!(a.index().num_leaf_nodes(), b.index().num_leaf_nodes());
+        assert_eq!(a.index().num_nonleaf_nodes(), b.index().num_nonleaf_nodes());
+        assert_eq!(a.index().num_leaf_pages(), b.index().num_leaf_pages());
+        let leaves = |s: &UvSystem| {
+            s.index()
+                .leaves()
+                .map(|(r, ids)| (*r, ids.to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(leaves(a), leaves(b));
+        for o in a.objects() {
+            assert_eq!(a.cell_area(o.id).to_bits(), b.cell_area(o.id).to_bits());
+            assert_eq!(
+                a.object_state(o.id).map(|s| s.reference_ids().to_vec()),
+                b.object_state(o.id).map(|s| s.reference_ids().to_vec())
+            );
+        }
+        a.reset_io();
+        b.reset_io();
+        for q in ds.query_points(20, 41) {
+            let pa = a.pnn(q);
+            let pb = b.pnn(q);
+            assert_eq!(
+                pa.probabilities, pb.probabilities,
+                "answers differ at {q:?}"
+            );
+            assert_eq!(pa.candidates_examined, pb.candidates_examined);
+            assert_eq!(pa.breakdown.index_io, pb.breakdown.index_io);
+            assert_eq!(pa.breakdown.object_io, pb.breakdown.object_io);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_and_updatable() {
+        let (ds, mut sys) = fixture(150);
+        // Exercise a non-zero epoch, tombstones and free slots before saving.
+        sys.updater()
+            .delete(3)
+            .move_to(7, Point::new(4_321.0, 1_234.0))
+            .insert(UncertainObject::with_gaussian(
+                900,
+                Point::new(2_500.0, 2_500.0),
+                20.0,
+            ))
+            .commit()
+            .unwrap();
+        let bytes = snapshot_bytes(&sys);
+        let mut loaded = UvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_bit_identical(&ds, &sys, &loaded);
+
+        // Updates after the round-trip equal updates without it.
+        let batch = UpdateBatch::new()
+            .insert(UncertainObject::with_uniform(
+                901,
+                Point::new(6_000.0, 3_000.0),
+                15.0,
+            ))
+            .delete(11)
+            .move_to(42, Point::new(1_111.0, 8_888.0));
+        let sa = sys.apply(batch.clone()).unwrap();
+        let sb = loaded.apply(batch).unwrap();
+        assert_eq!(sa.leaves_refined, sb.leaves_refined);
+        assert_eq!(sa.objects_rederived, sb.objects_rederived);
+        assert_eq!(sa.epoch, sb.epoch);
+        assert_bit_identical(&ds, &sys, &loaded);
+    }
+
+    #[test]
+    fn empty_and_tiny_systems_roundtrip() {
+        let domain = Rect::square(1_000.0);
+        let sys = UvSystem::with_defaults(Vec::new(), domain);
+        let bytes = snapshot_bytes(&sys);
+        let mut loaded = UvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        assert!(loaded.objects().is_empty());
+        assert!(loaded
+            .pnn(Point::new(500.0, 500.0))
+            .probabilities
+            .is_empty());
+        // The loaded empty system accepts inserts.
+        loaded
+            .insert_object(UncertainObject::with_uniform(
+                0,
+                Point::new(400.0, 400.0),
+                10.0,
+            ))
+            .unwrap();
+        assert_eq!(loaded.objects().len(), 1);
+
+        let one = UvSystem::with_defaults(
+            vec![UncertainObject::with_gaussian(5, Point::new(1.0, 2.0), 3.0)],
+            domain,
+        );
+        let bytes = snapshot_bytes(&one);
+        let loaded = UvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.objects(), one.objects());
+    }
+
+    #[test]
+    fn construction_stats_and_config_survive() {
+        let (_, sys) = fixture(120);
+        let bytes = snapshot_bytes(&sys);
+        let loaded = UvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.config(), sys.config());
+        assert_eq!(loaded.method(), sys.method());
+        let (a, b) = (loaded.construction_stats(), sys.construction_stats());
+        assert_eq!(a.objects, b.objects);
+        assert_eq!(a.leaf_nodes, b.leaf_nodes);
+        assert_eq!(a.nonleaf_nodes, b.nonleaf_nodes);
+        assert_eq!(a.leaf_pages, b.leaf_pages);
+        assert_eq!(a.avg_c_ratio.to_bits(), b.avg_c_ratio.to_bits());
+        assert_eq!(a.total, b.total);
+    }
+
+    #[test]
+    fn header_corruption_yields_typed_errors() {
+        let (_, sys) = fixture(60);
+        let bytes = snapshot_bytes(&sys);
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            UvSystem::load_snapshot(&mut bad.as_slice()),
+            Err(UvError::SnapshotCorrupt(_))
+        ));
+
+        // Unsupported version.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+        assert_eq!(
+            UvSystem::load_snapshot(&mut bad.as_slice()).unwrap_err(),
+            UvError::SnapshotVersionMismatch {
+                found: FORMAT_VERSION + 7,
+                supported: FORMAT_VERSION,
+            }
+        );
+
+        // Fingerprint/config disagreement.
+        let mut bad = bytes.clone();
+        bad[12] ^= 0xA5;
+        assert_eq!(
+            UvSystem::load_snapshot(&mut bad.as_slice()).unwrap_err(),
+            UvError::ConfigMismatch
+        );
+
+        // Truncation at every boundary class: header, mid-section, checksum.
+        for cut in [3, 15, 40, bytes.len() / 2, bytes.len() - 1] {
+            let err = UvSystem::load_snapshot(&mut &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, UvError::SnapshotCorrupt(_)),
+                "truncation at {cut} gave {err:?}"
+            );
+        }
+
+        // Trailing garbage — e.g. two snapshots concatenated — is rejected,
+        // not silently half-loaded.
+        let mut doubled = bytes.clone();
+        doubled.extend_from_slice(&bytes);
+        assert!(matches!(
+            UvSystem::load_snapshot(&mut doubled.as_slice()),
+            Err(UvError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn expecting_variant_rejects_other_configs() {
+        let (_, sys) = fixture(60);
+        let bytes = snapshot_bytes(&sys);
+        let loaded =
+            UvSystem::load_snapshot_expecting(&mut bytes.as_slice(), sys.config()).unwrap();
+        assert_eq!(loaded.config(), sys.config());
+        let other = UvConfig::default().with_seed_knn(99);
+        assert_eq!(
+            UvSystem::load_snapshot_expecting(&mut bytes.as_slice(), &other).unwrap_err(),
+            UvError::ConfigMismatch
+        );
+    }
+
+    #[test]
+    fn save_to_path_and_load_from_path() {
+        let (ds, sys) = fixture(80);
+        let path = std::env::temp_dir().join(format!(
+            "uv-snapshot-test-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let written = sys.save_snapshot_to_path(&path).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let loaded = UvSystem::load_snapshot_from_path(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_bit_identical(&ds, &sys, &loaded);
+        // A missing file is an I/O error, not corruption.
+        assert!(matches!(
+            UvSystem::load_snapshot_from_path(&path),
+            Err(UvError::Io(_))
+        ));
+    }
+}

@@ -25,6 +25,11 @@ use uv_store::PageStore;
 /// ([`UvSystem::insert_object`], [`UvSystem::delete_object`],
 /// [`UvSystem::move_object`]) maintain every structure incrementally with
 /// answers bit-identical to a cold rebuild — see [`crate::update`].
+///
+/// It is also *durable*: [`UvSystem::save_snapshot`] persists the whole
+/// system to a versioned, checksummed binary stream and
+/// [`UvSystem::load_snapshot`] reconstructs it query-ready in `O(bytes)`
+/// with zero re-derivation — see [`crate::snapshot`].
 #[derive(Debug)]
 pub struct UvSystem {
     pub(crate) objects: Vec<UncertainObject>,

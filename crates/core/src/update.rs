@@ -59,8 +59,10 @@
 //! before an update; Rust's aliasing rules additionally make it impossible
 //! to hold a live [`crate::QueryEngine`] across a mutation.
 
-use crate::builder::{derive_subset, grow_node, make_leaf, split_members, GridCtx, GrowStats};
-use crate::crobjects::UpdateSensitivity;
+use crate::builder::{
+    derive_subset, grow_node, make_leaf, split_members, GridCtx, GrowStats, Method,
+};
+use crate::crobjects::{ChangeImpact, UpdateSensitivity};
 use crate::index::{GridNode, UvIndex};
 use crate::system::UvSystem;
 use crate::UvError;
@@ -86,8 +88,8 @@ impl ObjectState {
     }
 
     /// The affected-object bound of this object's derivation.
-    pub fn sensitivity(&self) -> UpdateSensitivity {
-        self.sensitivity
+    pub fn sensitivity(&self) -> &UpdateSensitivity {
+        &self.sensitivity
     }
 }
 
@@ -169,6 +171,10 @@ pub struct UpdateStats {
     pub moved: usize,
     /// Objects whose reference derivation was repeated (affected set).
     pub objects_rederived: usize,
+    /// Objects the plain k-NN-radius bound alone (the PR-3 rule, without
+    /// the seed-sector prefilter) would have re-derived. The difference to
+    /// [`UpdateStats::objects_rederived`] is the work the prefilter skipped.
+    pub objects_in_knn_radius: usize,
     /// Objects whose derivation or geometry actually changed, i.e. that
     /// entered the grid repair.
     pub objects_repartitioned: usize,
@@ -347,26 +353,30 @@ impl UvSystem {
 
         // ---- 2. Net difference -------------------------------------------
         // Also captures the old/new geometry of everything that changes or
-        // disappears — the affected-object computation tests both positions.
+        // disappears, split by direction: disappearing states (deletes,
+        // move origins) and appearing states (inserts, move destinations)
+        // carry different seed-displacement hazards, which the sensitivity
+        // prefilter exploits.
         let mut deleted: Vec<ObjectId> = Vec::new();
         let mut inserted: Vec<ObjectId> = Vec::new();
         let mut changed: Vec<ObjectId> = Vec::new();
-        let mut changed_mbcs: Vec<Circle> = Vec::new();
+        let mut removed_mbcs: Vec<Circle> = Vec::new();
+        let mut added_mbcs: Vec<Circle> = Vec::new();
+        let mut moved_mbcs: Vec<(Circle, Circle)> = Vec::new();
         for (id, state) in &overlay {
             match (before.get(id), state) {
                 (Some(b), Some(o)) if *b != o => {
                     changed.push(*id);
-                    changed_mbcs.push(b.mbc());
-                    changed_mbcs.push(o.mbc());
+                    moved_mbcs.push((b.mbc(), o.mbc()));
                 }
                 (Some(_), Some(_)) => {} // touched but net-unchanged
                 (Some(b), None) => {
                     deleted.push(*id);
-                    changed_mbcs.push(b.mbc());
+                    removed_mbcs.push(b.mbc());
                 }
                 (None, Some(o)) => {
                     inserted.push(*id);
-                    changed_mbcs.push(o.mbc());
+                    added_mbcs.push(o.mbc());
                 }
                 (None, None) => {} // inserted then deleted within the batch
             }
@@ -426,16 +436,61 @@ impl UvSystem {
         let changed_set: HashSet<ObjectId> = changed.iter().copied().collect();
         let inserted_set: HashSet<ObjectId> = inserted.iter().copied().collect();
         let mut affected: HashSet<ObjectId> = changed_set.union(&inserted_set).copied().collect();
+        stats.objects_in_knn_radius = affected.len();
+        // Subjects whose reference id list is provably unchanged but whose
+        // referenced geometry moved: grid repair without re-derivation.
+        // Only the IC method may take this shortcut (ICR refines through
+        // the references' geometry, so its derivation must repeat).
+        let mut repartition_only: Vec<ObjectId> = Vec::new();
         for o in &self.objects {
             if affected.contains(&o.id) {
                 continue;
             }
-            let sensitivity = self.ref_table[&o.id].sensitivity;
-            if changed_mbcs
-                .iter()
-                .any(|mbc| sensitivity.affected_by(o.center(), mbc))
-            {
-                affected.insert(o.id);
+            let sensitivity = &self.ref_table[&o.id].sensitivity;
+            let c = o.center();
+            let mut impact = ChangeImpact::Unaffected;
+            for mbc in &removed_mbcs {
+                if sensitivity.affected_by_removed(c, mbc) {
+                    impact = ChangeImpact::Rederive;
+                    break;
+                }
+            }
+            for mbc in &added_mbcs {
+                if impact < ChangeImpact::Rederive && sensitivity.affected_by_added(c, mbc) {
+                    impact = ChangeImpact::Rederive;
+                }
+            }
+            for (old, new) in &moved_mbcs {
+                if impact < ChangeImpact::Rederive {
+                    let mut verdict = sensitivity.move_impact(c, old, new);
+                    if verdict == ChangeImpact::RepartitionOnly && self.method != Method::IC {
+                        verdict = ChangeImpact::Rederive;
+                    }
+                    impact = impact.max(verdict);
+                }
+            }
+            match impact {
+                ChangeImpact::Rederive => {
+                    affected.insert(o.id);
+                    stats.objects_in_knn_radius += 1;
+                }
+                ChangeImpact::RepartitionOnly => {
+                    repartition_only.push(o.id);
+                    stats.objects_in_knn_radius += 1;
+                }
+                ChangeImpact::Unaffected => {
+                    // Inside the k-NN radius but skipped by the prefilter —
+                    // counted so the churn experiment can report the saving
+                    // against the PR-3 bound.
+                    if removed_mbcs
+                        .iter()
+                        .chain(&added_mbcs)
+                        .chain(moved_mbcs.iter().flat_map(|(a, b)| [a, b]))
+                        .any(|mbc| sensitivity.affected_by_knn_bound(c, mbc))
+                    {
+                        stats.objects_in_knn_radius += 1;
+                    }
+                }
             }
         }
 
@@ -485,6 +540,10 @@ impl UvSystem {
         for id in &deleted {
             self.ref_table.remove(id);
         }
+        // Repartition-only subjects skipped the derivation (their reference
+        // id lists are provably unchanged) but reference moved geometry, so
+        // their overlap tests must be re-run.
+        dirty.extend_from_slice(&repartition_only);
         dirty.sort_unstable();
         stats.objects_repartitioned = dirty.len() + inserted.len() + deleted.len();
 
@@ -572,6 +631,7 @@ impl UvSystem {
         self.index.epoch = old_epoch + 1;
         stats.full_rebuild = true;
         stats.objects_rederived = self.objects.len();
+        stats.objects_in_knn_radius = self.objects.len();
         stats.objects_repartitioned = self.objects.len();
         stats.leaves_refined = self.index.num_leaf_nodes();
         stats.total_leaves = self.index.num_leaf_nodes();
@@ -728,32 +788,10 @@ mod tests {
         (ds, sys)
     }
 
-    /// A leaf in canonical form: the region's corner coordinates (bit-exact)
-    /// and the id-sorted member list. (A twin of this helper lives in
-    /// `tests/proptest_update.rs` — unit and integration test targets cannot
-    /// share code; keep the two in sync.)
-    type CanonicalLeaf = ((u64, u64, u64, u64), Vec<ObjectId>);
-
-    /// Canonical view of the grid for structural comparison: every leaf's
-    /// region and id-sorted member list, ordered by region.
-    fn canonical_leaves(sys: &UvSystem) -> Vec<CanonicalLeaf> {
-        let mut out: Vec<CanonicalLeaf> = sys
-            .index()
-            .leaves()
-            .map(|(r, ids)| {
-                (
-                    (
-                        r.min_x.to_bits(),
-                        r.min_y.to_bits(),
-                        r.max_x.to_bits(),
-                        r.max_y.to_bits(),
-                    ),
-                    ids.to_vec(),
-                )
-            })
-            .collect();
-        out.sort();
-        out
+    /// Canonical view of the grid for structural comparison (the shared
+    /// [`UvIndex::canonical_leaves`] oracle).
+    fn canonical_leaves(sys: &UvSystem) -> Vec<crate::index::CanonicalLeaf> {
+        sys.index().canonical_leaves()
     }
 
     fn assert_matches_cold_rebuild(sys: &UvSystem) {

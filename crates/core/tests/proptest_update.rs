@@ -42,32 +42,11 @@ fn build_case(n: usize, method_pick: u8, kind_pick: u8, sigma: f64, seed: u64) -
     )
 }
 
-/// A leaf in canonical form: the region's corner coordinates (bit-exact) and
-/// the id-sorted member list. (A twin of this helper lives in the unit tests
-/// of `src/update.rs` — unit and integration test targets cannot share code;
-/// keep the two in sync.)
-type CanonicalLeaf = ((u64, u64, u64, u64), Vec<u32>);
-
-/// Canonical view of the grid: every leaf's region (bit-exact) with its
-/// id-sorted member list, ordered by region.
-fn canonical_leaves(sys: &UvSystem) -> Vec<CanonicalLeaf> {
-    let mut out: Vec<_> = sys
-        .index()
-        .leaves()
-        .map(|(r, ids)| {
-            (
-                (
-                    r.min_x.to_bits(),
-                    r.min_y.to_bits(),
-                    r.max_x.to_bits(),
-                    r.max_y.to_bits(),
-                ),
-                ids.to_vec(),
-            )
-        })
-        .collect();
-    out.sort();
-    out
+/// Canonical view of the grid (the shared `UvIndex::canonical_leaves`
+/// oracle): every leaf's region (bit-exact) with its id-sorted member list,
+/// ordered by region.
+fn canonical_leaves(sys: &UvSystem) -> Vec<uv_core::index::CanonicalLeaf> {
+    sys.index().canonical_leaves()
 }
 
 /// One raw op drawn by proptest: discriminant, target pick and a position.

@@ -3,6 +3,7 @@
 use crate::pdf::Pdf;
 use serde::{Deserialize, Serialize};
 use uv_geom::{Circle, Point, Rect};
+use uv_store::codec::{Decode, Encode};
 
 /// Identifier of an uncertain object (`O_i` in the paper).
 pub type ObjectId = u32;
@@ -88,6 +89,27 @@ impl UncertainObject {
     #[inline]
     pub fn mbc(&self) -> Circle {
         self.region
+    }
+}
+
+/// Snapshot codec: id, uncertainty region and the *lossless* pdf
+/// representation (the page-record encoding of `storage` truncates
+/// histograms at 20 bars; the snapshot must not).
+impl Encode for UncertainObject {
+    fn write_to<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        self.id.write_to(w)?;
+        self.region.write_to(w)?;
+        self.pdf.write_to(w)
+    }
+}
+
+impl Decode for UncertainObject {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> std::io::Result<Self> {
+        Ok(Self {
+            id: ObjectId::read_from(r)?,
+            region: Circle::read_from(r)?,
+            pdf: Pdf::read_from(r)?,
+        })
     }
 }
 

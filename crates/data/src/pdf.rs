@@ -9,6 +9,7 @@
 //! what the qualification-probability integration needs.
 
 use serde::{Deserialize, Serialize};
+use uv_store::codec::{corrupt, Decode, Encode};
 
 /// Number of histogram bars used by the paper's setup.
 pub const DEFAULT_HISTOGRAM_BARS: usize = 20;
@@ -107,6 +108,33 @@ impl Pdf {
         match self {
             Pdf::Uniform => None,
             Pdf::Histogram { bars } => Some(bars.len()),
+        }
+    }
+}
+
+/// Snapshot codec: a one-byte discriminant followed by the full bar vector.
+/// Unlike the 20-bar page record of `storage`, this representation is
+/// lossless for any bar count — it is what the snapshot subsystem persists.
+impl Encode for Pdf {
+    fn write_to<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        match self {
+            Pdf::Uniform => 0u8.write_to(w),
+            Pdf::Histogram { bars } => {
+                1u8.write_to(w)?;
+                bars.write_to(w)
+            }
+        }
+    }
+}
+
+impl Decode for Pdf {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> std::io::Result<Self> {
+        match u8::read_from(r)? {
+            0 => Ok(Pdf::Uniform),
+            1 => Ok(Pdf::Histogram {
+                bars: Vec::read_from(r)?,
+            }),
+            other => Err(corrupt(format!("invalid pdf discriminant {other}"))),
         }
     }
 }

@@ -11,8 +11,10 @@ use crate::object::{ObjectId, UncertainObject};
 use crate::pdf::Pdf;
 use bytes::Bytes;
 use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 use uv_geom::{Circle, Point};
+use uv_store::codec::{corrupt, Decode, Encode};
 use uv_store::{PageId, PageStore, Record};
 
 /// The `<ID, MBC, pointer>` tuple stored in leaf pages (Section V-A).
@@ -241,6 +243,96 @@ impl ObjectStore {
     pub fn store(&self) -> &Arc<PageStore> {
         &self.store
     }
+
+    /// Writes the persistent state of the store: the id → page directory
+    /// (id-sorted for a deterministic byte stream), the open append page and
+    /// the tombstone count. The page *bytes* belong to the backing
+    /// [`PageStore`], persisted separately; the decoded-object cache is
+    /// rebuilt on load from the live object set.
+    pub fn write_state<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        let mut directory: Vec<(u32, u32)> = self
+            .directory
+            .iter()
+            .map(|(id, page)| (*id, page.0))
+            .collect();
+        directory.sort_unstable();
+        directory.write_to(w)?;
+        self.append_page
+            .map(|(page, count)| (page.0, count as u64))
+            .write_to(w)?;
+        (self.tombstones as u64).write_to(w)
+    }
+
+    /// Reconstructs a store over an already-loaded page `store`.
+    ///
+    /// `objects` is the live object set the directory must cover exactly —
+    /// it refills the decoded-object cache without re-reading (and
+    /// re-truncating) page bytes, so fetches after a load return records
+    /// bit-identical to the never-persisted store. Any disagreement between
+    /// the directory and the object set, or any out-of-range page id, is
+    /// reported as corruption rather than panicking later.
+    pub fn read_state<R: Read + ?Sized>(
+        store: Arc<PageStore>,
+        objects: &[UncertainObject],
+        r: &mut R,
+    ) -> io::Result<Self> {
+        let objects_per_page = (store.page_size() / OBJECT_RECORD_SIZE).max(1);
+        let available = store.num_pages();
+        let raw_directory: Vec<(u32, u32)> = Vec::read_from(r)?;
+        let mut directory = HashMap::with_capacity(raw_directory.len());
+        for (id, page) in raw_directory {
+            if (page as usize) >= available {
+                return Err(corrupt(format!(
+                    "object {id} points at page {page}, store holds {available}"
+                )));
+            }
+            if directory.insert(id, PageId(page)).is_some() {
+                return Err(corrupt(format!(
+                    "object {id} appears twice in the directory"
+                )));
+            }
+        }
+        let append_page = match Option::<(u32, u64)>::read_from(r)? {
+            None => None,
+            Some((page, count)) => {
+                if (page as usize) >= available || count as usize > objects_per_page {
+                    return Err(corrupt(format!(
+                        "implausible append page {page} with {count} records"
+                    )));
+                }
+                Some((PageId(page), count as usize))
+            }
+        };
+        let tombstones = u64::read_from(r)? as usize;
+
+        let mut map = HashMap::with_capacity(objects.len());
+        for o in objects {
+            if !directory.contains_key(&o.id) {
+                return Err(corrupt(format!(
+                    "live object {} missing from the directory",
+                    o.id
+                )));
+            }
+            if map.insert(o.id, o.clone()).is_some() {
+                return Err(corrupt(format!("duplicate live object {}", o.id)));
+            }
+        }
+        if map.len() != directory.len() {
+            return Err(corrupt(format!(
+                "directory holds {} entries for {} live objects",
+                directory.len(),
+                map.len()
+            )));
+        }
+        Ok(Self {
+            store,
+            directory,
+            objects: map,
+            objects_per_page,
+            append_page,
+            tombstones,
+        })
+    }
 }
 
 fn encode_object(o: &UncertainObject, buf: &mut Vec<u8>) {
@@ -436,6 +528,79 @@ mod tests {
             1.0,
         ));
         assert_eq!(page_store.num_pages(), pages_before + 2);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_directory_appends_and_tombstones() {
+        let page_store = Arc::new(PageStore::new());
+        let mut objects = sample_objects(30);
+        let mut store = ObjectStore::build(Arc::clone(&page_store), &objects);
+        // Churn so the persisted state covers tombstones, appends and moves.
+        store.remove(3);
+        store.remove(17);
+        objects[5] = UncertainObject::with_gaussian(5, Point::new(-1.0, -2.0), 4.0);
+        store.update(&objects[5]);
+        let extra = UncertainObject::with_uniform(90, Point::new(8.0, 8.0), 2.0);
+        store.insert(&extra);
+
+        let live: Vec<UncertainObject> = objects
+            .iter()
+            .filter(|o| o.id != 3 && o.id != 17)
+            .cloned()
+            .chain(std::iter::once(extra.clone()))
+            .collect();
+
+        // Round-trip the page store and the object-store state.
+        let pages: PageStore =
+            uv_store::codec::from_bytes(&uv_store::codec::to_bytes(&*page_store)).unwrap();
+        let pages = Arc::new(pages);
+        let mut state = Vec::new();
+        store.write_state(&mut state).unwrap();
+        let back =
+            ObjectStore::read_state(Arc::clone(&pages), &live, &mut state.as_slice()).unwrap();
+
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.tombstones(), store.tombstones());
+        assert_eq!(back.objects_per_page(), store.objects_per_page());
+        for o in &live {
+            assert_eq!(back.ptr_of(o.id), store.ptr_of(o.id), "pointer of {}", o.id);
+            let mut touched = HashSet::new();
+            assert_eq!(back.fetch(o.id, &mut touched).as_ref(), Some(o));
+        }
+        // The restored append page keeps compacting appends like the
+        // original would.
+        let mut back = back;
+        let mut orig = store;
+        let next = UncertainObject::with_uniform(91, Point::new(9.0, 9.0), 2.0);
+        back.insert(&next);
+        orig.insert(&next);
+        assert_eq!(back.ptr_of(91), orig.ptr_of(91));
+    }
+
+    #[test]
+    fn state_rejects_directory_object_disagreements() {
+        let page_store = Arc::new(PageStore::new());
+        let objects = sample_objects(4);
+        let store = ObjectStore::build(Arc::clone(&page_store), &objects);
+        let mut state = Vec::new();
+        store.write_state(&mut state).unwrap();
+        // An object set missing a directory id.
+        assert!(ObjectStore::read_state(
+            Arc::clone(&page_store),
+            &objects[..3],
+            &mut state.as_slice()
+        )
+        .is_err());
+        // An object set with an id the directory does not know.
+        let mut extra = objects.clone();
+        extra.push(UncertainObject::with_uniform(99, Point::new(1.0, 1.0), 1.0));
+        assert!(
+            ObjectStore::read_state(Arc::clone(&page_store), &extra, &mut state.as_slice())
+                .is_err()
+        );
+        // A directory pointing at a page the store does not hold.
+        let empty = Arc::new(PageStore::new());
+        assert!(ObjectStore::read_state(empty, &objects, &mut state.as_slice()).is_err());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Snapshot codec impls for the geometry primitives.
+//!
+//! Every persisted structure of the snapshot subsystem bottoms out in
+//! [`Point`], [`Circle`] and [`Rect`] values; their binary representation is
+//! the raw IEEE-754 bit pattern of each coordinate, so round-tripping is
+//! bit-exact — including the inverted-infinity corners of [`Rect::empty`]
+//! and zero radii. Decoding constructs the values field-by-field instead of
+//! going through the normalising constructors (`Rect::new` reorders corners,
+//! `Circle::new` clamps the radius): a snapshot must reproduce exactly the
+//! bits that were saved, not a normalised variant of them.
+
+use crate::{Circle, Point, Rect};
+use std::io::{self, Read, Write};
+use uv_store::codec::{Decode, Encode};
+
+impl Encode for Point {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.x.write_to(w)?;
+        self.y.write_to(w)
+    }
+}
+
+impl Decode for Point {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Point {
+            x: f64::read_from(r)?,
+            y: f64::read_from(r)?,
+        })
+    }
+}
+
+impl Encode for Circle {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.center.write_to(w)?;
+        self.radius.write_to(w)
+    }
+}
+
+impl Decode for Circle {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Circle {
+            center: Point::read_from(r)?,
+            radius: f64::read_from(r)?,
+        })
+    }
+}
+
+impl Encode for Rect {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.min_x.write_to(w)?;
+        self.min_y.write_to(w)?;
+        self.max_x.write_to(w)?;
+        self.max_y.write_to(w)
+    }
+}
+
+impl Decode for Rect {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        Ok(Rect {
+            min_x: f64::read_from(r)?,
+            min_y: f64::read_from(r)?,
+            max_x: f64::read_from(r)?,
+            max_y: f64::read_from(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uv_store::codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn geometry_roundtrips_bit_exactly() {
+        let p = Point::new(-0.0, 1.0e-300);
+        assert_eq!(
+            from_bytes::<Point>(&to_bytes(&p)).unwrap().x.to_bits(),
+            p.x.to_bits()
+        );
+
+        let c = Circle::new(Point::new(3.5, -7.25), 0.0);
+        assert_eq!(from_bytes::<Circle>(&to_bytes(&c)).unwrap(), c);
+
+        // Rect::empty has inverted infinite corners; the decode path must
+        // not re-normalise them through Rect::new.
+        let e = Rect::empty();
+        let back: Rect = from_bytes(&to_bytes(&e)).unwrap();
+        assert_eq!(back.min_x, f64::INFINITY);
+        assert_eq!(back.max_x, f64::NEG_INFINITY);
+
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(from_bytes::<Rect>(&to_bytes(&r)).unwrap(), r);
+    }
+}

@@ -20,6 +20,7 @@
 //! lives in `docs/PAPER_MAP.md` at the repository root.*
 
 pub mod circle;
+pub mod codec;
 pub mod hull;
 pub mod hyperbola;
 pub mod point;

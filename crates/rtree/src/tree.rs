@@ -6,9 +6,11 @@
 //! disk pages; the internal levels (fanout 100 by default) stay in memory,
 //! matching the experimental setup of the paper.
 
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 use uv_data::{ObjectEntry, ObjectStore, UncertainObject};
 use uv_geom::Rect;
+use uv_store::codec::{corrupt, Decode, Encode};
 use uv_store::{PageStore, PagedList};
 
 /// Construction parameters of the R-tree.
@@ -212,6 +214,117 @@ impl RTree {
             NodeRef::Leaf(i) => self.leaves[i as usize].mbr,
         }
     }
+
+    /// Writes the persistent state of the packed tree: configuration, the
+    /// memory-resident internal levels and the leaf metadata (MBR, count and
+    /// the page-list state indexing into the backing [`PageStore`], which is
+    /// persisted separately).
+    pub fn write_state<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        (self.config.fanout as u64).write_to(w)?;
+        (self.config.leaf_capacity as u64).write_to(w)?;
+        (self.len as u64).write_to(w)?;
+        (self.height as u64).write_to(w)?;
+        self.root.map(encode_node_ref).write_to(w)?;
+        self.internal_nodes.len().write_to(w)?;
+        for node in &self.internal_nodes {
+            node.mbr.write_to(w)?;
+            let children: Vec<(u8, u32)> =
+                node.children.iter().copied().map(encode_node_ref).collect();
+            children.write_to(w)?;
+        }
+        self.leaves.len().write_to(w)?;
+        for leaf in &self.leaves {
+            leaf.mbr.write_to(w)?;
+            (leaf.count as u64).write_to(w)?;
+            leaf.entries.write_state(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a tree from its persisted state over an already-loaded
+    /// page `store`. Every node reference is validated, so a corrupted
+    /// snapshot surfaces as an error instead of an out-of-bounds panic
+    /// during a later query.
+    pub fn read_state<R: Read + ?Sized>(store: Arc<PageStore>, r: &mut R) -> io::Result<Self> {
+        let fanout = u64::read_from(r)? as usize;
+        let leaf_capacity = u64::read_from(r)? as usize;
+        if fanout < 2 || leaf_capacity < 1 {
+            return Err(corrupt(format!(
+                "implausible R-tree configuration: fanout {fanout}, leaf capacity {leaf_capacity}"
+            )));
+        }
+        let len = u64::read_from(r)? as usize;
+        let height = u64::read_from(r)? as usize;
+        let root = Option::<(u8, u32)>::read_from(r)?
+            .map(decode_node_ref)
+            .transpose()?;
+        let num_internal = usize::read_from(r)?;
+        let mut internal_nodes = Vec::with_capacity(num_internal.min(4_096));
+        let mut raw_children: Vec<Vec<(u8, u32)>> = Vec::with_capacity(num_internal.min(4_096));
+        for _ in 0..num_internal {
+            let mbr = Rect::read_from(r)?;
+            raw_children.push(Vec::read_from(r)?);
+            internal_nodes.push(InternalNode {
+                mbr,
+                children: Vec::new(),
+            });
+        }
+        let num_leaves = usize::read_from(r)?;
+        let mut leaves = Vec::with_capacity(num_leaves.min(4_096));
+        for _ in 0..num_leaves {
+            let mbr = Rect::read_from(r)?;
+            let count = u64::read_from(r)? as usize;
+            let entries = PagedList::read_state(Arc::clone(&store), r)?;
+            leaves.push(LeafNode {
+                mbr,
+                entries,
+                count,
+            });
+        }
+        let (n_internal, n_leaves) = (internal_nodes.len(), leaves.len());
+        let check = move |node: NodeRef| match node {
+            NodeRef::Internal(i) if (i as usize) < n_internal => Ok(node),
+            NodeRef::Leaf(i) if (i as usize) < n_leaves => Ok(node),
+            _ => Err(corrupt(format!("node reference {node:?} out of range"))),
+        };
+        for (node, raw) in internal_nodes.iter_mut().zip(raw_children) {
+            node.children = raw
+                .into_iter()
+                .map(|raw| decode_node_ref(raw).and_then(check))
+                .collect::<io::Result<Vec<_>>>()?;
+        }
+        let root = root.map(check).transpose()?;
+        if root.is_none() && (len > 0 || !leaves.is_empty()) {
+            return Err(corrupt("non-empty tree without a root"));
+        }
+        Ok(Self {
+            config: RTreeConfig {
+                fanout,
+                leaf_capacity,
+            },
+            store,
+            internal_nodes,
+            leaves,
+            root,
+            height,
+            len,
+        })
+    }
+}
+
+fn encode_node_ref(node: NodeRef) -> (u8, u32) {
+    match node {
+        NodeRef::Internal(i) => (0, i),
+        NodeRef::Leaf(i) => (1, i),
+    }
+}
+
+fn decode_node_ref((tag, idx): (u8, u32)) -> io::Result<NodeRef> {
+    match tag {
+        0 => Ok(NodeRef::Internal(idx)),
+        1 => Ok(NodeRef::Leaf(idx)),
+        other => Err(corrupt(format!("invalid node-reference tag {other}"))),
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +419,48 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|c| *c == 1));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_structure_and_queries() {
+        let (ds, _, tree) = build_tree(537);
+        // Round-trip the page store and the tree state.
+        let pages: PageStore =
+            uv_store::codec::from_bytes(&uv_store::codec::to_bytes(&**tree.store())).unwrap();
+        let pages = Arc::new(pages);
+        let mut state = Vec::new();
+        tree.write_state(&mut state).unwrap();
+        let back = RTree::read_state(Arc::clone(&pages), &mut state.as_slice()).unwrap();
+
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.height(), tree.height());
+        assert_eq!(back.num_leaves(), tree.num_leaves());
+        assert_eq!(back.num_internal_nodes(), tree.num_internal_nodes());
+        assert_eq!(back.config(), tree.config());
+        // Canonical k-NN answers are bit-identical.
+        for q in ds.query_points(10, 5) {
+            let a: Vec<u32> = tree.knn(q, 12, None).into_iter().map(|e| e.id).collect();
+            let b: Vec<u32> = back.knn(q, 12, None).into_iter().map(|e| e.id).collect();
+            assert_eq!(a, b, "knn diverged at {q:?}");
+        }
+
+        // Corrupted node references are rejected, not panicked on.
+        let mut bad = state.clone();
+        // The root reference tag sits after fanout+capacity+len+height
+        // (4 u64) and the Option presence byte.
+        assert_eq!(bad[32], 1, "root Option must be present");
+        bad[33] = 7; // invalid tag
+        assert!(RTree::read_state(Arc::clone(&pages), &mut bad.as_slice()).is_err());
+
+        // An empty tree round-trips too.
+        let empty_pages = Arc::new(PageStore::new());
+        let objects = ObjectStore::build(Arc::clone(&empty_pages), &[]);
+        let empty = RTree::build(&[], &objects, Arc::clone(&empty_pages));
+        let mut state = Vec::new();
+        empty.write_state(&mut state).unwrap();
+        let back = RTree::read_state(empty_pages, &mut state.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert!(back.root().is_none());
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! * [`PagedList`] — an append-only list of fixed-size records spread across
 //!   pages, the structure used both by R-tree leaf nodes and by the linked
 //!   page lists attached to UV-index leaves (`<ID, MBC, pointer>` tuples).
+//! * [`codec`] — the hand-rolled little-endian [`codec::Encode`] /
+//!   [`codec::Decode`] layer of the snapshot subsystem: primitive and
+//!   container codecs, FNV-1a checksums and framed sections. Both storage
+//!   structures persist through it (`PageStore` as raw pages, `PagedList` via
+//!   [`PagedList::write_state`] / [`PagedList::read_state`]); I/O counters
+//!   are runtime-only and reset on load.
 //!
 //! Timings in the reproduction come from wall-clock measurement; I/O counts
 //! come from here and are exact.
@@ -18,10 +24,12 @@
 //! algorithm and experiment of the paper, with its module and key functions —
 //! lives in `docs/PAPER_MAP.md` at the repository root.*
 
+pub mod codec;
 pub mod counter;
 pub mod list;
 pub mod page;
 
+pub use codec::{Decode, Encode};
 pub use counter::{IoCounters, IoSnapshot};
 pub use list::{PagedList, Record};
 pub use page::{PageId, PageStore, DEFAULT_PAGE_SIZE};

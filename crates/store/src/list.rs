@@ -6,8 +6,10 @@
 //! (Section V-A). [`PagedList`] is that structure; reading it back counts one
 //! I/O per page, which is exactly what Figure 6(b) measures.
 
+use crate::codec::{corrupt, Decode, Encode};
 use crate::page::{PageId, PageStore};
 use bytes::Bytes;
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 /// A fixed-size record that can be stored in a [`PagedList`].
@@ -138,6 +140,67 @@ impl<T: Record + Clone> PagedList<T> {
     pub fn store(&self) -> &Arc<PageStore> {
         &self.store
     }
+
+    /// Writes the persistent state of the list: the page ids it occupies and
+    /// the unsealed tail records. The page *contents* belong to the backing
+    /// [`PageStore`], which is persisted separately — a list state is only
+    /// meaningful next to the store it indexes into.
+    pub fn write_state<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.pages.len().write_to(w)?;
+        for page in &self.pages {
+            page.0.write_to(w)?;
+        }
+        self.tail.len().write_to(w)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        for record in &self.tail {
+            buf.clear();
+            record.encode(&mut buf);
+            w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a list from its persisted state over an already-loaded
+    /// `store`. Every page id is validated against the store so a corrupted
+    /// snapshot cannot panic a later [`PagedList::read_all`].
+    pub fn read_state<R: Read + ?Sized>(store: Arc<PageStore>, r: &mut R) -> io::Result<Self> {
+        let num_pages = usize::read_from(r)?;
+        let available = store.num_pages();
+        let records_per_page = store.page_size() / T::SIZE;
+        let mut pages = Vec::with_capacity(num_pages.min(4_096));
+        for _ in 0..num_pages {
+            let id = u32::read_from(r)?;
+            if (id as usize) >= available {
+                return Err(corrupt(format!(
+                    "page list references page {id}, store holds {available}"
+                )));
+            }
+            pages.push(PageId(id));
+        }
+        let tail_len = usize::read_from(r)?;
+        if tail_len >= records_per_page.max(1) {
+            return Err(corrupt(format!(
+                "page-list tail holds {tail_len} records, a page holds {records_per_page}"
+            )));
+        }
+        let mut tail = Vec::with_capacity(tail_len.min(4_096));
+        let mut buf = vec![0u8; T::SIZE];
+        for _ in 0..tail_len {
+            r.read_exact(&mut buf)?;
+            tail.push(T::decode(&buf));
+        }
+        let len = pages
+            .iter()
+            .map(|p| store.read_uncounted(*p).len() / T::SIZE)
+            .sum::<usize>()
+            + tail.len();
+        Ok(Self {
+            store,
+            pages,
+            tail,
+            len,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +279,47 @@ mod tests {
         assert!(list.next_push_allocates());
         list.push(Rec(3));
         assert!(!list.next_push_allocates());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_pages_tail_and_len() {
+        let store = small_store();
+        let mut list = PagedList::new(Arc::clone(&store));
+        for i in 0..11u64 {
+            list.push(Rec(i));
+        }
+        // 2 sealed pages + a tail of 3.
+        let mut state = Vec::new();
+        list.write_state(&mut state).unwrap();
+        let back: PagedList<Rec> =
+            PagedList::read_state(Arc::clone(&store), &mut state.as_slice()).unwrap();
+        assert_eq!(back.len(), 11);
+        assert_eq!(back.num_pages(), 3);
+        assert_eq!(back.read_all_uncounted(), list.read_all_uncounted());
+        // The restored tail keeps appending where the original left off.
+        let mut back = back;
+        back.push(Rec(11));
+        assert_eq!(back.read_all_uncounted().len(), 12);
+    }
+
+    #[test]
+    fn state_rejects_out_of_range_pages_and_overlong_tails() {
+        let store = small_store();
+        let mut list = PagedList::new(Arc::clone(&store));
+        for i in 0..4u64 {
+            list.push(Rec(i)); // exactly one sealed page
+        }
+        let mut state = Vec::new();
+        list.write_state(&mut state).unwrap();
+        // Patch the single page id (after the u64 page count) out of range.
+        let mut bad = state.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(PagedList::<Rec>::read_state(Arc::clone(&store), &mut bad.as_slice()).is_err());
+        // Patch the tail length to a full page's worth.
+        let mut bad = state.clone();
+        let tail_at = bad.len() - 8;
+        bad[tail_at..].copy_from_slice(&4u64.to_le_bytes());
+        assert!(PagedList::<Rec>::read_state(store, &mut bad.as_slice()).is_err());
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The page store: fixed-size pages addressed by [`PageId`], every access
 //! counted.
 
+use crate::codec::{corrupt, Decode, Encode};
 use crate::counter::{IoCounters, IoSnapshot};
 use bytes::Bytes;
 use parking_lot::RwLock;
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 /// Default page size used by the experiments (the paper uses 4 KB pages).
@@ -122,6 +124,55 @@ impl PageStore {
     }
 }
 
+/// Upper bound accepted for a persisted page size — far above any sane
+/// configuration, low enough that a corrupted header cannot demand an
+/// absurd allocation per page.
+const MAX_PERSISTED_PAGE_SIZE: u64 = 1 << 24;
+
+/// The persistent representation of a [`PageStore`] is its page size plus
+/// the raw bytes of every page, in allocation order. The I/O counters are
+/// runtime state: a loaded store starts with zeroed counters.
+impl Encode for PageStore {
+    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.page_size.write_to(w)?;
+        let pages = self.pages.read();
+        pages.len().write_to(w)?;
+        for page in pages.iter() {
+            page.len().write_to(w)?;
+            w.write_all(page)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for PageStore {
+    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        let page_size = u64::read_from(r)?;
+        if page_size == 0 || page_size > MAX_PERSISTED_PAGE_SIZE {
+            return Err(corrupt(format!("implausible page size {page_size}")));
+        }
+        let page_size = page_size as usize;
+        let num_pages = usize::read_from(r)?;
+        let mut pages = Vec::with_capacity(num_pages.min(4_096));
+        for i in 0..num_pages {
+            let len = usize::read_from(r)?;
+            if len > page_size {
+                return Err(corrupt(format!(
+                    "page {i} holds {len} bytes, exceeding the page size {page_size}"
+                )));
+            }
+            let mut bytes = vec![0u8; len];
+            r.read_exact(&mut bytes)?;
+            pages.push(Bytes::from(bytes));
+        }
+        Ok(Self {
+            pages: RwLock::new(pages),
+            counters: Arc::new(IoCounters::new()),
+            page_size,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +222,41 @@ mod tests {
         assert_eq!(store.page_size(), 128);
         store.allocate(Bytes::from(vec![0u8; 128]));
         assert_eq!(store.num_pages(), 1);
+    }
+
+    #[test]
+    fn persisted_store_roundtrips_pages_and_resets_counters() {
+        let store = PageStore::with_page_size(64);
+        let a = store.allocate(Bytes::from_static(b"first page"));
+        let b = store.allocate(Bytes::from(vec![0xAB; 64]));
+        store.read(a);
+
+        let bytes = crate::codec::to_bytes(&store);
+        let back: PageStore = crate::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back.page_size(), 64);
+        assert_eq!(back.num_pages(), 2);
+        assert_eq!(back.read_uncounted(a), Bytes::from_static(b"first page"));
+        assert_eq!(back.read_uncounted(b), Bytes::from(vec![0xAB; 64]));
+        // Counters are runtime-only: the loaded store starts from zero.
+        assert_eq!(back.io().total(), 0);
+        assert_eq!(back.stored_bytes(), store.stored_bytes());
+    }
+
+    #[test]
+    fn persisted_store_rejects_implausible_layouts() {
+        use crate::codec::{from_bytes, to_bytes, Encode};
+        // Zero page size.
+        let mut bytes = Vec::new();
+        0u64.write_to(&mut bytes).unwrap();
+        0usize.write_to(&mut bytes).unwrap();
+        assert!(from_bytes::<PageStore>(&bytes).is_err());
+        // A page longer than the page size.
+        let store = PageStore::with_page_size(8);
+        store.allocate(Bytes::from_static(b"12345678"));
+        let mut bytes = to_bytes(&store);
+        // Patch the first page's length prefix (page_size u64 + count u64
+        // precede it) to exceed the page size.
+        bytes[16..24].copy_from_slice(&9u64.to_le_bytes());
+        assert!(from_bytes::<PageStore>(&bytes).is_err());
     }
 }

@@ -191,3 +191,47 @@ fn non_circular_regions_are_supported_via_minimal_bounding_circles() {
     }
     assert!(!answer.probabilities.is_empty());
 }
+
+#[test]
+fn snapshot_roundtrip_through_the_umbrella_crate() {
+    // The full pipeline survives persistence: build → save → load → query,
+    // with answers and structure bit-identical and updates still exact.
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(120));
+    let mut system = UvSystem::with_defaults(dataset.objects.clone(), dataset.domain);
+
+    let mut bytes = Vec::new();
+    let written = system.save_snapshot(&mut bytes).expect("save succeeds");
+    assert_eq!(written, bytes.len() as u64);
+    let mut loaded = UvSystem::load_snapshot(&mut bytes.as_slice()).expect("load succeeds");
+
+    for q in dataset.query_points(12, 7) {
+        let a = system.pnn(q);
+        let b = loaded.pnn(q);
+        assert_eq!(a.probabilities, b.probabilities);
+        assert_eq!(a.candidates_examined, b.candidates_examined);
+    }
+
+    // The same update applied to both replicas keeps them identical.
+    for sys in [&mut system, &mut loaded] {
+        sys.updater()
+            .insert(UncertainObject::with_gaussian(
+                5_000,
+                Point::new(3_000.0, 6_000.0),
+                20.0,
+            ))
+            .delete(5)
+            .commit()
+            .expect("batch applies");
+    }
+    assert_eq!(system.epoch(), loaded.epoch());
+    for q in dataset.query_points(12, 8) {
+        assert_eq!(system.pnn(q).probabilities, loaded.pnn(q).probabilities);
+    }
+
+    // Corruption surfaces as a typed error, never a panic.
+    bytes[40] ^= 0x5A;
+    assert!(matches!(
+        UvSystem::load_snapshot(&mut bytes.as_slice()),
+        Err(UvError::SnapshotCorrupt(_) | UvError::ConfigMismatch)
+    ));
+}
