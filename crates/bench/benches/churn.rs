@@ -28,7 +28,8 @@ fn build_system() -> (Dataset, UvSystem) {
         dataset.domain,
         Method::IC,
         dynamic_config(),
-    );
+    )
+    .unwrap();
     (dataset, system)
 }
 
@@ -81,12 +82,15 @@ fn bench_churn_vs_rebuild(c: &mut Criterion) {
     );
     group.bench_with_input(BenchmarkId::new("full_rebuild", N), &N, |b, _| {
         b.iter(|| {
-            std::hint::black_box(UvSystem::build(
-                dataset.objects.clone(),
-                dataset.domain,
-                Method::IC,
-                dynamic_config(),
-            ))
+            std::hint::black_box(
+                UvSystem::build(
+                    dataset.objects.clone(),
+                    dataset.domain,
+                    Method::IC,
+                    dynamic_config(),
+                )
+                .unwrap(),
+            )
         })
     });
     group.finish();

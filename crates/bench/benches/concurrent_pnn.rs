@@ -18,7 +18,8 @@ fn bench_batch_vs_sequential(c: &mut Criterion) {
         dataset.domain,
         Method::IC,
         UvConfig::default(),
-    );
+    )
+    .unwrap();
     let queries = dataset.query_points(BATCH, 7);
 
     let mut group = c.benchmark_group("concurrent_pnn_10k");

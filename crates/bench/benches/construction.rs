@@ -31,7 +31,8 @@ fn bench_construction(c: &mut Criterion) {
                         Arc::new(PageStore::new()),
                         method,
                         UvConfig::default(),
-                    );
+                    )
+                    .unwrap();
                     std::hint::black_box((index.num_leaf_nodes(), stats.leaf_pages))
                 })
             });

@@ -14,7 +14,8 @@ fn bench_pnn(c: &mut Criterion) {
             dataset.domain,
             Method::IC,
             UvConfig::default(),
-        );
+        )
+        .unwrap();
         let queries = dataset.query_points(64, 7);
         let mut cursor = 0usize;
 

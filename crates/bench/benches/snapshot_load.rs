@@ -23,7 +23,8 @@ fn build_system() -> (Dataset, UvSystem) {
         dataset.domain,
         Method::IC,
         dynamic_config(),
-    );
+    )
+    .unwrap();
     (dataset, system)
 }
 
@@ -49,12 +50,15 @@ fn bench_snapshot(c: &mut Criterion) {
     });
     group.bench_function("cold_build", |b| {
         b.iter(|| {
-            std::hint::black_box(UvSystem::build(
-                dataset.objects.clone(),
-                dataset.domain,
-                Method::IC,
-                dynamic_config(),
-            ))
+            std::hint::black_box(
+                UvSystem::build(
+                    dataset.objects.clone(),
+                    dataset.domain,
+                    Method::IC,
+                    dynamic_config(),
+                )
+                .unwrap(),
+            )
         })
     });
     group.finish();

@@ -9,7 +9,7 @@
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
 //! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory throughput churn
-//! snapshot all`.
+//! snapshot shard all`.
 //!
 //! `--scale` multiplies the paper's dataset cardinalities (default 0.05, i.e.
 //! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
@@ -20,7 +20,7 @@
 use std::collections::BTreeSet;
 use uv_bench::json::JsonExperiment;
 use uv_bench::{
-    churn, fig6, fig7, json, print_table, sensitivity, snapshot, table2, throughput,
+    churn, fig6, fig7, json, print_table, sensitivity, shard, snapshot, table2, throughput,
     ExperimentScale,
 };
 
@@ -43,6 +43,7 @@ const ALL: &[&str] = &[
     "throughput",
     "churn",
     "snapshot",
+    "shard",
 ];
 
 /// Routes every experiment's rows either to the human-readable table
@@ -385,10 +386,33 @@ fn main() {
                 "save (ms)",
                 "load (ms)",
                 "bytes",
+                "v1 bytes saved",
                 "load speedup",
                 "verified",
             ],
             snapshot::snapshot_rows(&report),
+        );
+    }
+
+    if wants("shard") {
+        let reports = shard::shard_experiment(&scale);
+        verification_failed |= reports.iter().any(|r| !r.verified);
+        out.table(
+            "shard",
+            "Domain-sharded serving: halo replication, parallel shard builds",
+            &[
+                "grid",
+                "|O|",
+                "unsharded build (ms)",
+                "sharded build (ms)",
+                "shards seq (ms)",
+                "shards par (ms)",
+                "par speedup",
+                "halo overhead",
+                "snapshot bytes",
+                "verified",
+            ],
+            shard::shard_rows(&reports),
         );
     }
 

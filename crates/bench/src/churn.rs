@@ -145,7 +145,8 @@ pub fn churn_experiment(scale: &ExperimentScale, steps: usize) -> (Vec<ChurnRow>
     let n = scale.scaled(20_000);
     let dataset = Dataset::generate(GeneratorConfig::paper_uniform(n));
     let config = dynamic_config(n);
-    let mut sys = UvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config);
+    let mut sys =
+        UvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config).unwrap();
 
     let mut rng = XorShift(0x5eed_cafe_f00d_0001);
     let mut next_id = n as u32;
@@ -168,7 +169,8 @@ pub fn churn_experiment(scale: &ExperimentScale, steps: usize) -> (Vec<ChurnRow>
     // the full canonical leaf structure (regions and member lists), exactly
     // as the property tests compare it, plus sampled PNN answers.
     let t = Instant::now();
-    let rebuilt = UvSystem::build(sys.objects().to_vec(), sys.domain(), Method::IC, config);
+    let rebuilt =
+        UvSystem::build(sys.objects().to_vec(), sys.domain(), Method::IC, config).unwrap();
     let rebuild_ms = t.elapsed().as_secs_f64() * 1_000.0;
     let mut verified = sys.index().canonical_leaves() == rebuilt.index().canonical_leaves();
     for q in dataset.query_points(25, 77) {

@@ -18,6 +18,7 @@
 //! | [`throughput`] | beyond the paper: sequential vs. concurrent batched PNN serving throughput, trajectory workload |
 //! | [`churn`] | beyond the paper: dynamic maintenance under a live join/leave/move workload — locality of the incremental UV-partition repair |
 //! | [`snapshot`] | beyond the paper: snapshot persistence round-trip — cold-build vs load wall-clock, bytes, bit-exact verification |
+//! | [`shard`] | beyond the paper: domain-sharded serving with halo replication — parallel shard-build speedup, replication overhead, bit-exact verification against the unsharded oracle |
 //!
 //! Every experiment can also emit its rows as a stable JSON document
 //! (`experiments --json`, see [`json`]) for machine-tracked perf
@@ -32,6 +33,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod json;
 pub mod sensitivity;
+pub mod shard;
 pub mod snapshot;
 pub mod table2;
 pub mod throughput;

@@ -1,0 +1,216 @@
+//! Shard experiment (beyond the paper): domain-sharded serving with halo
+//! replication.
+//!
+//! For shard grids `S ∈ {2, 3}` the experiment builds a
+//! [`ShardedUvSystem`] and one unsharded oracle over the same dataset at the
+//! dynamic-serving tuning, then reports:
+//!
+//! * **per-shard build parallel speedup** — wall-clock of building every
+//!   shard system on a scoped thread fan-out versus one at a time (on a
+//!   single-core container the ratio degenerates to ~1×, like the PR-2
+//!   batch-throughput note; the measurement is the point);
+//! * **halo-replication overhead** — `replication_factor − 1`: the fraction
+//!   of extra object replicas the halos cost (0 = no replication), never
+//!   negative;
+//! * **verification** — routed answers (point + batch) bit-identical to the
+//!   unsharded oracle, before and after one update batch applied to both,
+//!   and again after a sharded snapshot round-trip. A failure fails the
+//!   process through the harness's exit-code path, as for churn/snapshot.
+
+use crate::churn::dynamic_config;
+use crate::workload::ExperimentScale;
+use std::time::Instant;
+use uv_core::{Method, ShardedUvSystem, UpdateBatch, UvSystem};
+use uv_data::{Dataset, GeneratorConfig, UncertainObject};
+use uv_geom::Point;
+
+/// Measurements of one shard-grid configuration.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard-grid side `S` (the system serves `S × S` shards).
+    pub grid: usize,
+    /// Objects in the dataset.
+    pub objects: usize,
+    /// Wall-clock of the unsharded oracle build in ms.
+    pub unsharded_build_ms: f64,
+    /// Wall-clock of the full sharded build (router + shards) in ms.
+    pub sharded_build_ms: f64,
+    /// Wall-clock of building every shard system one at a time, in ms.
+    pub shards_sequential_ms: f64,
+    /// Wall-clock of building every shard system on a scoped thread
+    /// fan-out, in ms.
+    pub shards_parallel_ms: f64,
+    /// `shards_sequential_ms / shards_parallel_ms`.
+    pub parallel_speedup: f64,
+    /// `replication_factor − 1` — extra replicas per live object (≥ 0).
+    pub halo_overhead: f64,
+    /// Bytes of the sharded snapshot (router + every shard section).
+    pub snapshot_bytes: u64,
+    /// `true` when every verification stage matched the unsharded oracle
+    /// bit-exactly.
+    pub verified: bool,
+}
+
+fn answers_match(sharded: &ShardedUvSystem, oracle: &UvSystem, queries: &[Point]) -> bool {
+    let batch = sharded.pnn_batch(queries);
+    queries.iter().zip(&batch).all(|(q, batched)| {
+        let point = sharded.pnn(*q);
+        let expected = oracle.pnn(*q);
+        point.probabilities == expected.probabilities
+            && point.candidates_examined == expected.candidates_examined
+            && batched.probabilities == expected.probabilities
+            && batched.candidates_examined == expected.candidates_examined
+    })
+}
+
+/// Runs the shard experiment for one grid side.
+fn run_grid(scale: &ExperimentScale, n: usize, dataset: &Dataset, grid: usize) -> ShardReport {
+    let config = dynamic_config(n).with_num_shards(grid);
+
+    let t = Instant::now();
+    let oracle = UvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config)
+        .expect("oracle build must succeed");
+    let unsharded_build_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    let t = Instant::now();
+    let mut sharded =
+        ShardedUvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config)
+            .expect("sharded build must succeed");
+    let sharded_build_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    // Per-shard build fan-out: the same member sets, built once sequentially
+    // and once on scoped threads.
+    let member_sets: Vec<Vec<UncertainObject>> = (0..sharded.shard_count())
+        .map(|s| sharded.shard(s).objects().to_vec())
+        .collect();
+    let t = Instant::now();
+    for objects in &member_sets {
+        UvSystem::build(objects.clone(), sharded.domain(), Method::IC, config)
+            .expect("sequential shard build must succeed");
+    }
+    let shards_sequential_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = member_sets
+            .iter()
+            .map(|objects| {
+                let domain = sharded.domain();
+                scope.spawn(move || {
+                    UvSystem::build(objects.clone(), domain, Method::IC, config)
+                        .expect("parallel shard build must succeed")
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("shard build thread panicked");
+        }
+    });
+    let shards_parallel_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+    let halo_overhead = sharded.replication_factor() - 1.0;
+    let queries = dataset.query_points(scale.queries.max(8), 4_096 + grid as u64);
+    let mut verified = halo_overhead >= 0.0 && answers_match(&sharded, &oracle, &queries);
+
+    // One update batch applied to both deployments: the sharded routing and
+    // per-shard repair must converge to the oracle's answers.
+    let domain = dataset.domain;
+    let batch = UpdateBatch::new()
+        .insert(UncertainObject::with_gaussian(
+            n as u32 + 31,
+            Point::new(domain.width() * 0.47, domain.height() * 0.21),
+            20.0,
+        ))
+        .delete(5)
+        .move_to(9, Point::new(domain.width() * 0.66, domain.height() * 0.58));
+    let mut oracle = oracle;
+    sharded.apply(batch.clone()).expect("sharded batch applies");
+    oracle.apply(batch).expect("oracle batch applies");
+    verified &= answers_match(&sharded, &oracle, &queries);
+
+    // Snapshot round-trip: per-shard sections under one versioned header.
+    let mut bytes = Vec::new();
+    let snapshot_bytes = sharded
+        .save_snapshot(&mut bytes)
+        .expect("sharded snapshot save must succeed");
+    let loaded =
+        ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).expect("sharded snapshot loads");
+    verified &= answers_match(&loaded, &oracle, &queries);
+
+    ShardReport {
+        grid,
+        objects: n,
+        unsharded_build_ms,
+        sharded_build_ms,
+        shards_sequential_ms,
+        shards_parallel_ms,
+        parallel_speedup: shards_sequential_ms / shards_parallel_ms.max(1e-9),
+        halo_overhead,
+        snapshot_bytes,
+        verified,
+    }
+}
+
+/// Runs the shard experiment at `scale` (1k objects at the default
+/// `--scale 0.05`) for shard grids 2×2 and 3×3.
+pub fn shard_experiment(scale: &ExperimentScale) -> Vec<ShardReport> {
+    let n = scale.scaled(20_000);
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(n));
+    [2usize, 3]
+        .iter()
+        .map(|grid| run_grid(scale, n, &dataset, *grid))
+        .collect()
+}
+
+/// Formats [`ShardReport`]s for `print_table`.
+pub fn shard_rows(reports: &[ShardReport]) -> Vec<Vec<String>> {
+    reports
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{0}x{0}", r.grid),
+                r.objects.to_string(),
+                format!("{:.1}", r.unsharded_build_ms),
+                format!("{:.1}", r.sharded_build_ms),
+                format!("{:.1}", r.shards_sequential_ms),
+                format!("{:.1}", r.shards_parallel_ms),
+                format!("{:.2}", r.parallel_speedup),
+                format!("{:.2}", r.halo_overhead),
+                r.snapshot_bytes.to_string(),
+                if r.verified {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ISSUE 5 acceptance, scaled down for the debug-build test budget:
+    /// routed answers verify bit-exactly against the unsharded oracle
+    /// (fresh, after an update batch, after a snapshot round-trip), the
+    /// halo overhead is non-negative and the speedup statistic is reported.
+    #[test]
+    fn shard_experiment_verifies_and_reports_overheads() {
+        let scale = ExperimentScale {
+            size_factor: 0.01, // 200 objects
+            queries: 8,
+            ..ExperimentScale::default()
+        };
+        let reports = shard_experiment(&scale);
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert_eq!(report.objects, 200);
+            assert!(report.verified, "grid {0}x{0} diverged", report.grid);
+            assert!(report.halo_overhead >= 0.0);
+            assert!(report.parallel_speedup > 0.0);
+            assert!(report.snapshot_bytes > 10_000);
+        }
+        assert_eq!(shard_rows(&reports).len(), 2);
+        assert_eq!(shard_rows(&reports)[0].len(), 10);
+    }
+}

@@ -34,7 +34,8 @@ pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
                 dataset.domain,
                 Method::IC,
                 UvConfig::default(),
-            );
+            )
+            .unwrap();
             let queries = dataset.query_points(scale.queries, 13);
             let (uv, rtree) = measure_pnn(&system, &queries);
             Table2Row {

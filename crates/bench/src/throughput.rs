@@ -58,7 +58,8 @@ pub fn build_throughput_system(scale: &ExperimentScale) -> (Dataset, UvSystem) {
         dataset.domain,
         Method::IC,
         UvConfig::default(),
-    );
+    )
+    .unwrap();
     (dataset, system)
 }
 

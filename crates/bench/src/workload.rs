@@ -139,7 +139,7 @@ impl QueryCost {
 /// Builds a [`UvSystem`] for a generated dataset with the given method.
 pub fn build_system(config: GeneratorConfig, method: Method, uv: UvConfig) -> (Dataset, UvSystem) {
     let dataset = Dataset::generate(config);
-    let system = UvSystem::build(dataset.objects.clone(), dataset.domain, method, uv);
+    let system = UvSystem::build(dataset.objects.clone(), dataset.domain, method, uv).unwrap();
     (dataset, system)
 }
 

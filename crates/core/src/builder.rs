@@ -74,7 +74,10 @@ pub(crate) struct PerObject {
 ///   I-pruning (the paper assumes it is already available).
 /// * `store` receives the UV-index leaf pages.
 ///
-/// Returns the index together with construction statistics.
+/// Returns the index together with construction statistics, or
+/// [`crate::UvError::InvalidConfig`] when `config` fails
+/// [`UvConfig::validate`] — a bad configuration surfaces as a typed error,
+/// never a panic.
 pub fn build_uv_index(
     objects: &[UncertainObject],
     object_store: &ObjectStore,
@@ -83,10 +86,10 @@ pub fn build_uv_index(
     store: Arc<PageStore>,
     method: Method,
     config: UvConfig,
-) -> (UvIndex, ConstructionStats) {
+) -> Result<(UvIndex, ConstructionStats), crate::UvError> {
     let (index, stats, _) =
-        build_uv_index_full(objects, object_store, rtree, domain, store, method, config);
-    (index, stats)
+        build_uv_index_full(objects, object_store, rtree, domain, store, method, config)?;
+    Ok((index, stats))
 }
 
 /// Like [`build_uv_index`], additionally returning the per-object reference
@@ -100,8 +103,8 @@ pub(crate) fn build_uv_index_full(
     store: Arc<PageStore>,
     method: Method,
     config: UvConfig,
-) -> (UvIndex, ConstructionStats, RefTable) {
-    config.validate().expect("invalid UvConfig");
+) -> Result<(UvIndex, ConstructionStats, RefTable), crate::UvError> {
+    config.validate()?;
     let t_total = Instant::now();
 
     // ---- Phase A: derive reference objects per object ------------------------
@@ -177,7 +180,7 @@ pub(crate) fn build_uv_index_full(
         leaf_nodes: index.num_leaf_nodes(),
         leaf_pages: index.num_leaf_pages(),
     };
-    (index, stats, ref_table)
+    Ok((index, stats, ref_table))
 }
 
 pub(crate) fn derive_one(
@@ -455,6 +458,7 @@ mod tests {
             method,
             config,
         )
+        .unwrap()
     }
 
     fn answers_match_brute_force(f: &Fixture, index: &UvIndex, queries: usize, seed: u64) {

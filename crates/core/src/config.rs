@@ -42,6 +42,11 @@ pub struct UvConfig {
     /// more, smaller leaves, which localises incremental updates (see
     /// [`crate::update`]) at the cost of more non-leaf nodes.
     pub leaf_split_capacity: usize,
+    /// Side length `S` of the shard grid used by
+    /// [`crate::shard::ShardedUvSystem`]: the domain is split into `S × S`
+    /// shard rectangles. `1` (the default) means a single shard. Ignored by
+    /// the unsharded [`crate::UvSystem`].
+    pub num_shards: usize,
 }
 
 impl Default for UvConfig {
@@ -58,6 +63,7 @@ impl Default for UvConfig {
             query_workers: 0,
             leaf_cache: true,
             leaf_split_capacity: 0,
+            num_shards: 1,
         }
     }
 }
@@ -95,6 +101,9 @@ impl UvConfig {
         }
         if self.curve_samples == 0 {
             return Err(UvError::InvalidConfig("curve_samples must be positive"));
+        }
+        if self.num_shards == 0 {
+            return Err(UvError::InvalidConfig("num_shards must be positive"));
         }
         Ok(())
     }
@@ -162,6 +171,14 @@ impl UvConfig {
     /// Builder-style setter for the query-engine leaf cache.
     pub fn with_leaf_cache(mut self, enabled: bool) -> Self {
         self.leaf_cache = enabled;
+        self
+    }
+
+    /// Builder-style setter for the shard-grid side `S` of
+    /// [`crate::shard::ShardedUvSystem`] (`S × S` shard rectangles; `1` =
+    /// a single shard).
+    pub fn with_num_shards(mut self, shards: usize) -> Self {
+        self.num_shards = shards;
         self
     }
 
@@ -242,6 +259,12 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(UvConfig {
+            num_shards: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -256,7 +279,8 @@ mod tests {
             .with_num_seeds(6)
             .with_integration_steps(40)
             .with_curve_samples(4)
-            .with_leaf_split_capacity(16);
+            .with_leaf_split_capacity(16)
+            .with_num_shards(3);
         assert_eq!(c.split_threshold, 0.5);
         assert_eq!(c.max_nonleaf, 128);
         assert!(!c.parallel);
@@ -267,6 +291,7 @@ mod tests {
         assert_eq!(c.integration_steps, 40);
         assert_eq!(c.curve_samples, 4);
         assert_eq!(c.leaf_split_capacity, 16);
+        assert_eq!(c.num_shards, 3);
         assert!(c.validate().is_ok());
     }
 

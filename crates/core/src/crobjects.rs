@@ -136,6 +136,15 @@ impl UpdateSensitivity {
         (!self.seed_dists.is_empty()).then_some(self.seed_dists.as_slice())
     }
 
+    /// The C-pruning d-bounds (Lemma 3): one circle per hull vertex of the
+    /// possible region, passing through the subject centre. Empty when the
+    /// prefilter does not apply. Snapshots persist only the hull vertices —
+    /// the radii are recomputed on load — so the per-object snapshot
+    /// footprint is `16` bytes per vertex, not `24`.
+    pub fn d_bounds(&self) -> &[Circle] {
+        &self.d_bounds
+    }
+
     /// `true` when the seed-sector/C-pruning prefilter state is available.
     fn tight(&self) -> bool {
         !self.seed_dists.is_empty() && !self.d_bounds.is_empty()

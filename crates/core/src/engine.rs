@@ -275,20 +275,28 @@ impl<'a> QueryEngine<'a> {
     /// (trajectory points are independent point queries), the deltas are
     /// derived afterwards in path order.
     pub fn pnn_trajectory(&self, path: &[Point]) -> Vec<TrajectoryStep> {
-        let answers = self.pnn_batch(path);
-        let mut steps = Vec::with_capacity(answers.len());
-        let mut prev = PnnAnswer::default();
-        for (position, answer) in path.iter().zip(answers) {
-            let delta = AnswerDelta::between(&prev, &answer);
-            prev = answer.clone();
-            steps.push(TrajectoryStep {
-                position: *position,
-                answer,
-                delta,
-            });
-        }
-        steps
+        trajectory_steps(path, self.pnn_batch(path))
     }
+}
+
+/// Folds per-point answers into [`TrajectoryStep`]s with answer-set deltas,
+/// in path order. Shared by [`QueryEngine::pnn_trajectory`] and the
+/// domain-sharded serving layer ([`crate::shard::ShardedUvSystem`]), whose
+/// trajectory queries re-route to a different shard at every shard-boundary
+/// crossing while the delta chain stays one unbroken sequence.
+pub(crate) fn trajectory_steps(path: &[Point], answers: Vec<PnnAnswer>) -> Vec<TrajectoryStep> {
+    let mut steps = Vec::with_capacity(answers.len());
+    let mut prev = PnnAnswer::default();
+    for (position, answer) in path.iter().zip(answers) {
+        let delta = AnswerDelta::between(&prev, &answer);
+        prev = answer.clone();
+        steps.push(TrajectoryStep {
+            position: *position,
+            answer,
+            delta,
+        });
+    }
+    steps
 }
 
 #[cfg(test)]
@@ -305,7 +313,8 @@ mod tests {
             ds.domain,
             Method::IC,
             UvConfig::default(),
-        );
+        )
+        .unwrap();
         (ds, system)
     }
 

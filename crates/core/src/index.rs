@@ -496,7 +496,8 @@ mod tests {
             Arc::new(PageStore::new()),
             Method::IC,
             UvConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(
             index.num_nonleaf_nodes() > 0,
             "fixture must actually split so there are internal split lines"

@@ -26,6 +26,10 @@
 //!   a versioned, checksummed binary format and loaded back query-ready in
 //!   `O(bytes)` with zero re-derivation — the *build once, query many* cost
 //!   model made durable across process restarts.
+//! * [`shard`] — domain-sharded serving beyond the paper: the domain split
+//!   into an `S × S` grid of shard rectangles, each served by its own
+//!   system over a halo-replicated object subset, with queries routed by
+//!   point ownership and answers bit-identical to the unsharded system.
 //!
 //! # Quick start
 //!
@@ -43,10 +47,11 @@
 //! let rtree = RTree::build(&dataset.objects, &objects, Arc::clone(&pages));
 //!
 //! // Build the UV-index with the IC method (cr-objects, no refinement).
+//! // A bad configuration surfaces as `UvError::InvalidConfig`, never a panic.
 //! let (index, stats) = build_uv_index(
 //!     &dataset.objects, &objects, &rtree, dataset.domain,
 //!     Arc::new(PageStore::new()), Method::IC, UvConfig::default(),
-//! );
+//! ).unwrap();
 //! assert_eq!(stats.objects, 200);
 //!
 //! // Answer a probabilistic nearest-neighbour query with a point lookup.
@@ -68,6 +73,7 @@ pub mod error;
 pub mod index;
 pub mod pattern;
 pub mod region;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod system;
@@ -82,6 +88,7 @@ pub use error::UvError;
 pub use index::UvIndex;
 pub use pattern::PartitionCell;
 pub use region::PossibleRegion;
+pub use shard::{ShardedUpdateStats, ShardedUvSystem};
 pub use stats::{ConstructionStats, PruneStats};
 pub use system::UvSystem;
 pub use update::{ObjectState, UpdateBatch, UpdateOp, UpdateStats, Updater};

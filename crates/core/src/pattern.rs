@@ -112,7 +112,8 @@ mod tests {
             Arc::new(PageStore::new()),
             Method::IC,
             UvConfig::default(),
-        );
+        )
+        .unwrap();
         (ds, index)
     }
 

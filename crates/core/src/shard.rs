@@ -1,0 +1,1075 @@
+//! Domain-sharded serving: a [`ShardedUvSystem`] splits the domain into an
+//! `S × S` grid of shard rectangles and serves each rectangle from its own
+//! [`UvSystem`], while answering every query *bit-identically* to one
+//! unsharded system over the whole dataset.
+//!
+//! The ROADMAP names sharding as the next scaling axis, and the UV-partition
+//! is already domain-decomposed: a PNN query is a point lookup, so queries
+//! (and trajectory workloads, which concentrate spatially — cf. the moving
+//! PNN setting of Ali et al.) route cleanly by position, and incremental
+//! repair (Arseneva et al.'s locality argument) stays confined to the shards
+//! an update actually touches.
+//!
+//! # Halo replication
+//!
+//! A shard must answer any query inside its rectangle without consulting its
+//! neighbours, so it holds more than the objects *centred* in the rectangle:
+//! it holds every object whose **influence region** intersects the
+//! rectangle. The influence region is the disk `Cir(c_i, d)` with
+//! `d = (prune_radius + r_i) / 2` — the inversion of the I-pruning radius
+//! `2d − r_i` that PR 3's [`crate::UpdateSensitivity`] already maintains per
+//! object. That disk circumscribes the object's possible region (Definition
+//! 2), which in turn contains every point the object can be a PNN answer
+//! for; objects replicated into a neighbouring shard's halo are exactly the
+//! ones whose UV-cells cross the shard boundary. An object whose derivation
+//! is globally sensitive (`prune_radius = ∞`, e.g. the degenerate co-located
+//! path) is replicated everywhere.
+//!
+//! # Why sharded answers are bit-identical
+//!
+//! A shard's UV-index is built over a *subset*, so its grid differs from the
+//! unsharded grid — but the verification step of Section V-A makes the
+//! answer a function of the *filtered candidate set*, not of the grid:
+//! `d_minmax` is attained by a possible NN of the query point (always inside
+//! the halo), and Algorithm 5 never prunes an object from a region where it
+//! can be a nearest neighbour, *whatever* reference set the overlap test
+//! used — pruning requires a concrete dominating object, and dominating
+//! objects exist identically in the shard subset and the full dataset. Every
+//! candidate that survives the `d_minmax` filter therefore survives it in
+//! both systems, and the qualification probabilities integrate over the same
+//! set. The property suite (`tests/proptest_shard.rs`) enforces this
+//! bit-exactly across {IC, ICR} × {Uniform, GaussianSkew}, before and after
+//! random update batches.
+//!
+//! # The router
+//!
+//! [`ShardedUvSystem`] keeps one full [`UvSystem`] — the *router* — as the
+//! derivation authority: its per-object [`crate::UpdateSensitivity`] bounds
+//! yield the halo radii, its [`UvSystem::apply`] implements the validated,
+//! atomic global state transition, and analytics that need the global
+//! partition (`cell_area`, `partition_query`) are answered by it directly.
+//! Updates first apply to the router, then reconcile each shard's membership
+//! (replica inserts/deletes plus geometry changes) through the PR-3
+//! localized repair of the shards they touch. The router makes the sharded
+//! build strictly more expensive than an unsharded one — this layer buys
+//! query-routing and update *locality*, not construction speed; slimming the
+//! router to a derivation-only service (no grid) is the obvious follow-up.
+//!
+//! # Persistence
+//!
+//! [`ShardedUvSystem::save_snapshot`] writes one versioned header
+//! ([`SHARD_MAGIC`], the [`crate::snapshot::FORMAT_VERSION`], the grid side)
+//! followed by framed `uv_store::codec` sections: the router snapshot, then
+//! one section per shard, each a complete [`UvSystem`] snapshot. Loading
+//! validates every section checksum, the shard count, configuration
+//! agreement and halo coverage — malformed input maps to typed
+//! [`UvError`]s, never a panic.
+
+use crate::builder::Method;
+use crate::config::UvConfig;
+use crate::engine::{trajectory_steps, TrajectoryStep};
+use crate::snapshot::{FORMAT_VERSION, SECTION_OVERHEAD};
+use crate::system::UvSystem;
+use crate::update::{UpdateBatch, UpdateStats};
+use crate::UvError;
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::path::Path;
+use uv_data::{ObjectId, PnnAnswer, UncertainObject};
+use uv_geom::{Point, Rect};
+use uv_store::codec::{read_section, write_section, Decode, Encode};
+
+/// Magic bytes every sharded snapshot starts with (the per-shard payloads
+/// inside carry the regular [`crate::snapshot::MAGIC`]).
+pub const SHARD_MAGIC: [u8; 8] = *b"UVDSHRD\0";
+
+mod tag {
+    pub const META: u8 = 1;
+    pub const ROUTER: u8 = 2;
+    pub const SHARD: u8 = 3;
+}
+
+/// Statistics of one update batch applied through the sharded system: the
+/// router's global [`UpdateStats`] plus the per-shard reconciliation.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedUpdateStats {
+    /// The router's (global) update statistics — net inserts/deletes/moves
+    /// and the global re-derivation counters.
+    pub router: UpdateStats,
+    /// Per-shard update statistics, indexed by shard; untouched shards keep
+    /// a default entry with their current epoch untouched.
+    pub per_shard: Vec<UpdateStats>,
+    /// Shards that received a non-empty reconciliation batch.
+    pub shards_touched: usize,
+    /// Object replicas inserted across shards (membership gained: genuine
+    /// inserts plus halo growth of existing objects).
+    pub replicas_added: usize,
+    /// Object replicas removed across shards (membership lost: genuine
+    /// deletes plus halo shrinkage).
+    pub replicas_removed: usize,
+    /// `true` when the whole shard layout was rebuilt (the router fell back
+    /// to a full rebuild — domain growth or a bound memory budget).
+    pub resharded: bool,
+}
+
+/// A domain-sharded UV-diagram serving deployment: an `S × S` grid of shard
+/// rectangles, each served by its own [`UvSystem`] over the objects whose
+/// influence region intersects the rectangle (halo replication), plus one
+/// full router system as the derivation authority. See the [module
+/// docs](crate::shard) for the correctness contract.
+///
+/// ```
+/// use uv_core::{shard::ShardedUvSystem, Method, UvConfig, UvSystem};
+/// use uv_data::{Dataset, GeneratorConfig};
+///
+/// let ds = Dataset::generate(GeneratorConfig::paper_uniform(120));
+/// let config = UvConfig::default().with_seed_knn(24).with_num_shards(2);
+/// let sharded =
+///     ShardedUvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
+/// let unsharded = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
+/// for q in ds.query_points(12, 7) {
+///     // Routed answers are bit-identical to the unsharded system.
+///     assert_eq!(sharded.pnn(q).probabilities, unsharded.pnn(q).probabilities);
+/// }
+/// assert_eq!(sharded.shard_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ShardedUvSystem {
+    /// The full unsharded system: routing/derivation authority and the
+    /// answerer of global-partition analytics.
+    router: UvSystem,
+    /// Shard-grid side `S`.
+    grid: usize,
+    /// The `S × S` shard rectangles, row-major from the south-west.
+    rects: Vec<Rect>,
+    /// Cached split coordinates of the two axes (the exact values the
+    /// rectangles were built from), so per-query routing allocates nothing.
+    bounds_x: Vec<f64>,
+    bounds_y: Vec<f64>,
+    /// One serving system per rectangle, over its halo member set.
+    shards: Vec<UvSystem>,
+}
+
+/// Influence radius of one object: the radius of the disk circumscribing its
+/// possible region, inverted from the I-pruning radius `2d − r_i` the
+/// sensitivity bound stores. `None` means globally sensitive — the object is
+/// replicated into every shard.
+fn influence_radius(o: &UncertainObject, sys: &UvSystem) -> Option<f64> {
+    let state = sys.object_state(o.id)?;
+    let prune_radius = state.sensitivity().prune_radius;
+    if !prune_radius.is_finite() {
+        return None;
+    }
+    // prune_radius = 2d − r_i, so d = (prune_radius + r_i) / 2; the possible
+    // region contains the uncertainty region itself, so d ≥ r_i — the max
+    // guards the (unreachable) clamped case.
+    Some((0.5 * (prune_radius + o.radius())).max(o.radius()))
+}
+
+/// The split coordinates of one axis: `side + 1` monotone boundaries with
+/// the domain edges kept exact (no accumulated float drift at the rim).
+fn axis_bounds(lo: f64, hi: f64, side: usize) -> Vec<f64> {
+    let step = (hi - lo) / side as f64;
+    let mut bounds: Vec<f64> = (0..=side).map(|k| lo + step * k as f64).collect();
+    bounds[0] = lo;
+    bounds[side] = hi;
+    bounds
+}
+
+/// Index of the axis interval containing `v` under closed-edge semantics: a
+/// value exactly on an interior boundary belongs to the lower (south/west)
+/// interval — the same `<=` tie-break [`crate::UvIndex`]'s `locate_leaf`
+/// uses on its split lines, and consistent with [`Rect::contains`] treating
+/// boundaries as inside.
+fn axis_index(bounds: &[f64], v: f64) -> usize {
+    let side = bounds.len() - 1;
+    for k in 0..side {
+        if v <= bounds[k + 1] {
+            return k;
+        }
+    }
+    side - 1
+}
+
+/// The `side × side` shard rectangles of `domain`, row-major from the
+/// south-west, sharing exact boundary coordinates with [`axis_index`].
+fn shard_rects(domain: Rect, side: usize) -> Vec<Rect> {
+    let xs = axis_bounds(domain.min_x, domain.max_x, side);
+    let ys = axis_bounds(domain.min_y, domain.max_y, side);
+    let mut rects = Vec::with_capacity(side * side);
+    for iy in 0..side {
+        for ix in 0..side {
+            rects.push(Rect::new(xs[ix], ys[iy], xs[ix + 1], ys[iy + 1]));
+        }
+    }
+    rects
+}
+
+/// Halo member sets: for every shard rectangle, the objects whose influence
+/// disk intersects it (globally sensitive objects join every shard). Every
+/// live object lands in at least one shard — its influence disk contains its
+/// own uncertainty region, which intersects the rectangle owning its centre.
+fn shard_members(router: &UvSystem, rects: &[Rect]) -> Vec<Vec<UncertainObject>> {
+    let mut members: Vec<Vec<UncertainObject>> = vec![Vec::new(); rects.len()];
+    for o in router.objects() {
+        match influence_radius(o, router) {
+            None => {
+                for list in members.iter_mut() {
+                    list.push(o.clone());
+                }
+            }
+            Some(radius) => {
+                for (list, rect) in members.iter_mut().zip(rects) {
+                    if rect.intersects_circle(o.center(), radius) {
+                        list.push(o.clone());
+                    }
+                }
+            }
+        }
+    }
+    members
+}
+
+/// Runs `f` over `items` — one scoped thread per item when `parallel` and
+/// there is more than one item, a plain sequential loop otherwise. Results
+/// come back in item order. The single fan-out policy of this module:
+/// shard builds, batched query routing and update reconciliation all go
+/// through here.
+fn fan_out<T: Send, R: Send>(parallel: bool, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    if parallel && items.len() > 1 {
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = items
+                .into_iter()
+                .map(|item| scope.spawn(move || f(item)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard fan-out worker panicked"))
+                .collect()
+        })
+    } else {
+        items.into_iter().map(f).collect()
+    }
+}
+
+/// Builds one [`UvSystem`] per member set — in parallel when the
+/// configuration allows (each shard build also parallelises its own
+/// derivation internally; the scoped fan-out mainly helps many small
+/// shards). Every shard indexes the *full* domain so `locate_leaf` works
+/// for any point its rectangle can receive and halo objects never trigger
+/// spurious domain growth.
+fn build_shard_systems(
+    member_sets: Vec<Vec<UncertainObject>>,
+    domain: Rect,
+    method: Method,
+    config: UvConfig,
+) -> Result<Vec<UvSystem>, UvError> {
+    fan_out(config.parallel, member_sets, |objects| {
+        UvSystem::build(objects, domain, method, config)
+    })
+    .into_iter()
+    .collect()
+}
+
+impl ShardedUvSystem {
+    /// Builds the sharded system: the router over the full dataset, then the
+    /// `config.num_shards × config.num_shards` shard systems over their halo
+    /// member sets (in parallel when `config.parallel`). A configuration
+    /// failing [`UvConfig::validate`] is a typed error, never a panic.
+    pub fn build(
+        objects: Vec<UncertainObject>,
+        domain: Rect,
+        method: Method,
+        config: UvConfig,
+    ) -> Result<Self, UvError> {
+        let router = UvSystem::build(objects, domain, method, config)?;
+        let grid = config.num_shards;
+        let rects = shard_rects(domain, grid);
+        let shards = build_shard_systems(shard_members(&router, &rects), domain, method, config)?;
+        Ok(Self {
+            router,
+            grid,
+            rects,
+            bounds_x: axis_bounds(domain.min_x, domain.max_x, grid),
+            bounds_y: axis_bounds(domain.min_y, domain.max_y, grid),
+            shards,
+        })
+    }
+
+    /// Rebuilds rectangles and every shard system from the router's current
+    /// state (after the router's domain grew or it fell back to a full
+    /// rebuild).
+    fn reshard(&mut self) -> Result<(), UvError> {
+        let domain = self.router.domain();
+        self.rects = shard_rects(domain, self.grid);
+        self.bounds_x = axis_bounds(domain.min_x, domain.max_x, self.grid);
+        self.bounds_y = axis_bounds(domain.min_y, domain.max_y, self.grid);
+        self.shards = build_shard_systems(
+            shard_members(&self.router, &self.rects),
+            domain,
+            self.router.method(),
+            *self.router.config(),
+        )?;
+        Ok(())
+    }
+
+    /// Shard-grid side `S`.
+    pub fn grid_side(&self) -> usize {
+        self.grid
+    }
+
+    /// Total number of shards (`S × S`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard rectangles, row-major from the south-west.
+    pub fn shard_rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The serving system of shard `idx`.
+    pub fn shard(&self, idx: usize) -> &UvSystem {
+        &self.shards[idx]
+    }
+
+    /// The router: the full unsharded system acting as derivation authority.
+    /// Global-partition analytics ([`UvSystem::cell_area`],
+    /// [`UvSystem::partition_query`]) are answered here.
+    pub fn router(&self) -> &UvSystem {
+        &self.router
+    }
+
+    /// The live object set (the router's view — shard member lists replicate
+    /// subsets of it).
+    pub fn objects(&self) -> &[UncertainObject] {
+        self.router.objects()
+    }
+
+    /// The indexed domain.
+    pub fn domain(&self) -> Rect {
+        self.router.domain()
+    }
+
+    /// The configuration every subsystem was built with.
+    pub fn config(&self) -> &UvConfig {
+        self.router.config()
+    }
+
+    /// The construction method.
+    pub fn method(&self) -> Method {
+        self.router.method()
+    }
+
+    /// Total object replicas across shards divided by the live object count:
+    /// `1.0` means no halo replication at all, `S²` full replication. The
+    /// halo-overhead statistic the `shard` experiment reports is this
+    /// minus one.
+    pub fn replication_factor(&self) -> f64 {
+        let replicas: usize = self.shards.iter().map(|s| s.objects().len()).sum();
+        replicas as f64 / self.router.objects().len().max(1) as f64
+    }
+
+    /// The shard owning query point `q` under closed-edge semantics (a point
+    /// exactly on a shard split line belongs to the south/west shard, the
+    /// same tie-break the grid's `locate_leaf` uses), or `None` when `q`
+    /// lies outside the domain.
+    pub fn owner_of(&self, q: Point) -> Option<usize> {
+        if !self.domain().contains(q) {
+            return None;
+        }
+        Some(axis_index(&self.bounds_y, q.y) * self.grid + axis_index(&self.bounds_x, q.x))
+    }
+
+    /// Answers a PNN query through the owning shard — bit-identical
+    /// (probabilities, candidate counts) to the unsharded [`UvSystem::pnn`].
+    pub fn pnn(&self, q: Point) -> PnnAnswer {
+        match self.owner_of(q) {
+            Some(s) => self.shards[s].pnn(q),
+            None => PnnAnswer::default(),
+        }
+    }
+
+    /// Answers a batch of PNN queries: queries are grouped per owning shard
+    /// and fanned out through each involved shard's [`crate::QueryEngine`] —
+    /// on scoped threads when `config.parallel` (the same switch the shard
+    /// builds and update reconciliation honour), sequentially otherwise.
+    /// Answers come back in query order, bit-identical to the unsharded
+    /// [`UvSystem::pnn_batch`]. Out-of-domain points get the empty answer,
+    /// exactly as unsharded.
+    pub fn pnn_batch(&self, queries: &[Point]) -> Vec<PnnAnswer> {
+        let mut groups: Vec<Vec<(usize, Point)>> = vec![Vec::new(); self.shards.len()];
+        let mut answers: Vec<PnnAnswer> = vec![PnnAnswer::default(); queries.len()];
+        for (i, q) in queries.iter().enumerate() {
+            if let Some(s) = self.owner_of(*q) {
+                groups[s].push((i, *q));
+            }
+        }
+        let jobs: Vec<(usize, Vec<(usize, Point)>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .collect();
+        let results = fan_out(self.config().parallel, jobs, |(s, group)| {
+            let points: Vec<Point> = group.iter().map(|(_, q)| *q).collect();
+            (group, self.shards[s].pnn_batch(&points))
+        });
+        for (group, shard_answers) in results {
+            for ((i, _), answer) in group.into_iter().zip(shard_answers) {
+                answers[i] = answer;
+            }
+        }
+        answers
+    }
+
+    /// Answers a moving-PNN trajectory. Every path point routes to its
+    /// owning shard — the query re-routes at each shard-boundary crossing —
+    /// while the per-step answer deltas chain across the whole path, so the
+    /// steps equal the unsharded [`UvSystem::pnn_trajectory`] bit-exactly.
+    pub fn pnn_trajectory(&self, path: &[Point]) -> Vec<TrajectoryStep> {
+        trajectory_steps(path, self.pnn_batch(path))
+    }
+
+    /// Applies an update batch atomically: the router validates and applies
+    /// it globally (nothing is mutated on error), then every shard whose
+    /// halo membership the net difference touches is reconciled through the
+    /// PR-3 localized repair. When the router had to fall back to a full
+    /// rebuild (domain growth, bound memory budget), the whole shard layout
+    /// is rebuilt instead ([`ShardedUpdateStats::resharded`]).
+    pub fn apply(&mut self, batch: UpdateBatch) -> Result<ShardedUpdateStats, UvError> {
+        // Geometry of the ids the batch touches, before the router mutates.
+        let touched: HashSet<ObjectId> = batch
+            .ops
+            .iter()
+            .map(|op| match op {
+                crate::update::UpdateOp::Insert(o) => o.id,
+                crate::update::UpdateOp::Delete(id) => *id,
+                crate::update::UpdateOp::Move { id, .. } => *id,
+            })
+            .collect();
+        let old_geometry: HashMap<ObjectId, UncertainObject> = self
+            .router
+            .objects()
+            .iter()
+            .filter(|o| touched.contains(&o.id))
+            .map(|o| (o.id, o.clone()))
+            .collect();
+        let router_stats = self.router.apply(batch)?;
+        let mut stats = ShardedUpdateStats {
+            router: router_stats,
+            per_shard: vec![UpdateStats::default(); self.shards.len()],
+            ..ShardedUpdateStats::default()
+        };
+        if stats.router.inserted + stats.router.deleted + stats.router.moved == 0 {
+            return Ok(stats); // net no-op: shards keep their epochs
+        }
+        if stats.router.full_rebuild {
+            self.reshard()?;
+            stats.resharded = true;
+            stats.shards_touched = self.shards.len();
+            return Ok(stats);
+        }
+
+        // Reconcile each shard against the new halo membership — diffing
+        // only the *candidate* ids whose membership can have changed, never
+        // rescanning the whole object set. Membership is a function of an
+        // object's geometry (changed only for the batch's own ids) and its
+        // influence radius (changed only through a re-derivation, which the
+        // router reports); everything else provably kept its replicas.
+        let mut candidates: HashSet<ObjectId> = touched;
+        candidates.extend(stats.router.rederived_ids.iter().copied());
+        let live: HashMap<ObjectId, &UncertainObject> = self
+            .router
+            .objects()
+            .iter()
+            .filter(|o| candidates.contains(&o.id))
+            .map(|o| (o.id, o))
+            .collect();
+        let mut shard_batches: Vec<UpdateBatch> =
+            (0..self.shards.len()).map(|_| UpdateBatch::new()).collect();
+        for id in &candidates {
+            let current = live.get(id).copied(); // None = deleted
+            let geometry_changed =
+                current.is_some_and(|o| old_geometry.get(id).is_some_and(|old| old != o));
+            let memberships = current.map(|o| match influence_radius(o, &self.router) {
+                None => vec![true; self.rects.len()],
+                Some(radius) => self
+                    .rects
+                    .iter()
+                    .map(|rect| rect.intersects_circle(o.center(), radius))
+                    .collect(),
+            });
+            for (s, batch) in shard_batches.iter_mut().enumerate() {
+                // The shards are still pre-batch here (only the router has
+                // applied), so current replica membership is an O(1) lookup
+                // against the shard's own maintenance table — no per-batch
+                // member-set snapshots.
+                let was = self.shards[s].object_state(*id).is_some();
+                let now = memberships.as_ref().is_some_and(|m| m[s]);
+                match (was, now) {
+                    (false, true) => {
+                        stats.replicas_added += 1;
+                        *batch =
+                            std::mem::take(batch).insert(current.expect("member is live").clone());
+                    }
+                    (true, false) => {
+                        stats.replicas_removed += 1;
+                        *batch = std::mem::take(batch).delete(*id);
+                    }
+                    (true, true) if geometry_changed => {
+                        // Delete + insert expresses any state change (a move,
+                        // or a delete-then-reinsert with a different radius /
+                        // pdf inside one router batch); the shard's net-diff
+                        // turns the pair back into one geometry change.
+                        *batch = std::mem::take(batch)
+                            .delete(*id)
+                            .insert(current.expect("member is live").clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Only shards with a non-empty reconciliation batch spawn work.
+        let jobs: Vec<(usize, &mut UvSystem, UpdateBatch)> = self
+            .shards
+            .iter_mut()
+            .zip(shard_batches)
+            .enumerate()
+            .filter(|(_, (_, batch))| !batch.is_empty())
+            .map(|(s, (shard, batch))| (s, shard, batch))
+            .collect();
+        let parallel = self.router.config().parallel;
+        for (s, outcome) in fan_out(parallel, jobs, |(s, shard, batch)| (s, shard.apply(batch))) {
+            stats.shards_touched += 1;
+            stats.per_shard[s] = outcome?;
+        }
+        Ok(stats)
+    }
+
+    /// Inserts one object (a single-op batch).
+    pub fn insert_object(
+        &mut self,
+        object: UncertainObject,
+    ) -> Result<ShardedUpdateStats, UvError> {
+        self.apply(UpdateBatch::new().insert(object))
+    }
+
+    /// Deletes one object (a single-op batch).
+    pub fn delete_object(&mut self, id: ObjectId) -> Result<ShardedUpdateStats, UvError> {
+        self.apply(UpdateBatch::new().delete(id))
+    }
+
+    /// Moves one object (a single-op batch).
+    pub fn move_object(
+        &mut self,
+        id: ObjectId,
+        center: Point,
+    ) -> Result<ShardedUpdateStats, UvError> {
+        self.apply(UpdateBatch::new().move_to(id, center))
+    }
+
+    /// Serialises the whole sharded deployment — router and every shard —
+    /// under one versioned header; returns the bytes written. See the
+    /// [module docs](crate::shard) for the layout.
+    pub fn save_snapshot<W: Write>(&self, w: &mut W) -> Result<u64, UvError> {
+        w.write_all(&SHARD_MAGIC)?;
+        FORMAT_VERSION.write_to(w)?;
+        let mut written: u64 = SHARD_MAGIC.len() as u64 + 4;
+
+        let mut meta = Vec::new();
+        (self.grid as u64).write_to(&mut meta)?;
+        write_section(w, tag::META, &meta)?;
+        written += SECTION_OVERHEAD + meta.len() as u64;
+
+        let mut router_payload = Vec::new();
+        self.router.save_snapshot(&mut router_payload)?;
+        write_section(w, tag::ROUTER, &router_payload)?;
+        written += SECTION_OVERHEAD + router_payload.len() as u64;
+
+        for shard in &self.shards {
+            let mut payload = Vec::new();
+            shard.save_snapshot(&mut payload)?;
+            write_section(w, tag::SHARD, &payload)?;
+            written += SECTION_OVERHEAD + payload.len() as u64;
+        }
+        w.flush()?;
+        Ok(written)
+    }
+
+    /// Saves a snapshot to a file (created or truncated), returning the
+    /// bytes written.
+    pub fn save_snapshot_to_path<P: AsRef<Path>>(&self, path: P) -> Result<u64, UvError> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_snapshot(&mut w)
+    }
+
+    /// Loads a sharded snapshot written by
+    /// [`ShardedUvSystem::save_snapshot`]: every section checksum, the shard
+    /// count, configuration agreement between router and shards, and halo
+    /// coverage are validated; malformed input is a typed [`UvError`], never
+    /// a panic.
+    pub fn load_snapshot<R: Read>(r: &mut R) -> Result<Self, UvError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != SHARD_MAGIC {
+            return Err(UvError::SnapshotCorrupt(format!(
+                "bad sharded-snapshot magic {magic:02x?}"
+            )));
+        }
+        let version = u32::read_from(r)?;
+        if version != FORMAT_VERSION {
+            return Err(UvError::SnapshotVersionMismatch {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let meta = read_section(r, tag::META)?;
+        let grid = u64::read_from(&mut meta.as_slice())? as usize;
+        if grid == 0 || grid > 1_024 {
+            return Err(UvError::SnapshotCorrupt(format!(
+                "implausible shard grid side {grid}"
+            )));
+        }
+
+        let router_payload = read_section(r, tag::ROUTER)?;
+        let router = UvSystem::load_snapshot(&mut router_payload.as_slice())?;
+        if router.config().num_shards != grid {
+            return Err(UvError::SnapshotCorrupt(format!(
+                "header grid side {grid} disagrees with the persisted configuration ({})",
+                router.config().num_shards
+            )));
+        }
+
+        let mut shards = Vec::with_capacity(grid * grid);
+        for _ in 0..grid * grid {
+            let payload = read_section(r, tag::SHARD)?;
+            let shard = UvSystem::load_snapshot(&mut payload.as_slice())?;
+            if shard.config() != router.config() {
+                return Err(UvError::SnapshotCorrupt(
+                    "a shard was persisted under a different configuration than the router".into(),
+                ));
+            }
+            if shard.domain() != router.domain() {
+                return Err(UvError::SnapshotCorrupt(
+                    "a shard indexes a different domain than the router".into(),
+                ));
+            }
+            shards.push(shard);
+        }
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(UvError::SnapshotCorrupt(
+                "trailing bytes after the final shard section".into(),
+            ));
+        }
+
+        // Halo coverage: every shard member must be live globally, and every
+        // live object must be replicated somewhere.
+        let live: HashSet<ObjectId> = router.objects().iter().map(|o| o.id).collect();
+        let mut covered: HashSet<ObjectId> = HashSet::with_capacity(live.len());
+        for shard in &shards {
+            for o in shard.objects() {
+                if !live.contains(&o.id) {
+                    return Err(UvError::SnapshotCorrupt(format!(
+                        "shard replica {} is not live in the router",
+                        o.id
+                    )));
+                }
+                covered.insert(o.id);
+            }
+        }
+        if covered.len() != live.len() {
+            return Err(UvError::SnapshotCorrupt(
+                "some live objects are replicated into no shard".into(),
+            ));
+        }
+
+        let domain = router.domain();
+        Ok(Self {
+            router,
+            grid,
+            rects: shard_rects(domain, grid),
+            bounds_x: axis_bounds(domain.min_x, domain.max_x, grid),
+            bounds_y: axis_bounds(domain.min_y, domain.max_y, grid),
+            shards,
+        })
+    }
+
+    /// Loads a sharded snapshot from a file.
+    pub fn load_snapshot_from_path<P: AsRef<Path>>(path: P) -> Result<Self, UvError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = std::io::BufReader::new(file);
+        Self::load_snapshot(&mut r)
+    }
+
+    /// Resets the I/O counters of the router and every shard.
+    pub fn reset_io(&self) {
+        self.router.reset_io();
+        for shard in &self.shards {
+            shard.reset_io();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uv_data::{Dataset, GeneratorConfig};
+
+    fn config() -> UvConfig {
+        UvConfig::default()
+            .with_seed_knn(24)
+            .with_leaf_split_capacity(16)
+            .with_num_shards(2)
+    }
+
+    fn fixture(n: usize, shards: usize) -> (Dataset, ShardedUvSystem, UvSystem) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let cfg = config().with_num_shards(shards);
+        let sharded =
+            ShardedUvSystem::build(ds.objects.clone(), ds.domain, Method::IC, cfg).unwrap();
+        let unsharded = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, cfg).unwrap();
+        (ds, sharded, unsharded)
+    }
+
+    fn assert_answers_match(sharded: &ShardedUvSystem, unsharded: &UvSystem, queries: &[Point]) {
+        let batch = sharded.pnn_batch(queries);
+        for (q, batched) in queries.iter().zip(&batch) {
+            let single = sharded.pnn(*q);
+            let oracle = unsharded.pnn(*q);
+            assert_eq!(
+                single.probabilities, oracle.probabilities,
+                "sharded pnn diverged at {q:?}"
+            );
+            assert_eq!(single.candidates_examined, oracle.candidates_examined);
+            assert_eq!(batched.probabilities, oracle.probabilities);
+            assert_eq!(batched.candidates_examined, oracle.candidates_examined);
+        }
+    }
+
+    #[test]
+    fn sharded_answers_match_unsharded_on_uniform_data() {
+        let (ds, sharded, unsharded) = fixture(220, 2);
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(sharded.replication_factor() >= 1.0);
+        assert_answers_match(&sharded, &unsharded, &ds.query_points(40, 11));
+    }
+
+    #[test]
+    fn larger_grids_still_match() {
+        let (ds, sharded, unsharded) = fixture(200, 3);
+        assert_eq!(sharded.shard_count(), 9);
+        assert_answers_match(&sharded, &unsharded, &ds.query_points(30, 23));
+    }
+
+    #[test]
+    fn split_line_queries_agree_with_closed_edge_semantics() {
+        let (_, sharded, unsharded) = fixture(180, 2);
+        let domain = sharded.domain();
+        let cx = (domain.min_x + domain.max_x) * 0.5;
+        let cy = (domain.min_y + domain.max_y) * 0.5;
+        // Points exactly on the shard split lines, their crossing, and the
+        // domain corners/edges (the same boundary classes `locate_leaf`'s
+        // regression test probes).
+        let mut boundary = vec![
+            Point::new(cx, cy),
+            Point::new(cx, domain.min_y + 100.0),
+            Point::new(cx, domain.max_y - 100.0),
+            Point::new(domain.min_x + 100.0, cy),
+            Point::new(domain.max_x - 100.0, cy),
+            Point::new(domain.min_x, cy),
+            Point::new(domain.max_x, cy),
+            Point::new(cx, domain.min_y),
+            Point::new(cx, domain.max_y),
+        ];
+        boundary.extend(domain.corners());
+        for q in &boundary {
+            let owner = sharded.owner_of(*q).expect("boundary point is in-domain");
+            // The owner must be the south/west shard: its closed rectangle
+            // contains the point (consistent with Rect::quadrants/contains),
+            // and no shard with a smaller index also contains it.
+            assert!(
+                sharded.shard_rects()[owner].contains(*q),
+                "owner rect must contain {q:?}"
+            );
+            for (s, rect) in sharded.shard_rects().iter().enumerate() {
+                if s >= owner {
+                    break;
+                }
+                // Earlier (more south/west) rects may only contain the point
+                // if they share the boundary — in which case the `<=`
+                // tie-break must have picked the earliest one.
+                assert!(
+                    !rect.contains(*q) || sharded.owner_of(*q) == Some(owner),
+                    "tie-break must be deterministic for {q:?}"
+                );
+            }
+        }
+        assert_answers_match(&sharded, &unsharded, &boundary);
+        // Out-of-domain points return the empty answer, as unsharded.
+        let outside = Point::new(domain.min_x - 50.0, cy);
+        assert!(sharded.owner_of(outside).is_none());
+        assert!(sharded.pnn(outside).probabilities.is_empty());
+    }
+
+    #[test]
+    fn wide_halos_span_three_or_more_shards() {
+        // A 3×3 grid over a modest dataset: seed-knn radii at n=160 are a
+        // sizeable fraction of the domain, so many influence disks cross
+        // several shard rectangles. Verify at least one object is
+        // replicated into ≥3 shards and that its every replica answers
+        // queries consistently (covered by the answer oracle).
+        let (ds, sharded, unsharded) = fixture(160, 3);
+        let mut max_replicas = 0usize;
+        for o in sharded.objects() {
+            let replicas = (0..sharded.shard_count())
+                .filter(|s| sharded.shard(*s).objects().iter().any(|m| m.id == o.id))
+                .count();
+            assert!(replicas >= 1, "object {} is in no shard", o.id);
+            max_replicas = max_replicas.max(replicas);
+        }
+        assert!(
+            max_replicas >= 3,
+            "expected some halo to span >= 3 shards, widest spans {max_replicas}"
+        );
+        assert_answers_match(&sharded, &unsharded, &ds.query_points(25, 3));
+    }
+
+    #[test]
+    fn updates_route_to_touched_shards_and_stay_bit_identical() {
+        let (ds, mut sharded, mut unsharded) = fixture(200, 2);
+        let batch = UpdateBatch::new()
+            .insert(UncertainObject::with_gaussian(
+                9_000,
+                Point::new(2_600.0, 7_300.0),
+                20.0,
+            ))
+            .delete(11)
+            .move_to(42, Point::new(7_700.0, 1_900.0));
+        let stats = sharded.apply(batch.clone()).unwrap();
+        unsharded.apply(batch).unwrap();
+        assert_eq!(stats.router.inserted, 1);
+        assert_eq!(stats.router.deleted, 1);
+        assert_eq!(stats.router.moved, 1);
+        assert!(!stats.resharded);
+        assert!(stats.shards_touched >= 1);
+        assert_answers_match(&sharded, &unsharded, &ds.query_points(30, 5));
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips_through_the_sharded_path() {
+        let (ds, mut sharded, unsharded) = fixture(150, 2);
+        let victim = sharded.objects()[37].clone();
+        let queries = ds.query_points(20, 41);
+        let before: Vec<PnnAnswer> = queries.iter().map(|q| sharded.pnn(*q)).collect();
+        let membership_before: Vec<Vec<bool>> = (0..sharded.shard_count())
+            .map(|s| {
+                sharded
+                    .shard(s)
+                    .objects()
+                    .iter()
+                    .map(|o| o.id == victim.id)
+                    .collect()
+            })
+            .collect();
+
+        let del = sharded.delete_object(victim.id).unwrap();
+        assert_eq!(del.router.deleted, 1);
+        assert!(del.replicas_removed >= 1);
+        let ins = sharded.insert_object(victim.clone()).unwrap();
+        assert_eq!(ins.router.inserted, 1);
+        assert!(ins.replicas_added >= 1);
+
+        // Membership, answers and the unsharded oracle all agree again.
+        let membership_after: Vec<Vec<bool>> = (0..sharded.shard_count())
+            .map(|s| {
+                sharded
+                    .shard(s)
+                    .objects()
+                    .iter()
+                    .map(|o| o.id == victim.id)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            membership_before
+                .iter()
+                .map(|v| v.iter().filter(|x| **x).count())
+                .collect::<Vec<_>>(),
+            membership_after
+                .iter()
+                .map(|v| v.iter().filter(|x| **x).count())
+                .collect::<Vec<_>>(),
+            "replica placement must round-trip"
+        );
+        for (q, b) in queries.iter().zip(&before) {
+            let a = sharded.pnn(*q);
+            assert_eq!(a.probabilities, b.probabilities);
+            assert_eq!(a.candidates_examined, b.candidates_examined);
+        }
+        assert_answers_match(&sharded, &unsharded, &queries);
+    }
+
+    #[test]
+    fn domain_growth_reshards_the_layout() {
+        let (ds, mut sharded, mut unsharded) = fixture(120, 2);
+        let outside = UncertainObject::with_uniform(
+            8_000,
+            Point::new(ds.domain.max_x + 700.0, ds.domain.max_y + 700.0),
+            10.0,
+        );
+        let stats = sharded.insert_object(outside.clone()).unwrap();
+        unsharded.insert_object(outside).unwrap();
+        assert!(stats.resharded);
+        assert!(stats.router.full_rebuild);
+        assert_eq!(sharded.domain(), unsharded.domain());
+        assert!(sharded
+            .shard_rects()
+            .iter()
+            .all(|r| sharded.domain().contains_rect(r)));
+        assert_answers_match(&sharded, &unsharded, &ds.query_points(20, 9));
+    }
+
+    #[test]
+    fn trajectory_reroutes_across_shards_bit_identically() {
+        let (_, sharded, unsharded) = fixture(200, 2);
+        let domain = sharded.domain();
+        // A diagonal path crossing both split lines several times.
+        let path: Vec<Point> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 39.0;
+                Point::new(
+                    domain.min_x + domain.width() * (0.05 + 0.9 * t),
+                    domain.min_y + domain.height() * (0.05 + 0.9 * ((2.5 * t) % 1.0)),
+                )
+            })
+            .collect();
+        let crossings = path
+            .windows(2)
+            .filter(|w| sharded.owner_of(w[0]) != sharded.owner_of(w[1]))
+            .count();
+        assert!(crossings >= 2, "path must cross shard boundaries");
+        let sharded_steps = sharded.pnn_trajectory(&path);
+        let oracle_steps = unsharded.pnn_trajectory(&path);
+        assert_eq!(sharded_steps.len(), oracle_steps.len());
+        for (a, b) in sharded_steps.iter().zip(&oracle_steps) {
+            assert_eq!(a.answer.probabilities, b.answer.probabilities);
+            assert_eq!(a.delta, b.delta);
+        }
+    }
+
+    #[test]
+    fn io_attribution_stays_exact_across_the_shard_fanout() {
+        // Per-query I/O *values* legitimately differ from the unsharded
+        // system (each shard has its own page layout), but attribution must
+        // stay exact: summing the returned breakdowns reproduces the
+        // physical read counters across every shard store.
+        let (ds, sharded, _) = fixture(220, 2);
+        let queries = ds.query_points(50, 77);
+        sharded.reset_io();
+        let answers = sharded.pnn_batch(&queries);
+        let total = uv_data::QueryBreakdown::sum(answers.iter().map(|a| &a.breakdown));
+        let index_reads: u64 = (0..sharded.shard_count())
+            .map(|s| sharded.shard(s).index().store().io().reads)
+            .sum();
+        let object_reads: u64 = (0..sharded.shard_count())
+            .map(|s| sharded.shard(s).object_store().store().io().reads)
+            .sum();
+        assert_eq!(total.index_io, index_reads);
+        assert_eq!(total.object_io, object_reads);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_every_shard() {
+        let (ds, mut sharded, _) = fixture(150, 2);
+        sharded
+            .apply(
+                UpdateBatch::new()
+                    .delete(3)
+                    .move_to(7, Point::new(4_300.0, 1_200.0)),
+            )
+            .unwrap();
+        let mut bytes = Vec::new();
+        let written = sharded.save_snapshot(&mut bytes).unwrap();
+        assert_eq!(written, bytes.len() as u64);
+        let loaded = ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.grid_side(), sharded.grid_side());
+        assert_eq!(loaded.shard_rects(), sharded.shard_rects());
+        for s in 0..sharded.shard_count() {
+            assert_eq!(
+                loaded.shard(s).index().canonical_leaves(),
+                sharded.shard(s).index().canonical_leaves(),
+                "shard {s} grid diverged through the round-trip"
+            );
+            assert_eq!(loaded.shard(s).epoch(), sharded.shard(s).epoch());
+        }
+        assert_eq!(
+            loaded.router().index().canonical_leaves(),
+            sharded.router().index().canonical_leaves()
+        );
+        for q in ds.query_points(20, 13) {
+            let a = sharded.pnn(q);
+            let b = loaded.pnn(q);
+            assert_eq!(a.probabilities, b.probabilities);
+            assert_eq!(a.candidates_examined, b.candidates_examined);
+        }
+    }
+
+    #[test]
+    fn snapshot_corruption_is_a_typed_error() {
+        let (_, sharded, _) = fixture(80, 2);
+        let mut bytes = Vec::new();
+        sharded.save_snapshot(&mut bytes).unwrap();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ShardedUvSystem::load_snapshot(&mut bad.as_slice()),
+            Err(UvError::SnapshotCorrupt(_))
+        ));
+
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&77u32.to_le_bytes());
+        assert_eq!(
+            ShardedUvSystem::load_snapshot(&mut bad.as_slice()).unwrap_err(),
+            UvError::SnapshotVersionMismatch {
+                found: 77,
+                supported: FORMAT_VERSION,
+            }
+        );
+
+        for cut in [5, 20, bytes.len() / 3, bytes.len() - 1] {
+            let err = ShardedUvSystem::load_snapshot(&mut &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, UvError::SnapshotCorrupt(_)),
+                "truncation at {cut} gave {err:?}"
+            );
+        }
+
+        let mut doubled = bytes.clone();
+        doubled.extend_from_slice(&bytes);
+        assert!(matches!(
+            ShardedUvSystem::load_snapshot(&mut doubled.as_slice()),
+            Err(UvError::SnapshotCorrupt(_))
+        ));
+
+        // A mid-stream payload flip lands in some section's checksum scope.
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(ShardedUvSystem::load_snapshot(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_without_panicking() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(40));
+        let bad = UvConfig::default().with_num_shards(0);
+        assert!(matches!(
+            ShardedUvSystem::build(ds.objects.clone(), ds.domain, Method::IC, bad),
+            Err(UvError::InvalidConfig(_))
+        ));
+    }
+}

@@ -13,7 +13,10 @@
 //! * the [`UvIndex`] grid — nodes, member lists, epoch, free slots and the
 //!   budget flag, plus its leaf page store;
 //! * the per-object [`crate::update::ObjectState`] (reference ids and
-//!   [`crate::UpdateSensitivity`]) that dynamic maintenance needs;
+//!   [`crate::UpdateSensitivity`]) that dynamic maintenance needs — the
+//!   C-pruning d-bounds as bare hull vertices, their radii recomputed
+//!   bit-identically from the persisted object centres on load (so snapshot
+//!   size no longer grows by a redundant 8 bytes per hull vertex);
 //! * the [`UvConfig`], method, domain, object set and construction stats.
 //!
 //! Runtime-only state — I/O counters, the query engine's per-leaf
@@ -62,7 +65,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 use uv_data::{ObjectStore, UncertainObject};
-use uv_geom::Rect;
+use uv_geom::{Circle, Point, Rect};
 use uv_rtree::RTree;
 use uv_store::codec::{corrupt, fnv64, read_section, to_bytes, write_section, Decode, Encode};
 use uv_store::{PageStore, PagedList};
@@ -71,7 +74,16 @@ use uv_store::{PageStore, PagedList};
 pub const MAGIC: [u8; 8] = *b"UVDSNAP\0";
 
 /// The snapshot format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — the PR-4 format: `UpdateSensitivity::d_bounds` persisted as
+///   full circles (centre + radius).
+/// * **2** — `UvConfig` gained `num_shards`, and the C-pruning d-bounds are
+///   persisted as their hull *vertices* only; the radius (the vertex's
+///   distance from the subject centre — exactly how the derivation computed
+///   it) is recomputed bit-identically on load. Snapshot size no longer
+///   carries 8 redundant bytes per hull vertex.
+pub const FORMAT_VERSION: u32 = 2;
 
 mod tag {
     pub const CONFIG: u8 = 1;
@@ -103,7 +115,8 @@ impl Encode for UvConfig {
         self.parallel.write_to(w)?;
         self.query_workers.write_to(w)?;
         self.leaf_cache.write_to(w)?;
-        self.leaf_split_capacity.write_to(w)
+        self.leaf_split_capacity.write_to(w)?;
+        self.num_shards.write_to(w)
     }
 }
 
@@ -121,6 +134,7 @@ impl Decode for UvConfig {
             query_workers: usize::read_from(r)?,
             leaf_cache: bool::read_from(r)?,
             leaf_split_capacity: usize::read_from(r)?,
+            num_shards: usize::read_from(r)?,
         })
     }
 }
@@ -147,40 +161,44 @@ impl Decode for Method {
     }
 }
 
-impl Encode for UpdateSensitivity {
-    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
-        self.knn_dist.write_to(w)?;
-        self.prune_radius.write_to(w)?;
-        self.seed_dists.write_to(w)?;
-        self.d_bounds.write_to(w)
-    }
+/// Persists one [`ObjectState`]. The C-pruning d-bounds are written as their
+/// hull *vertices* only: each d-bound is the circle through the subject
+/// centre around one hull vertex of the possible region, so its radius is
+/// `vertex.dist(centre)` — derivable, and therefore not stored (format
+/// version 2; version 1 spent 8 extra bytes per vertex on it, which made
+/// snapshots grow with region complexity).
+fn write_object_state<W: Write + ?Sized>(state: &ObjectState, w: &mut W) -> io::Result<()> {
+    state.reference_ids.write_to(w)?;
+    let s = &state.sensitivity;
+    s.knn_dist.write_to(w)?;
+    s.prune_radius.write_to(w)?;
+    s.seed_dists.write_to(w)?;
+    let hull: Vec<Point> = s.d_bounds.iter().map(|b| b.center).collect();
+    hull.write_to(w)
 }
 
-impl Decode for UpdateSensitivity {
-    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
-        Ok(Self {
-            knn_dist: f64::read_from(r)?,
-            prune_radius: f64::read_from(r)?,
-            seed_dists: Vec::read_from(r)?,
-            d_bounds: Vec::read_from(r)?,
-        })
-    }
-}
-
-impl Encode for ObjectState {
-    fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
-        self.reference_ids.write_to(w)?;
-        self.sensitivity.write_to(w)
-    }
-}
-
-impl Decode for ObjectState {
-    fn read_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
-        Ok(Self {
-            reference_ids: Vec::read_from(r)?,
-            sensitivity: UpdateSensitivity::read_from(r)?,
-        })
-    }
+/// Inverse of [`write_object_state`]: `center` is the subject's centre, from
+/// which the d-bound radii are recomputed exactly as the derivation computed
+/// them (`Circle::new(v, v.dist(center))`), keeping loaded ≡ saved bit-exact.
+fn read_object_state<R: Read + ?Sized>(center: Point, r: &mut R) -> io::Result<ObjectState> {
+    let reference_ids = Vec::read_from(r)?;
+    let knn_dist = f64::read_from(r)?;
+    let prune_radius = f64::read_from(r)?;
+    let seed_dists = Vec::read_from(r)?;
+    let hull: Vec<Point> = Vec::read_from(r)?;
+    let d_bounds = hull
+        .into_iter()
+        .map(|v| Circle::new(v, v.dist(center)))
+        .collect();
+    Ok(ObjectState {
+        reference_ids,
+        sensitivity: UpdateSensitivity {
+            knn_dist,
+            prune_radius,
+            seed_dists,
+            d_bounds,
+        },
+    })
 }
 
 fn write_duration<W: Write + ?Sized>(d: Duration, w: &mut W) -> io::Result<()> {
@@ -346,8 +364,9 @@ fn read_index<R: Read + ?Sized>(
 // ---------------------------------------------------------------------------
 
 /// Bytes one framed section adds on top of its payload: tag (1) +
-/// length (8) + checksum (8).
-const SECTION_OVERHEAD: u64 = 17;
+/// length (8) + checksum (8). Shared with the sharded snapshot container
+/// ([`crate::shard`]), which frames whole per-shard snapshots as sections.
+pub(crate) const SECTION_OVERHEAD: u64 = 17;
 
 impl UvSystem {
     /// Serialises the whole system — object store, R-tree, UV-index,
@@ -402,7 +421,7 @@ impl UvSystem {
         ref_table.len().write_to(&mut ref_payload)?;
         for (id, state) in &ref_table {
             id.write_to(&mut ref_payload)?;
-            state.write_to(&mut ref_payload)?;
+            write_object_state(state, &mut ref_payload)?;
         }
         written += emit(w, tag::REF_TABLE, ref_payload)?;
 
@@ -502,10 +521,19 @@ impl UvSystem {
         let ref_payload = read_section(r, tag::REF_TABLE)?;
         let mut ref_r: &[u8] = &ref_payload;
         let entries = usize::read_from(&mut ref_r)?;
+        let centers: std::collections::HashMap<u32, Point> =
+            objects.iter().map(|o| (o.id, o.center())).collect();
         let mut ref_table = RefTable::with_capacity(entries.min(4_096));
         for _ in 0..entries {
             let id = u32::read_from(&mut ref_r)?;
-            let state = ObjectState::read_from(&mut ref_r)?;
+            // The subject centre anchors the d-bound radius recomputation,
+            // so an entry for an unknown object is unreadable corruption.
+            let Some(center) = centers.get(&id) else {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "reference table names unknown object {id}"
+                )));
+            };
+            let state = read_object_state(*center, &mut ref_r)?;
             if ref_table.insert(id, state).is_some() {
                 return Err(UvError::SnapshotCorrupt(format!(
                     "object {id} appears twice in the reference table"
@@ -583,7 +611,7 @@ mod tests {
         let config = UvConfig::default()
             .with_seed_knn(24)
             .with_leaf_split_capacity(16);
-        let sys = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config);
+        let sys = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
         (ds, sys)
     }
 
@@ -613,6 +641,15 @@ mod tests {
             assert_eq!(
                 a.object_state(o.id).map(|s| s.reference_ids().to_vec()),
                 b.object_state(o.id).map(|s| s.reference_ids().to_vec())
+            );
+            // The whole sensitivity — including the d-bound radii that the
+            // loader recomputes from the persisted hull vertices — must be
+            // bit-identical, or maintenance after a load would diverge.
+            assert_eq!(
+                a.object_state(o.id).map(|s| s.sensitivity()),
+                b.object_state(o.id).map(|s| s.sensitivity()),
+                "sensitivity of object {} diverged through the round-trip",
+                o.id
             );
         }
         a.reset_io();
@@ -760,6 +797,58 @@ mod tests {
             UvSystem::load_snapshot(&mut doubled.as_slice()),
             Err(UvError::SnapshotCorrupt(_))
         ));
+    }
+
+    #[test]
+    fn ref_table_section_persists_d_bounds_as_bare_vertices() {
+        // Format-2 size regression, checked against the *actual bytes*: the
+        // REF_TABLE section must be exactly as long as the hull-vertex
+        // encoding predicts — 16 bytes per d-bound vertex, not the 24 the
+        // PR-4 format spent (vertex + redundant radius). An accidental
+        // re-persist of the radius (or any new field) fails this.
+        let (_, sys) = fixture(100);
+        let bytes = snapshot_bytes(&sys);
+
+        // Walk the framing: magic(8) + version(4) + fingerprint(8), then
+        // sections of tag(1) + len(8) + payload + fnv64(8).
+        let mut at = 8 + 4 + 8;
+        let mut ref_payload_len = None;
+        while at < bytes.len() {
+            let tag = bytes[at];
+            let len = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().unwrap()) as usize;
+            if tag == tag::REF_TABLE {
+                ref_payload_len = Some(len);
+            }
+            at += 1 + 8 + len + 8;
+        }
+        let actual = ref_payload_len.expect("snapshot contains a REF_TABLE section");
+
+        let expected: usize = 8 // entry count
+            + sys
+                .objects()
+                .iter()
+                .map(|o| {
+                    let state = sys.object_state(o.id).expect("live object has state");
+                    let s = state.sensitivity();
+                    4 // id
+                        + 8 + 4 * state.reference_ids().len() // Vec<u32>
+                        + 8 // knn_dist
+                        + 8 // prune_radius
+                        + 8 + 8 * s.seed_dists().map_or(0, <[f64]>::len) // Vec<f64>
+                        + 8 + 16 * s.d_bounds().len() // Vec<Point>: vertices only
+                })
+                .sum::<usize>();
+        assert_eq!(
+            actual, expected,
+            "REF_TABLE section size diverged from the hull-vertex encoding"
+        );
+        // The fixture exercises the regression for real: d-bounds exist.
+        assert!(sys.objects().iter().any(|o| !sys
+            .object_state(o.id)
+            .unwrap()
+            .sensitivity()
+            .d_bounds()
+            .is_empty()));
     }
 
     #[test]

@@ -48,12 +48,16 @@ pub struct UvSystem {
 impl UvSystem {
     /// Builds the object store, the R-tree and the UV-index (with `method`)
     /// over `objects`.
+    ///
+    /// A configuration that fails [`UvConfig::validate`] is reported as
+    /// [`crate::UvError::InvalidConfig`] — construction never panics on bad
+    /// tuning.
     pub fn build(
         objects: Vec<UncertainObject>,
         domain: Rect,
         method: Method,
         config: UvConfig,
-    ) -> Self {
+    ) -> Result<Self, crate::UvError> {
         let object_pages = Arc::new(PageStore::new());
         let object_store = ObjectStore::build(Arc::clone(&object_pages), &objects);
         let rtree_pages = Arc::new(PageStore::new());
@@ -67,8 +71,8 @@ impl UvSystem {
             index_pages,
             method,
             config,
-        );
-        Self {
+        )?;
+        Ok(Self {
             objects,
             domain,
             object_store,
@@ -78,12 +82,15 @@ impl UvSystem {
             config,
             method,
             ref_table,
-        }
+        })
     }
 
     /// Builds with the paper's default configuration and the IC method.
+    /// Infallible: the default configuration always validates (asserted by
+    /// the `uv_core::config` test suite).
     pub fn with_defaults(objects: Vec<UncertainObject>, domain: Rect) -> Self {
         Self::build(objects, domain, Method::IC, UvConfig::default())
+            .expect("the default UvConfig always validates")
     }
 
     /// The indexed objects. Under dynamic maintenance the slice reflects the
@@ -271,6 +278,77 @@ mod tests {
             assert_eq!(step.answer.probabilities, a.probabilities);
         }
         assert!(sys.engine().workers() >= 1);
+    }
+
+    #[test]
+    fn every_invalid_config_is_a_typed_error_not_a_panic() {
+        // Regression for the `validate().expect(..)` panic that used to sit
+        // in `build_uv_index_full`: every rejection `UvConfig::validate` can
+        // produce must surface as `UvError::InvalidConfig` from the public
+        // construction entry points.
+        use crate::builder::build_uv_index;
+        use crate::UvError;
+        use uv_store::PageStore;
+
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(30));
+        let base = UvConfig::default();
+        let bad_configs = [
+            UvConfig {
+                num_seeds: 0,
+                ..base
+            },
+            UvConfig {
+                seed_knn: 0,
+                ..base
+            },
+            UvConfig {
+                split_threshold: 1.5,
+                ..base
+            },
+            UvConfig {
+                split_threshold: -0.1,
+                ..base
+            },
+            UvConfig {
+                max_nonleaf: 0,
+                ..base
+            },
+            UvConfig {
+                integration_steps: 1,
+                ..base
+            },
+            UvConfig {
+                curve_samples: 0,
+                ..base
+            },
+            UvConfig {
+                num_shards: 0,
+                ..base
+            },
+        ];
+        for config in bad_configs {
+            let expected = config.validate().unwrap_err();
+            assert!(matches!(expected, UvError::InvalidConfig(_)));
+            let err = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config)
+                .expect_err("invalid config must be rejected");
+            assert_eq!(err, expected, "UvSystem::build: {config:?}");
+
+            // The free-standing builder surfaces the same typed error.
+            let pages = Arc::new(PageStore::new());
+            let object_store = ObjectStore::build(Arc::clone(&pages), &ds.objects);
+            let rtree = RTree::build(&ds.objects, &object_store, pages);
+            let err = build_uv_index(
+                &ds.objects,
+                &object_store,
+                &rtree,
+                ds.domain,
+                Arc::new(PageStore::new()),
+                Method::ICR,
+                config,
+            )
+            .expect_err("invalid config must be rejected");
+            assert_eq!(err, expected, "build_uv_index: {config:?}");
+        }
     }
 
     #[test]

@@ -192,6 +192,13 @@ pub struct UpdateStats {
     pub full_rebuild: bool,
     /// Index epoch after the update.
     pub epoch: u64,
+    /// Ids whose derivation was repeated this batch (the affected set of
+    /// [`UpdateStats::objects_rederived`]). The sharded serving layer diffs
+    /// halo membership for exactly these objects (plus the batch's own ids)
+    /// instead of rescanning the whole object set — membership depends only
+    /// on an object's geometry and its sensitivity, and the sensitivity can
+    /// only change through a re-derivation.
+    pub(crate) rederived_ids: Vec<ObjectId>,
 }
 
 impl UpdateStats {
@@ -416,7 +423,7 @@ impl UvSystem {
             });
         if grown_domain.is_some() || self.index.budget_bound {
             let domain = grown_domain.map_or(self.domain, |g| self.domain.union(&g));
-            return Ok(self.finish_with_full_rebuild(stats, domain));
+            return self.finish_with_full_rebuild(stats, domain);
         }
 
         // ---- 5. Secondary structures -------------------------------------
@@ -519,6 +526,7 @@ impl UvSystem {
         // references.
         let mut dirty: Vec<ObjectId> = Vec::new();
         for p in derived {
+            stats.rederived_ids.push(p.id);
             let refs_changed = self
                 .ref_table
                 .get(&p.id)
@@ -613,7 +621,7 @@ impl UvSystem {
 
         // ---- 10. Budget fallback & epoch ---------------------------------
         if self.index.budget_bound {
-            return Ok(self.finish_with_full_rebuild(stats, self.domain));
+            return self.finish_with_full_rebuild(stats, self.domain);
         }
         self.index.epoch += 1;
         stats.epoch = self.index.epoch;
@@ -623,20 +631,27 @@ impl UvSystem {
 
     /// Rebuilds every structure from the (already updated) object vector,
     /// preserving epoch continuity. Used for the domain-growth and
-    /// budget-bound triggers.
-    fn finish_with_full_rebuild(&mut self, mut stats: UpdateStats, domain: Rect) -> UpdateStats {
+    /// budget-bound triggers. The configuration was validated when the
+    /// system was first built, so the rebuild cannot fail on it; the
+    /// `Result` merely threads the builder's typed-error signature through.
+    fn finish_with_full_rebuild(
+        &mut self,
+        mut stats: UpdateStats,
+        domain: Rect,
+    ) -> Result<UpdateStats, UvError> {
         let old_epoch = self.index.epoch();
         let objects = std::mem::take(&mut self.objects);
-        *self = UvSystem::build(objects, domain, self.method, self.config);
+        *self = UvSystem::build(objects, domain, self.method, self.config)?;
         self.index.epoch = old_epoch + 1;
         stats.full_rebuild = true;
         stats.objects_rederived = self.objects.len();
+        stats.rederived_ids = self.objects.iter().map(|o| o.id).collect();
         stats.objects_in_knn_radius = self.objects.len();
         stats.objects_repartitioned = self.objects.len();
         stats.leaves_refined = self.index.num_leaf_nodes();
         stats.total_leaves = self.index.num_leaf_nodes();
         stats.epoch = self.index.epoch;
-        stats
+        Ok(stats)
     }
 }
 
@@ -784,7 +799,7 @@ mod tests {
 
     fn system(n: usize, config: UvConfig) -> (Dataset, UvSystem) {
         let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
-        let sys = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config);
+        let sys = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
         (ds, sys)
     }
 
@@ -800,7 +815,8 @@ mod tests {
             sys.domain(),
             sys.method(),
             *sys.config(),
-        );
+        )
+        .unwrap();
         assert_eq!(
             canonical_leaves(sys),
             canonical_leaves(&rebuilt),

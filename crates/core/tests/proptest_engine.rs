@@ -32,7 +32,8 @@ fn build_case(
         dataset.domain,
         method,
         UvConfig::default(),
-    );
+    )
+    .unwrap();
     (dataset, system)
 }
 

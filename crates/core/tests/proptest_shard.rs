@@ -1,0 +1,201 @@
+//! Property-based tests of the domain-sharded serving layer: across
+//! {IC, ICR} × {Uniform, GaussianSkew}, a [`ShardedUvSystem`] must answer
+//! every PNN query — point, batch and trajectory — *bit-identically*
+//! (probabilities and candidate counts) to one unsharded [`UvSystem`] over
+//! the same objects, before and after random ≥50-op update batches; and the
+//! per-query I/O breakdowns returned by the shard fan-out must attribute
+//! every physical page read exactly (per-query I/O *values* legitimately
+//! differ from the unsharded system, whose leaves have a different physical
+//! page layout — what must hold is that summing the breakdowns reproduces
+//! the shard stores' atomic counters).
+
+use proptest::prelude::*;
+use uv_core::{Method, ShardedUvSystem, UpdateBatch, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig, QueryBreakdown, UncertainObject};
+use uv_geom::Point;
+
+/// The dynamic-serving tuning of the update proptests (local sensitivity
+/// bounds, enough leaves for splits/merges), sharded 2×2.
+fn test_config() -> UvConfig {
+    UvConfig::default()
+        .with_seed_knn(24)
+        .with_leaf_split_capacity(16)
+        .with_num_shards(2)
+}
+
+fn build_case(
+    n: usize,
+    method_pick: u8,
+    kind_pick: u8,
+    sigma: f64,
+    seed: u64,
+) -> (Dataset, ShardedUvSystem, UvSystem) {
+    let method = if method_pick == 0 {
+        Method::IC
+    } else {
+        Method::ICR
+    };
+    let generator = if kind_pick == 0 {
+        GeneratorConfig::paper_uniform(n)
+    } else {
+        GeneratorConfig::paper_skewed(n, sigma)
+    }
+    .with_seed(seed);
+    let dataset = Dataset::generate(generator);
+    let sharded = ShardedUvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        method,
+        test_config(),
+    )
+    .unwrap();
+    let unsharded = UvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        method,
+        test_config(),
+    )
+    .unwrap();
+    (dataset, sharded, unsharded)
+}
+
+/// One raw op drawn by proptest: discriminant, target pick and a position.
+type RawOp = (u8, u16, f64, f64);
+
+/// Applies `raw_ops` to both systems in identical batches (the same
+/// batch-translation scheme as `proptest_update.rs`). Returns applied ops.
+fn churn(
+    sharded: &mut ShardedUvSystem,
+    unsharded: &mut UvSystem,
+    raw_ops: &[RawOp],
+    batch_size: usize,
+    mut next_id: u32,
+) -> usize {
+    let mut applied = 0usize;
+    for chunk in raw_ops.chunks(batch_size.max(1)) {
+        let mut live: Vec<u32> = unsharded.objects().iter().map(|o| o.id).collect();
+        let mut batch = UpdateBatch::new();
+        for (op_pick, id_pick, x, y) in chunk {
+            let target = live.get(*id_pick as usize % live.len().max(1)).copied();
+            match op_pick % 3 {
+                0 => {
+                    batch = batch.insert(UncertainObject::with_gaussian(
+                        next_id,
+                        Point::new(*x, *y),
+                        20.0,
+                    ));
+                    next_id += 1;
+                    applied += 1;
+                }
+                1 if live.len() > 10 => {
+                    let target = target.expect("live set is non-empty");
+                    batch = batch.delete(target);
+                    live.retain(|id| *id != target);
+                    applied += 1;
+                }
+                _ => {
+                    let Some(target) = target else { continue };
+                    batch = batch.move_to(target, Point::new(*x, *y));
+                    applied += 1;
+                }
+            }
+        }
+        sharded
+            .apply(batch.clone())
+            .expect("collision-free batch must validate on the sharded path");
+        unsharded
+            .apply(batch)
+            .expect("collision-free batch must validate on the unsharded path");
+    }
+    applied
+}
+
+fn assert_bit_identical(sharded: &ShardedUvSystem, unsharded: &UvSystem, queries: &[Point]) {
+    let batch = sharded.pnn_batch(queries);
+    for (q, batched) in queries.iter().zip(&batch) {
+        let point = sharded.pnn(*q);
+        let oracle = unsharded.pnn(*q);
+        prop_assert_eq!(&point.probabilities, &oracle.probabilities, "at {:?}", q);
+        prop_assert_eq!(point.candidates_examined, oracle.candidates_examined);
+        prop_assert_eq!(&batched.probabilities, &oracle.probabilities);
+        prop_assert_eq!(batched.candidates_examined, oracle.candidates_examined);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The tentpole oracle, static half: routed answers equal the unsharded
+    /// system on fresh builds, including trajectory steps (whose deltas
+    /// chain across shard-boundary re-routes) and exact I/O attribution
+    /// across the shard fan-out.
+    #[test]
+    fn sharded_answers_equal_unsharded_answers(
+        case in (60..120usize, 0..2u8, 0..2u8, 900.0..2_500.0f64, 0..10_000u64)
+    ) {
+        let (n, method_pick, kind_pick, sigma, seed) = case;
+        let (dataset, sharded, unsharded) = build_case(n, method_pick, kind_pick, sigma, seed);
+        let queries = dataset.query_points(24, seed ^ 0x5a4d);
+        assert_bit_identical(&sharded, &unsharded, &queries);
+
+        // Trajectory: same steps, same deltas, across shard crossings.
+        let steps_sharded = sharded.pnn_trajectory(&queries);
+        let steps_unsharded = unsharded.pnn_trajectory(&queries);
+        prop_assert_eq!(steps_sharded.len(), steps_unsharded.len());
+        for (a, b) in steps_sharded.iter().zip(&steps_unsharded) {
+            prop_assert_eq!(&a.answer.probabilities, &b.answer.probabilities);
+            prop_assert_eq!(&a.delta, &b.delta);
+        }
+
+        // I/O attribution: the breakdown sum equals the shard stores' atomic
+        // counters exactly.
+        sharded.reset_io();
+        let answers = sharded.pnn_batch(&queries);
+        let total = QueryBreakdown::sum(answers.iter().map(|a| &a.breakdown));
+        let index_reads: u64 = (0..sharded.shard_count())
+            .map(|s| sharded.shard(s).index().store().io().reads)
+            .sum();
+        let object_reads: u64 = (0..sharded.shard_count())
+            .map(|s| sharded.shard(s).object_store().store().io().reads)
+            .sum();
+        prop_assert_eq!(total.index_io, index_reads);
+        prop_assert_eq!(total.object_io, object_reads);
+    }
+
+    /// The tentpole oracle, dynamic half: after ≥50 random mixed update
+    /// operations applied in identical batches to both systems, routed
+    /// answers still equal the unsharded system bit-exactly, and every live
+    /// object is still replicated into at least one shard.
+    #[test]
+    fn sharded_answers_survive_random_update_batches(
+        case in (60..110usize, 0..2u8, 0..2u8, 900.0..2_500.0f64, 0..10_000u64),
+        raw_ops in prop::collection::vec(
+            (0..3u8, 0..u16::MAX, 50.0..9_950.0f64, 50.0..9_950.0f64),
+            50..65,
+        ),
+        batch_size in 2..10usize,
+    ) {
+        let (n, method_pick, kind_pick, sigma, seed) = case;
+        let (dataset, mut sharded, mut unsharded) =
+            build_case(n, method_pick, kind_pick, sigma, seed);
+        let applied = churn(&mut sharded, &mut unsharded, &raw_ops, batch_size, 100_000);
+        prop_assert!(applied >= 50, "sequence must mix at least 50 ops");
+        prop_assert_eq!(sharded.objects().len(), unsharded.objects().len());
+
+        // Every live object has at least one replica, and every replica is
+        // live.
+        let live: std::collections::HashSet<u32> =
+            unsharded.objects().iter().map(|o| o.id).collect();
+        let mut covered = std::collections::HashSet::new();
+        for s in 0..sharded.shard_count() {
+            for o in sharded.shard(s).objects() {
+                prop_assert!(live.contains(&o.id), "stale replica {}", o.id);
+                covered.insert(o.id);
+            }
+        }
+        prop_assert_eq!(covered.len(), live.len(), "some live object lost all replicas");
+
+        let queries = dataset.query_points(24, seed ^ 0xd1ce);
+        assert_bit_identical(&sharded, &unsharded, &queries);
+    }
+}

@@ -39,6 +39,7 @@ fn build_case(n: usize, method_pick: u8, kind_pick: u8, sigma: f64, seed: u64) -
         method,
         test_config(),
     )
+    .unwrap()
 }
 
 /// Canonical view of the grid (the shared `UvIndex::canonical_leaves`
@@ -179,7 +180,10 @@ proptest! {
         bad[8..12].copy_from_slice(&99u32.to_le_bytes());
         prop_assert_eq!(
             UvSystem::load_snapshot(&mut bad.as_slice()).unwrap_err(),
-            UvError::SnapshotVersionMismatch { found: 99, supported: 1 }
+            UvError::SnapshotVersionMismatch {
+                found: 99,
+                supported: uv_core::snapshot::FORMAT_VERSION,
+            }
         );
         // The config fingerprint maps to ConfigMismatch.
         let mut bad = bytes.clone();

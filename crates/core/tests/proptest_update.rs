@@ -40,6 +40,7 @@ fn build_case(n: usize, method_pick: u8, kind_pick: u8, sigma: f64, seed: u64) -
         method,
         test_config(),
     )
+    .unwrap()
 }
 
 /// Canonical view of the grid (the shared `UvIndex::canonical_leaves`
@@ -127,7 +128,7 @@ proptest! {
             sys.domain(),
             sys.method(),
             *sys.config(),
-        );
+        ).unwrap();
         prop_assert_eq!(canonical_leaves(&sys), canonical_leaves(&rebuilt));
 
         let queries = Dataset::generate(GeneratorConfig::paper_uniform(10))

@@ -77,12 +77,15 @@ impl PnnAnswer {
         ids
     }
 
-    /// The most probable nearest neighbour, if any.
+    /// The most probable nearest neighbour, if any. Ordered with
+    /// `total_cmp` so a NaN probability (degenerate pdf) cannot panic the
+    /// comparator; query processing filters non-positive (and thus NaN)
+    /// probabilities before they reach an answer.
     pub fn best(&self) -> Option<(ObjectId, f64)> {
         self.probabilities
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -14,11 +14,7 @@ use crate::{Point, EPS};
 /// returned as-is (a segment or single point).
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap()
-            .then(a.y.partial_cmp(&b.y).unwrap())
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| (a.x - b.x).abs() <= EPS && (a.y - b.y).abs() <= EPS);
 
     if pts.len() < 3 {

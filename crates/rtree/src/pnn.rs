@@ -29,7 +29,7 @@ struct NodeByDist {
 }
 impl PartialEq for NodeByDist {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.dist.total_cmp(&other.dist).is_eq()
     }
 }
 impl Eq for NodeByDist {}
@@ -39,11 +39,16 @@ impl PartialOrd for NodeByDist {
     }
 }
 impl Ord for NodeByDist {
+    // `total_cmp` (reversed: BinaryHeap is a max-heap, the smallest distance
+    // must surface first) keeps the order *total* even when a degenerate
+    // geometry produces a NaN distance: NaN sorts after every finite value
+    // and infinity, so it can never shadow a real node at the top of the
+    // heap and silently end pass 1 with a wrong `d_minmax`. The previous
+    // `partial_cmp(..).unwrap_or(Equal)` made NaN compare equal to
+    // *everything*, which violates Ord's transitivity and corrupts the heap
+    // order of unrelated finite entries.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -263,6 +268,90 @@ mod tests {
         let tree = RTree::build(&ds.objects, &objects, pages);
         let answer = pnn_query(&tree, &objects, Point::new(9000.0, 200.0), 50);
         assert_eq!(answer.probabilities, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn coincident_objects_keep_the_heap_order_total() {
+        // Eight co-located objects produce exact distance ties on every heap
+        // comparison; the totally-ordered comparator must keep both passes
+        // deterministic and the candidate set complete.
+        let pages = Arc::new(PageStore::new());
+        let mut objs: Vec<uv_data::UncertainObject> = (0..8)
+            .map(|i| uv_data::UncertainObject::with_uniform(i, Point::new(500.0, 500.0), 10.0))
+            .collect();
+        objs.push(uv_data::UncertainObject::with_uniform(
+            8,
+            Point::new(900.0, 500.0),
+            10.0,
+        ));
+        let objects = ObjectStore::build(Arc::clone(&pages), &objs);
+        let tree = RTree::build(&objs, &objects, pages);
+        let q = Point::new(500.0, 480.0);
+        let answer = pnn_query(&tree, &objects, q, 60);
+        assert_eq!(
+            answer.candidates_examined, 8,
+            "all co-located are candidates"
+        );
+        assert_eq!(answer.answer_ids(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn nan_distances_order_deterministically_in_the_heap() {
+        // Regression for `partial_cmp(..).unwrap_or(Equal)`: a NaN distance
+        // compared *equal to everything*, which violates Ord's transitivity —
+        // `BinaryHeap` then gives no ordering guarantee at all, so pass 1
+        // could pop nodes out of distance order and terminate with a wrong
+        // `d_minmax`. Under `total_cmp` the order is total: NaN sorts after
+        // +∞ and the finite pop order is exact.
+        let mut heap = BinaryHeap::new();
+        for dist in [f64::NAN, 1.0, f64::INFINITY, 0.5, f64::NAN, 2.0] {
+            heap.push(NodeByDist {
+                dist,
+                node: NodeRef::Leaf(0),
+            });
+        }
+        let popped: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|n| n.dist)).collect();
+        assert_eq!(&popped[..4], &[0.5, 1.0, 2.0, f64::INFINITY]);
+        assert!(popped[4].is_nan() && popped[5].is_nan());
+    }
+
+    #[test]
+    fn degenerate_nan_object_no_longer_panics_build_or_queries() {
+        // An object with a NaN coordinate used to panic the bulk-load
+        // coordinate sorts (`partial_cmp().unwrap()`); it must now flow
+        // through construction and both query passes without disturbing
+        // the heap order of the finite objects.
+        let pages = Arc::new(PageStore::new());
+        let mut objs: Vec<uv_data::UncertainObject> = (0..6)
+            .map(|i| {
+                uv_data::UncertainObject::with_uniform(
+                    i,
+                    Point::new(100.0 + 150.0 * i as f64, 400.0),
+                    10.0,
+                )
+            })
+            .collect();
+        objs.push(uv_data::UncertainObject::with_uniform(
+            6,
+            Point::new(f64::NAN, f64::NAN),
+            10.0,
+        ));
+        let objects = ObjectStore::build(Arc::clone(&pages), &objs);
+        let tree = RTree::build(&objs, &objects, pages); // used to panic here
+        let q = Point::new(110.0, 400.0);
+
+        // Both passes terminate; any probability that survives the positive
+        // filter is finite.
+        let answer = pnn_query(&tree, &objects, q, 60);
+        assert!(answer
+            .probabilities
+            .iter()
+            .all(|(_, p)| p.is_finite() && *p > 0.0));
+
+        // knn with the degenerate object excluded orders the finite objects
+        // exactly as brute force would.
+        let got: Vec<u32> = tree.knn(q, 3, Some(6)).into_iter().map(|e| e.id).collect();
+        assert_eq!(&got[..], &[0, 1, 2][..]);
     }
 
     #[test]

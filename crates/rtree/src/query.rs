@@ -24,7 +24,7 @@ enum HeapPayload {
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.dist.total_cmp(&other.dist).is_eq()
     }
 }
 impl Eq for HeapItem {}
@@ -35,12 +35,13 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need the smallest distance on
-        // top.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+        // Reverse via `total_cmp`: BinaryHeap is a max-heap, we need the
+        // smallest distance on top — and the order must stay total when a
+        // degenerate geometry yields a NaN distance (NaN sorts last, so it
+        // can never displace a finite candidate; `partial_cmp(..)
+        // .unwrap_or(Equal)` made NaN equal to everything, breaking
+        // transitivity and with it the heap invariant).
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -150,11 +151,7 @@ impl RTree {
                 }
             }
         }
-        collected.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.id.cmp(&b.1.id))
-        });
+        collected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
         collected.truncate(k);
         collected.into_iter().map(|(_, e)| e).collect()
     }
@@ -267,7 +264,7 @@ mod tests {
             assert_eq!(got.len(), k);
             let mut all: Vec<(f64, u32)> =
                 ds.objects.iter().map(|o| (o.dist_min(q), o.id)).collect();
-            all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            all.sort_by(|a, b| a.0.total_cmp(&b.0));
             let kth_dist = all[k - 1].0;
             // Every returned object must be within the k-th smallest distance
             // (ties make exact id comparison fragile).

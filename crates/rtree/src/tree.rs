@@ -104,10 +104,10 @@ impl RTree {
         let slices = (num_leaves as f64).sqrt().ceil() as usize;
         let slice_size = entries.len().div_ceil(slices);
 
-        entries.sort_by(|a, b| a.mbc.center.x.partial_cmp(&b.mbc.center.x).unwrap());
+        entries.sort_by(|a, b| a.mbc.center.x.total_cmp(&b.mbc.center.x));
         let mut leaf_refs: Vec<NodeRef> = Vec::with_capacity(num_leaves);
         for slice in entries.chunks_mut(slice_size.max(1)) {
-            slice.sort_by(|a, b| a.mbc.center.y.partial_cmp(&b.mbc.center.y).unwrap());
+            slice.sort_by(|a, b| a.mbc.center.y.total_cmp(&b.mbc.center.y));
             for group in slice.chunks(leaf_cap) {
                 let mut mbr = Rect::empty();
                 let mut list = PagedList::new(Arc::clone(&store));

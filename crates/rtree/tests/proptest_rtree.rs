@@ -73,7 +73,7 @@ proptest! {
         let got = tree.knn(q, k, None);
         prop_assert_eq!(got.len(), k.min(objects.len()));
         let mut dists: Vec<f64> = objects.iter().map(|o| o.dist_min(q)).collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(|a, b| a.total_cmp(b));
         let kth = dists[got.len() - 1];
         for e in &got {
             prop_assert!(e.dist_min(q) <= kth + 1e-9);

@@ -41,7 +41,7 @@ fn main() {
     let answer = system.pnn(q);
     println!("\nPNN query at ({:.0}, {:.0}):", q.x, q.y);
     let mut ranked = answer.probabilities.clone();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (id, p) in &ranked {
         println!("  object {id:>5}  probability {:.3}", p);
     }

@@ -42,7 +42,7 @@ fn main() {
         .step_by(5)
         .map(|id| (id, system.cell_area(id)))
         .collect();
-    reach.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    reach.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ndevices with the largest nearest-neighbour reach (UV-cell area):");
     for (id, area) in reach.iter().take(5) {
         let extent = system
@@ -65,7 +65,7 @@ fn main() {
     // devices where an infection can hop quickly.
     let partitions = system.partition_query(&dataset.domain);
     let mut by_density = partitions.clone();
-    by_density.sort_by(|a, b| b.density.partial_cmp(&a.density).unwrap());
+    by_density.sort_by(|a, b| b.density.total_cmp(&a.density));
     println!("\nhighest-risk areas (most candidate nearest neighbours per unit area):");
     for cell in by_density.iter().take(5) {
         println!(
@@ -81,7 +81,7 @@ fn main() {
     let quiet = by_density
         .iter()
         .filter(|c| c.object_count() > 0)
-        .min_by(|a, b| a.density.partial_cmp(&b.density).unwrap())
+        .min_by(|a, b| a.density.total_cmp(&b.density))
         .expect("non-empty index");
     println!(
         "least meshed populated area has density {:.6} ({} devices)",

@@ -44,8 +44,8 @@ pub use uv_store as store;
 pub mod prelude {
     pub use uv_core::{
         build_uv_index, ConstructionStats, Method, PartitionCell, PossibleRegion, QueryEngine,
-        TrajectoryStep, UpdateBatch, UpdateOp, UpdateStats, Updater, UvCell, UvConfig, UvError,
-        UvIndex, UvSystem,
+        ShardedUpdateStats, ShardedUvSystem, TrajectoryStep, UpdateBatch, UpdateOp, UpdateStats,
+        Updater, UvCell, UvConfig, UvError, UvIndex, UvSystem,
     };
     pub use uv_data::{
         AnswerDelta, Dataset, DatasetKind, GeneratorConfig, ObjectId, ObjectStore, Pdf, PnnAnswer,

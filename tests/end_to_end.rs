@@ -85,7 +85,7 @@ fn all_construction_methods_agree() {
     };
     let systems: Vec<UvSystem> = [Method::Basic, Method::ICR, Method::IC]
         .into_iter()
-        .map(|m| UvSystem::build(dataset.objects.clone(), dataset.domain, m, config))
+        .map(|m| UvSystem::build(dataset.objects.clone(), dataset.domain, m, config).unwrap())
         .collect();
     for q in dataset.query_points(10, 9) {
         let answers: Vec<Vec<ObjectId>> = systems.iter().map(|s| s.pnn(q).answer_ids()).collect();
@@ -234,4 +234,59 @@ fn snapshot_roundtrip_through_the_umbrella_crate() {
         UvSystem::load_snapshot(&mut bytes.as_slice()),
         Err(UvError::SnapshotCorrupt(_) | UvError::ConfigMismatch)
     ));
+}
+
+#[test]
+fn sharded_serving_through_the_umbrella_crate() {
+    // The prelude exposes the domain-sharded layer, and the whole pipeline
+    // holds through it: build → route → update → snapshot, with every
+    // routed answer bit-identical to the unsharded system.
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(150));
+    let config = UvConfig::default()
+        .with_seed_knn(24)
+        .with_leaf_split_capacity(16)
+        .with_num_shards(2);
+    let mut sharded =
+        ShardedUvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config)
+            .expect("valid configuration");
+    let mut unsharded =
+        UvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config)
+            .expect("valid configuration");
+    assert_eq!(sharded.shard_count(), 4);
+    assert!(sharded.replication_factor() >= 1.0);
+
+    let queries = dataset.query_points(20, 31);
+    for (q, routed) in queries.iter().zip(sharded.pnn_batch(&queries)) {
+        let expected = unsharded.pnn(*q);
+        assert_eq!(routed.probabilities, expected.probabilities);
+        assert_eq!(routed.candidates_examined, expected.candidates_examined);
+    }
+
+    let batch = UpdateBatch::new()
+        .insert(UncertainObject::with_gaussian(
+            7_000,
+            Point::new(2_000.0, 8_000.0),
+            20.0,
+        ))
+        .move_to(3, Point::new(5_010.0, 4_990.0))
+        .delete(9);
+    let stats: ShardedUpdateStats = sharded.apply(batch.clone()).expect("sharded batch applies");
+    unsharded.apply(batch).expect("unsharded batch applies");
+    assert!(stats.shards_touched >= 1);
+    for q in &queries {
+        assert_eq!(
+            sharded.pnn(*q).probabilities,
+            unsharded.pnn(*q).probabilities
+        );
+    }
+
+    let mut bytes = Vec::new();
+    sharded.save_snapshot(&mut bytes).expect("save succeeds");
+    let restored = ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).expect("load succeeds");
+    for q in &queries {
+        assert_eq!(
+            restored.pnn(*q).probabilities,
+            sharded.pnn(*q).probabilities
+        );
+    }
 }

@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "fleet_tracking",
     "privacy_cloaking",
     "satellite_tracking",
+    "sharded_serving",
     "virus_pattern_analysis",
 ];
 

@@ -52,7 +52,7 @@ proptest! {
     ) {
         let domain = Rect::square(1_000.0);
         let config = UvConfig { parallel: false, ..UvConfig::default() };
-        let system = UvSystem::build(objects.clone(), domain, Method::IC, config);
+        let system = UvSystem::build(objects.clone(), domain, Method::IC, config).unwrap();
         let q = Point::new(qx, qy);
         let answer = system.pnn(q);
         let expected = brute_force_answer(&objects, q);
@@ -82,7 +82,7 @@ proptest! {
     ) {
         let domain = Rect::square(1_000.0);
         let config = UvConfig { parallel: false, ..UvConfig::default() };
-        let system = UvSystem::build(objects, domain, Method::IC, config);
+        let system = UvSystem::build(objects, domain, Method::IC, config).unwrap();
         let answer = system.pnn(Point::new(qx, qy));
         prop_assert!(!answer.probabilities.is_empty());
         let mut total = 0.0;
@@ -100,7 +100,7 @@ proptest! {
         let domain = Rect::square(1_000.0);
         let config = UvConfig { parallel: false, ..UvConfig::default() };
         let n = objects.len();
-        let system = UvSystem::build(objects, domain, Method::IC, config);
+        let system = UvSystem::build(objects, domain, Method::IC, config).unwrap();
         for id in 0..n as u32 {
             prop_assert!(system.cell_area(id) > 0.0, "object {id} has an empty cell");
         }
@@ -119,7 +119,7 @@ proptest! {
     ) {
         let domain = Rect::square(1_000.0);
         let config = UvConfig { parallel: false, ..UvConfig::default() };
-        let system = UvSystem::build(objects, domain, Method::IC, config);
+        let system = UvSystem::build(objects, domain, Method::IC, config).unwrap();
         let q = Point::new(qx, qy);
         prop_assert_eq!(system.pnn(q).answer_ids(), system.pnn_rtree(q).answer_ids());
     }
