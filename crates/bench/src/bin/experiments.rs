@@ -5,6 +5,7 @@
 //! cargo run --release -p uv-bench --bin experiments -- fig6a fig6b
 //! cargo run --release -p uv-bench --bin experiments -- --scale 0.1 --queries 50 fig7a
 //! cargo run --release -p uv-bench --bin experiments -- --json churn snapshot
+//! cargo run --release -p uv-bench --bin experiments -- --grow churn
 //! ```
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
@@ -15,7 +16,10 @@
 //! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
 //! queries per measurement (default 50, as in the paper); `--json` replaces
 //! the tables with one stable-schema JSON document (see `uv_bench::json`)
-//! suitable for committing as `BENCH_*.json` and diffing across PRs.
+//! suitable for committing as `BENCH_*.json` and diffing across PRs;
+//! `--grow` makes every churn step insert past the current boundary, so the
+//! churn table doubles as a domain-growth latency profile (no step may cost
+//! a rebuild-style cliff).
 
 use std::collections::BTreeSet;
 use uv_bench::json::JsonExperiment;
@@ -72,6 +76,7 @@ fn main() {
     let mut scale = ExperimentScale::default();
     let mut requested: BTreeSet<String> = BTreeSet::new();
     let mut as_json = false;
+    let mut grow_churn = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,11 +95,14 @@ fn main() {
             "--json" => {
                 as_json = true;
             }
+            "--grow" => {
+                grow_churn = true;
+            }
             "--help" | "-h" => {
                 println!("Regenerates the evaluation of the UV-diagram paper (Section VI).");
                 println!();
                 println!(
-                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] <ids|all>"
+                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] [--grow] <ids|all>"
                 );
                 println!();
                 println!(
@@ -105,6 +113,10 @@ fn main() {
                     "  --basic-cap N  largest dataset the Basic method is run on (it is O(n^3))"
                 );
                 println!("  --json         emit one stable-schema JSON document instead of tables");
+                println!("  --grow         every churn step also inserts past the current domain,");
+                println!(
+                    "                 profiling in-place domain growth (no rebuild-latency cliff)"
+                );
                 println!();
                 println!("ids: {}", ALL.join(" "));
                 println!("With no ids, every experiment runs (same as `all`).");
@@ -119,7 +131,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] <ids|all>"
+                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] [--grow] <ids|all>"
                 );
                 eprintln!("ids: {}", ALL.join(" "));
                 std::process::exit(2);
@@ -342,11 +354,37 @@ fn main() {
     // rely on the exit code.
     let mut verification_failed = false;
     if wants("churn") {
-        let (rows, summary) = churn::churn_experiment(&scale, 5);
+        let (rows, summary) = churn::churn_experiment(&scale, 5, grow_churn);
         verification_failed |= !summary.verified;
+        if grow_churn {
+            // Every --grow step triggers an in-place domain growth; a step
+            // costing a rebuild-style cliff (max far beyond the median)
+            // would mean the old full-rebuild fallback is back in disguise.
+            let mut times: Vec<f64> = rows.iter().map(|r| r.apply_ms).collect();
+            times.sort_by(f64::total_cmp);
+            let median = times[times.len() / 2];
+            let max = times[times.len() - 1];
+            let cliff = max > median * 3.0 + 5.0;
+            verification_failed |= cliff;
+            if !as_json {
+                println!(
+                    "domain growth latency: {} growth steps, max {max:.1} ms vs median {median:.1} ms — {}",
+                    summary.growth_events,
+                    if cliff {
+                        "REBUILD-STYLE CLIFF"
+                    } else {
+                        "no rebuild-latency cliff"
+                    }
+                );
+            }
+        }
         out.table(
             "churn",
-            "Dynamic maintenance: 1% churn steps (incremental repair locality)",
+            if grow_churn {
+                "Dynamic maintenance: churn steps with in-place domain growth"
+            } else {
+                "Dynamic maintenance: 1% churn steps (incremental repair locality)"
+            },
             &[
                 "step",
                 "ops (i/d/m)",
@@ -369,6 +407,7 @@ fn main() {
                 "avg refined %",
                 "incremental total (ms)",
                 "one full rebuild (ms)",
+                "growths",
                 "verified",
             ],
             churn::churn_summary_row(&summary),

@@ -146,7 +146,9 @@ pub(crate) fn build_uv_index_full(
     root_members.sort_unstable();
     root_members.retain(|id| ctx.overlaps(*id, &domain));
     let mut grow = GrowStats::default();
-    grow_node(&mut index, 0, root_members, &ctx, &mut grow);
+    let mut budget = NodeBudget::bounded(config.max_nonleaf);
+    grow_node(&mut index, 0, root_members, &ctx, &mut grow, &mut budget);
+    index.budget_bound = budget.denied;
     let indexing_time = t_phase_b.elapsed();
 
     // ---- Statistics -----------------------------------------------------------
@@ -331,7 +333,8 @@ pub(crate) struct GrowStats {
 /// quadrant member count over the node's member count) stays below
 /// `T_theta`. The memory cap `M` is *not* checked here; callers decide what a
 /// denied split means (the builder degrades to an overflowing leaf, the
-/// updater falls back to a full rebuild).
+/// updater repairs unbounded and replays the budget afterwards through
+/// [`reconcile_budget`]).
 /// A node whose region side has shrunk below this fraction of the domain
 /// side never splits, bounding the grid depth at ~20 regardless of the
 /// non-leaf budget. Like every split-rule input this is a pure function of
@@ -368,25 +371,61 @@ pub(crate) fn split_members(
     (theta < index.config().split_threshold).then_some(parts)
 }
 
+/// Explicit non-leaf budget of one grow pass. The cold build's budget check
+/// of Algorithm 4 is a *preorder* counter: at every wanted split it compares
+/// the number of internal nodes allocated so far against the cap `M` and,
+/// when denied, degrades the node to an overflowing leaf. Carrying the
+/// counter explicitly (instead of reading [`UvIndex::nonleaf_count`], which
+/// during repair is a property of the whole tree rather than of one preorder
+/// replay) is what lets [`reconcile_budget`] reproduce a budget-bound cold
+/// build over an already-repaired tree.
+#[derive(Debug)]
+pub(crate) struct NodeBudget {
+    /// The cap `M` on internal nodes (`usize::MAX` = unbounded).
+    pub(crate) cap: usize,
+    /// Internal nodes allocated so far in this preorder replay.
+    pub(crate) used: usize,
+    /// `true` once a wanted split has been denied.
+    pub(crate) denied: bool,
+}
+
+impl NodeBudget {
+    /// A bounded budget starting from zero allocations — the cold build.
+    pub(crate) fn bounded(cap: usize) -> Self {
+        Self {
+            cap,
+            used: 0,
+            denied: false,
+        }
+    }
+
+    /// An unbounded budget: every wanted split is granted. Localized repair
+    /// grows subtrees under this budget (keeping member sets exact
+    /// everywhere) and leaves the cap to [`reconcile_budget`].
+    pub(crate) fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+}
+
 /// Builds the subtree rooted at slot `node` (whose region is already set)
-/// from its canonical member set: split while Algorithm 4 says so and the
-/// memory budget permits, otherwise write a leaf page list.
+/// from its canonical member set: split while Algorithm 4 says so and
+/// `budget` permits, otherwise write a leaf page list.
 pub(crate) fn grow_node(
     index: &mut UvIndex,
     node: usize,
     members: Vec<ObjectId>,
     ctx: &GridCtx<'_>,
     stats: &mut GrowStats,
+    budget: &mut NodeBudget,
 ) {
     let region = index.node_regions[node];
     if let Some(parts) = split_members(index, ctx, &region, &members) {
-        if index.nonleaf_count + 1 > index.config().max_nonleaf {
+        if budget.used + 1 > budget.cap {
             // OVERFLOW of Algorithm 4: the memory budget for non-leaf nodes
-            // is exhausted; the leaf keeps an overlong page list. Budget
-            // allocation is order-dependent, so incremental repair is no
-            // longer exact from here on — record that.
-            index.budget_bound = true;
+            // is exhausted; the leaf keeps an overlong page list.
+            budget.denied = true;
         } else {
+            budget.used += 1;
             index.nonleaf_count += 1;
             stats.splits += 1;
             let quadrants = region.quadrants();
@@ -399,12 +438,104 @@ pub(crate) fn grow_node(
                 object_ids: members,
             };
             for (k, part) in parts.into_iter().enumerate() {
-                grow_node(index, children[k] as usize, part, ctx, stats);
+                grow_node(index, children[k] as usize, part, ctx, stats, budget);
             }
             return;
         }
     }
     make_leaf(index, node, members, ctx, stats);
+}
+
+/// Replays the cold build's preorder budget allocation over an
+/// already-repaired (budget-unbounded) tree, in place: walks the tree in the
+/// exact order `grow_node` allocates (node, then children SW → NW), keeping
+/// its own preorder counter, and
+///
+/// * **collapses** an internal node the cold build could not have afforded
+///   (`used + 1 > M`) back into the overflowing leaf the cold build would
+///   have kept, and
+/// * **expands** a splittable leaf the cold build *could* afford — a leaf a
+///   past denial left behind when deletions have since freed budget — by
+///   replaying `grow_node` from the current counter.
+///
+/// Every split decision is a pure function of the node's (canonical) member
+/// set and the counter, so the walk terminates with exactly the structure a
+/// bounded cold build produces; [`UvIndex::budget_bound`] is rewritten to
+/// whether any denial occurred. Returns the number of collapses performed.
+pub(crate) fn reconcile_budget(
+    index: &mut UvIndex,
+    ctx: &GridCtx<'_>,
+    stats: &mut GrowStats,
+) -> usize {
+    enum Verdict {
+        Descend([u32; 4]),
+        Collapse(Vec<ObjectId>),
+        Expand(Vec<ObjectId>),
+        Deny,
+        Keep,
+    }
+    let cap = index.config().max_nonleaf;
+    let mut used = 0usize;
+    let mut denied = false;
+    let mut merges = 0usize;
+    let mut stack: Vec<usize> = vec![0];
+    while let Some(node) = stack.pop() {
+        let verdict = match &index.nodes[node] {
+            GridNode::Internal {
+                children,
+                object_ids,
+            } => {
+                if used + 1 > cap {
+                    Verdict::Collapse(object_ids.clone())
+                } else {
+                    Verdict::Descend(*children)
+                }
+            }
+            GridNode::Leaf { object_ids, .. } => {
+                let region = index.node_regions[node];
+                if split_members(index, ctx, &region, object_ids).is_none() {
+                    Verdict::Keep
+                } else if used + 1 > cap {
+                    // The cold build denies this split too: the overflowing
+                    // leaf stays exactly as it is.
+                    Verdict::Deny
+                } else {
+                    Verdict::Expand(object_ids.clone())
+                }
+            }
+            GridNode::Free => unreachable!("free nodes are unreachable from the root"),
+        };
+        match verdict {
+            Verdict::Descend(children) => {
+                used += 1;
+                // Reversed so SW pops first — the cold build's child order.
+                for k in (0..4).rev() {
+                    stack.push(children[k] as usize);
+                }
+            }
+            Verdict::Collapse(members) => {
+                denied = true;
+                index.free_children(node);
+                index.nonleaf_count -= 1;
+                merges += 1;
+                make_leaf(index, node, members, ctx, stats);
+            }
+            Verdict::Expand(members) => {
+                let mut budget = NodeBudget {
+                    cap,
+                    used,
+                    denied: false,
+                };
+                grow_node(index, node, members, ctx, stats, &mut budget);
+                used = budget.used;
+                denied |= budget.denied;
+            }
+            Verdict::Deny => denied = true,
+            Verdict::Keep => {}
+        }
+    }
+    index.budget_bound = denied;
+    merges
 }
 
 /// Writes slot `node` as a leaf: one `<ID, MBC, pointer>` entry per member,

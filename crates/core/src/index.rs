@@ -69,10 +69,14 @@ pub struct UvIndex {
     pub(crate) epoch: u64,
     /// Node slots freed by leaf merges, available for reuse by splits.
     pub(crate) free_slots: Vec<u32>,
-    /// `true` when construction (or a later repair) wanted to split a leaf
-    /// but the non-leaf memory budget `M` denied it. Incremental maintenance
-    /// falls back to a full rebuild while the budget binds, because budget
-    /// allocation is order-dependent and no longer localisable.
+    /// `true` when construction (or the most recent budget reconciliation)
+    /// wanted to split a leaf but the non-leaf memory budget `M` denied it.
+    /// Budget allocation is order-dependent once it binds, so incremental
+    /// maintenance repairs *unbounded* first and then replays the cold
+    /// build's preorder allocation (`crate::builder::reconcile_budget`) —
+    /// this flag records whether that replay (or the build) denied anything,
+    /// and tells the next update that a reconciliation pass is needed even
+    /// if the repaired tree happens to fit the cap.
     pub(crate) budget_bound: bool,
 }
 

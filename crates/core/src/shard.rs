@@ -50,16 +50,23 @@
 //! partition (`cell_area`, `partition_query`) are answered by it directly.
 //! Updates first apply to the router, then reconcile each shard's membership
 //! (replica inserts/deletes plus geometry changes) through the PR-3
-//! localized repair of the shards they touch. The router makes the sharded
-//! build strictly more expensive than an unsharded one — this layer buys
-//! query-routing and update *locality*, not construction speed; slimming the
-//! router to a derivation-only service (no grid) is the obvious follow-up.
+//! localized repair of the shards they touch. When the router grows its
+//! domain in place ([`UpdateStats::domain_grown`]) the shard *geometry*
+//! grows with it — only the outermost axis boundaries move, interior split
+//! lines stay pinned, so interior shard rectangles are bit-unchanged and the
+//! layout is never rebuilt ([`ShardedUpdateStats::resharded`] stays `false`
+//! forever). The router makes the sharded build strictly more expensive than
+//! an unsharded one — this layer buys query-routing and update *locality*,
+//! not construction speed; slimming the router to a derivation-only service
+//! (no grid) is the obvious follow-up.
 //!
 //! # Persistence
 //!
 //! [`ShardedUvSystem::save_snapshot`] writes one versioned header
-//! ([`SHARD_MAGIC`], the [`crate::snapshot::FORMAT_VERSION`], the grid side)
-//! followed by framed `uv_store::codec` sections: the router snapshot, then
+//! ([`SHARD_MAGIC`], the [`crate::snapshot::FORMAT_VERSION`], then a META
+//! section carrying the grid side and the exact shard-axis boundaries —
+//! non-uniform after domain growth, so they cannot be recomputed from the
+//! domain) followed by framed `uv_store::codec` sections: the router snapshot, then
 //! one section per shard, each a complete [`UvSystem`] snapshot. Loading
 //! validates every section checksum, the shard count, configuration
 //! agreement and halo coverage — malformed input maps to typed
@@ -107,9 +114,15 @@ pub struct ShardedUpdateStats {
     /// Object replicas removed across shards (membership lost: genuine
     /// deletes plus halo shrinkage).
     pub replicas_removed: usize,
-    /// `true` when the whole shard layout was rebuilt (the router fell back
-    /// to a full rebuild — domain growth or a bound memory budget).
+    /// Always `false`: the triggers that used to rebuild the whole shard
+    /// layout (router domain growth, a bound memory budget) are now handled
+    /// in place. Retained for API stability and as the adversarial suite's
+    /// assertion target (`tests/proptest_shard.rs`).
     pub resharded: bool,
+    /// `true` when the router grew its domain in place this batch; the shard
+    /// geometry grew with it (outer boundaries only — interior rectangles
+    /// are bit-unchanged) and every shard re-indexed the grown domain.
+    pub domain_grown: bool,
 }
 
 /// A domain-sharded UV-diagram serving deployment: an `S × S` grid of shard
@@ -191,11 +204,11 @@ fn axis_index(bounds: &[f64], v: f64) -> usize {
     side - 1
 }
 
-/// The `side × side` shard rectangles of `domain`, row-major from the
-/// south-west, sharing exact boundary coordinates with [`axis_index`].
-fn shard_rects(domain: Rect, side: usize) -> Vec<Rect> {
-    let xs = axis_bounds(domain.min_x, domain.max_x, side);
-    let ys = axis_bounds(domain.min_y, domain.max_y, side);
+/// The shard rectangles spanned by two (possibly non-uniform) axis boundary
+/// vectors, row-major from the south-west, sharing exact boundary
+/// coordinates with [`axis_index`].
+fn rects_from_bounds(xs: &[f64], ys: &[f64]) -> Vec<Rect> {
+    let side = xs.len() - 1;
     let mut rects = Vec::with_capacity(side * side);
     for iy in 0..side {
         for ix in 0..side {
@@ -203,6 +216,24 @@ fn shard_rects(domain: Rect, side: usize) -> Vec<Rect> {
         }
     }
     rects
+}
+
+/// The `side × side` shard rectangles of `domain`, row-major from the
+/// south-west — the uniform layout every sharded system starts from.
+fn shard_rects(domain: Rect, side: usize) -> Vec<Rect> {
+    let xs = axis_bounds(domain.min_x, domain.max_x, side);
+    let ys = axis_bounds(domain.min_y, domain.max_y, side);
+    rects_from_bounds(&xs, &ys)
+}
+
+/// Domain growth on one shard axis: only the two outermost boundaries move
+/// out to the grown domain edge. Interior split lines stay pinned, so every
+/// interior shard rectangle survives bit-unchanged and only the border ring
+/// absorbs the new territory.
+fn extend_axis_bounds(bounds: &mut [f64], lo: f64, hi: f64) {
+    bounds[0] = bounds[0].min(lo);
+    let last = bounds.len() - 1;
+    bounds[last] = bounds[last].max(hi);
 }
 
 /// Halo member sets: for every shard rectangle, the objects whose influence
@@ -295,23 +326,6 @@ impl ShardedUvSystem {
             bounds_y: axis_bounds(domain.min_y, domain.max_y, grid),
             shards,
         })
-    }
-
-    /// Rebuilds rectangles and every shard system from the router's current
-    /// state (after the router's domain grew or it fell back to a full
-    /// rebuild).
-    fn reshard(&mut self) -> Result<(), UvError> {
-        let domain = self.router.domain();
-        self.rects = shard_rects(domain, self.grid);
-        self.bounds_x = axis_bounds(domain.min_x, domain.max_x, self.grid);
-        self.bounds_y = axis_bounds(domain.min_y, domain.max_y, self.grid);
-        self.shards = build_shard_systems(
-            shard_members(&self.router, &self.rects),
-            domain,
-            self.router.method(),
-            *self.router.config(),
-        )?;
-        Ok(())
     }
 
     /// Shard-grid side `S`.
@@ -434,9 +448,11 @@ impl ShardedUvSystem {
     /// Applies an update batch atomically: the router validates and applies
     /// it globally (nothing is mutated on error), then every shard whose
     /// halo membership the net difference touches is reconciled through the
-    /// PR-3 localized repair. When the router had to fall back to a full
-    /// rebuild (domain growth, bound memory budget), the whole shard layout
-    /// is rebuilt instead ([`ShardedUpdateStats::resharded`]).
+    /// PR-3 localized repair. When the batch grew the router's domain in
+    /// place, the shard geometry grows with it first — only the outer ring
+    /// of rectangles changes, every shard re-indexes the grown domain, and
+    /// the layout is never rebuilt ([`ShardedUpdateStats::resharded`] stays
+    /// `false`).
     pub fn apply(&mut self, batch: UpdateBatch) -> Result<ShardedUpdateStats, UvError> {
         // Geometry of the ids the batch touches, before the router mutates.
         let touched: HashSet<ObjectId> = batch
@@ -464,11 +480,23 @@ impl ShardedUvSystem {
         if stats.router.inserted + stats.router.deleted + stats.router.moved == 0 {
             return Ok(stats); // net no-op: shards keep their epochs
         }
-        if stats.router.full_rebuild {
-            self.reshard()?;
-            stats.resharded = true;
-            stats.shards_touched = self.shards.len();
-            return Ok(stats);
+        if stats.router.domain_grown {
+            // In-place geometry growth: pin the interior split lines and move
+            // only the outermost boundaries to the grown domain edges, then
+            // re-index every shard at the new domain (membership id-sets are
+            // untouched, so the reconciliation diff below stays valid). The
+            // grown domain is a pure function the router already computed, so
+            // router, shards and rectangles agree without coordination.
+            let domain = self.router.domain();
+            extend_axis_bounds(&mut self.bounds_x, domain.min_x, domain.max_x);
+            extend_axis_bounds(&mut self.bounds_y, domain.min_y, domain.max_y);
+            self.rects = rects_from_bounds(&self.bounds_x, &self.bounds_y);
+            stats.domain_grown = true;
+            let parallel = self.router.config().parallel;
+            let jobs: Vec<&mut UvSystem> = self.shards.iter_mut().collect();
+            for outcome in fan_out(parallel, jobs, |shard| shard.grow_domain_to(domain)) {
+                outcome?;
+            }
         }
 
         // Reconcile each shard against the new halo membership — diffing
@@ -580,6 +608,10 @@ impl ShardedUvSystem {
 
         let mut meta = Vec::new();
         (self.grid as u64).write_to(&mut meta)?;
+        // The exact axis boundaries: non-uniform after domain growth, so a
+        // loader cannot recompute them from the domain alone.
+        self.bounds_x.write_to(&mut meta)?;
+        self.bounds_y.write_to(&mut meta)?;
         write_section(w, tag::META, &meta)?;
         written += SECTION_OVERHEAD + meta.len() as u64;
 
@@ -627,11 +659,32 @@ impl ShardedUvSystem {
             });
         }
         let meta = read_section(r, tag::META)?;
-        let grid = u64::read_from(&mut meta.as_slice())? as usize;
+        let mut meta_slice = meta.as_slice();
+        let grid = u64::read_from(&mut meta_slice)? as usize;
         if grid == 0 || grid > 1_024 {
             return Err(UvError::SnapshotCorrupt(format!(
                 "implausible shard grid side {grid}"
             )));
+        }
+        let bounds_x = Vec::<f64>::read_from(&mut meta_slice)?;
+        let bounds_y = Vec::<f64>::read_from(&mut meta_slice)?;
+        for bounds in [&bounds_x, &bounds_y] {
+            if bounds.len() != grid + 1 {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "expected {} axis boundaries for grid side {grid}, found {}",
+                    grid + 1,
+                    bounds.len()
+                )));
+            }
+            // `partial_cmp != Less` also rejects NaN boundaries (incomparable).
+            if bounds
+                .windows(2)
+                .any(|w| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less))
+            {
+                return Err(UvError::SnapshotCorrupt(
+                    "shard axis boundaries are not strictly increasing".into(),
+                ));
+            }
         }
 
         let router_payload = read_section(r, tag::ROUTER)?;
@@ -641,6 +694,16 @@ impl ShardedUvSystem {
                 "header grid side {grid} disagrees with the persisted configuration ({})",
                 router.config().num_shards
             )));
+        }
+        let domain = router.domain();
+        if bounds_x[0] != domain.min_x
+            || bounds_x[grid] != domain.max_x
+            || bounds_y[0] != domain.min_y
+            || bounds_y[grid] != domain.max_y
+        {
+            return Err(UvError::SnapshotCorrupt(
+                "shard axis boundaries do not span the router's domain".into(),
+            ));
         }
 
         let mut shards = Vec::with_capacity(grid * grid);
@@ -687,13 +750,12 @@ impl ShardedUvSystem {
             ));
         }
 
-        let domain = router.domain();
         Ok(Self {
             router,
             grid,
-            rects: shard_rects(domain, grid),
-            bounds_x: axis_bounds(domain.min_x, domain.max_x, grid),
-            bounds_y: axis_bounds(domain.min_y, domain.max_y, grid),
+            rects: rects_from_bounds(&bounds_x, &bounds_y),
+            bounds_x,
+            bounds_y,
             shards,
         })
     }
@@ -914,7 +976,7 @@ mod tests {
     }
 
     #[test]
-    fn domain_growth_reshards_the_layout() {
+    fn domain_growth_extends_the_shard_geometry_in_place() {
         let (ds, mut sharded, mut unsharded) = fixture(120, 2);
         let outside = UncertainObject::with_uniform(
             8_000,
@@ -923,14 +985,74 @@ mod tests {
         );
         let stats = sharded.insert_object(outside.clone()).unwrap();
         unsharded.insert_object(outside).unwrap();
-        assert!(stats.resharded);
-        assert!(stats.router.full_rebuild);
+        assert!(!stats.resharded);
+        assert!(stats.domain_grown);
+        assert!(stats.router.domain_grown);
+        assert!(!stats.router.full_rebuild);
         assert_eq!(sharded.domain(), unsharded.domain());
+        let domain = sharded.domain();
         assert!(sharded
             .shard_rects()
             .iter()
-            .all(|r| sharded.domain().contains_rect(r)));
-        assert_answers_match(&sharded, &unsharded, &ds.query_points(20, 9));
+            .all(|r| domain.contains_rect(r)));
+        // The grown rectangles still tile the (grown) domain exactly.
+        let area: f64 = sharded.shard_rects().iter().map(Rect::area).sum();
+        assert!((area - domain.area()).abs() <= 1e-6 * domain.area());
+        for shard in 0..sharded.shard_count() {
+            assert_eq!(sharded.shard(shard).domain(), domain);
+        }
+        // Answers match everywhere, including inside the newly annexed ring.
+        let mut queries = ds.query_points(20, 9);
+        queries.push(Point::new(ds.domain.max_x + 650.0, ds.domain.max_y + 650.0));
+        queries.push(Point::new(ds.domain.max_x + 5.0, ds.domain.min_y + 5.0));
+        assert_answers_match(&sharded, &unsharded, &queries);
+    }
+
+    #[test]
+    fn domain_growth_touches_only_border_shard_geometry() {
+        // On a 3×3 grid a north-east growth moves only the outermost axis
+        // boundaries: every rect not on the grown border must survive
+        // bit-unchanged, and the reconciliation that does reach the shards
+        // is pure membership expansion — never a rebuild, eviction or move.
+        let (ds, mut sharded, _) = fixture(140, 3);
+        let side = sharded.grid_side();
+        let before = sharded.shard_rects().to_vec();
+        let stats = sharded
+            .insert_object(UncertainObject::with_uniform(
+                8_100,
+                Point::new(ds.domain.max_x + 900.0, ds.domain.max_y + 900.0),
+                10.0,
+            ))
+            .unwrap();
+        assert!(stats.domain_grown);
+        assert!(!stats.resharded);
+        let after = sharded.shard_rects();
+        let mut unchanged = 0usize;
+        for iy in 0..side {
+            for ix in 0..side {
+                let idx = iy * side + ix;
+                if ix + 1 < side && iy + 1 < side {
+                    assert_eq!(
+                        before[idx], after[idx],
+                        "non-border rect ({ix},{iy}) must be bit-unchanged"
+                    );
+                    unchanged += 1;
+                }
+            }
+        }
+        assert_eq!(unchanged, (side - 1) * (side - 1));
+        // Reconciliation is membership-only and incremental everywhere: the
+        // domain-seeded re-derivation widens influence disks, so shards may
+        // *gain* replicas (the grown domain makes halos larger — that is
+        // genuine, reportable work, not hidden structural churn), but no
+        // shard loses members, no shard moves anything, and no shard — not
+        // even the one annexing the new corner — rebuilds.
+        for (s, st) in stats.per_shard.iter().enumerate() {
+            assert!(!st.full_rebuild, "shard {s} must never rebuild");
+            assert_eq!(st.deleted, 0, "growth must not evict replicas (shard {s})");
+            assert_eq!(st.moved, 0, "growth must not move replicas (shard {s})");
+        }
+        assert_eq!(stats.replicas_removed, 0);
     }
 
     #[test]

@@ -83,7 +83,13 @@ pub const MAGIC: [u8; 8] = *b"UVDSNAP\0";
 ///   distance from the subject centre — exactly how the derivation computed
 ///   it) is recomputed bit-identically on load. Snapshot size no longer
 ///   carries 8 redundant bytes per hull vertex.
-pub const FORMAT_VERSION: u32 = 2;
+/// * **3** — the *sharded* container's META section now carries the exact
+///   shard-axis boundaries (in-place domain growth keeps interior split
+///   lines pinned, so the boundaries are no longer derivable from the
+///   domain). The unsharded stream layout is unchanged from v2; the
+///   persisted budget flag is still read and written bit-faithfully but is
+///   now recomputed after every repair and never forces a rebuild.
+pub const FORMAT_VERSION: u32 = 3;
 
 mod tag {
     pub const CONFIG: u8 = 1;

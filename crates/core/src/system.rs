@@ -101,8 +101,9 @@ impl UvSystem {
         &self.objects
     }
 
-    /// The indexed domain (it can grow when an update inserts or moves an
-    /// object beyond it, which triggers a full rebuild).
+    /// The indexed domain. It grows — exponentially, in place, never through
+    /// a rebuild — when an update inserts or moves an object beyond it
+    /// ([`crate::update::UpdateStats::domain_grown`]).
     pub fn domain(&self) -> Rect {
         self.domain
     }

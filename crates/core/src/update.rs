@@ -38,18 +38,37 @@
 //!    expensive, localized part — cr-derivation and leaf refinement — is
 //!    what the affected bounds confine.
 //!
-//! # Full-rebuild triggers
+//! # No full rebuilds
 //!
-//! Incremental repair falls back to a full rebuild (still one epoch bump,
-//! reported via [`UpdateStats::full_rebuild`]) when exactness cannot be kept
-//! local:
+//! Two situations used to abandon incremental repair for a cold rebuild;
+//! both are now handled in place, so [`UpdateStats::full_rebuild`] is
+//! structurally unreachable under any legal op sequence (the field is kept,
+//! always `false`, for API stability — the adversarial suite in
+//! `tests/proptest_adversarial.rs` churns both paths and asserts exactly
+//! that). Arseneva et al. (*Sublinear Explicit Incremental Planar Voronoi
+//! Diagrams*) show Voronoi topology admits incremental maintenance; the two
+//! mechanisms here are our budget- and domain-aware analogues:
 //!
 //! * **Domain growth** — an inserted or moved object extends beyond the
-//!   indexed domain `D`; the domain is grown to cover it and everything is
-//!   rebuilt over the new domain.
+//!   indexed domain `D`. The domain grows *exponentially*: it is doubled
+//!   away from every violated side until the new geometry fits, so a
+//!   staircase of `K` just-outside inserts triggers only `O(log)` growth
+//!   events. Because the derivation is domain-seeded (the possible region
+//!   starts from the domain rectangle and the hull discretisation scales
+//!   with the domain side), *every* object is re-derived under the grown
+//!   domain and the grid is rebuilt canonically — but **into the live
+//!   system**: the object store (tombstones included) and the R-tree pages
+//!   carry over, the epoch advances exactly once, and
+//!   [`UpdateStats::domain_grown`] reports the event. The result is
+//!   bit-identical to a cold build at the grown domain by construction.
 //! * **Memory budget `M` binds** — when the non-leaf budget denies a split,
-//!   budget allocation becomes order-dependent and local decisions can no
-//!   longer reproduce the canonical structure.
+//!   budget allocation becomes order-dependent, so no *local* decision can
+//!   reproduce it. Repair therefore runs with an **unbounded** budget first
+//!   (member sets stay exact everywhere), and whenever the budget is or was
+//!   bound, `crate::builder::reconcile_budget` replays the cold build's
+//!   preorder allocation over the repaired tree — collapsing subtrees a
+//!   bounded cold build could not afford and expanding leaves a past denial
+//!   left behind — which reproduces the budget-bound cold grid exactly.
 //!
 //! # Epochs
 //!
@@ -60,16 +79,19 @@
 //! to hold a live [`crate::QueryEngine`] across a mutation.
 
 use crate::builder::{
-    derive_subset, grow_node, make_leaf, split_members, GridCtx, GrowStats, Method,
+    build_uv_index_full, derive_subset, grow_node, make_leaf, reconcile_budget, split_members,
+    GridCtx, GrowStats, Method, NodeBudget,
 };
 use crate::crobjects::{ChangeImpact, UpdateSensitivity};
 use crate::index::{GridNode, UvIndex};
 use crate::system::UvSystem;
 use crate::UvError;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use uv_data::{ObjectEntry, ObjectId, UncertainObject};
 use uv_geom::{Circle, Point, Rect};
 use uv_rtree::RTree;
+use uv_store::PageStore;
 
 /// Per-object state the system retains between updates: the reference ids
 /// the object was indexed under and the sensitivity bound that decides when
@@ -187,9 +209,17 @@ pub struct UpdateStats {
     pub leaves_merged: usize,
     /// Leaf count of the index after the update.
     pub total_leaves: usize,
-    /// `true` when the batch was applied via a full rebuild (domain growth,
-    /// memory budget bound) instead of localized repair.
+    /// Always `false`: every trigger that used to force a cold rebuild
+    /// (domain growth, a bound memory budget) is now handled in place. The
+    /// field is retained for API stability and as the adversarial suite's
+    /// assertion target.
     pub full_rebuild: bool,
+    /// `true` when the batch extended the indexed domain in place: an
+    /// inserted or moved object landed outside `D`, the domain was grown
+    /// exponentially to cover it and every object was re-derived under the
+    /// grown domain (the derivation is domain-seeded), with the object
+    /// store, R-tree pages and epoch sequence carrying over.
+    pub domain_grown: bool,
     /// Index epoch after the update.
     pub epoch: u64,
     /// Ids whose derivation was repeated this batch (the affected set of
@@ -202,9 +232,10 @@ pub struct UpdateStats {
 }
 
 impl UpdateStats {
-    /// Fraction of the index's leaves the repair rewrote (1.0 for a full
-    /// rebuild). The churn experiment's locality criterion is that this
-    /// stays at or below 0.1 for a 1% churn step.
+    /// Fraction of the index's leaves the repair rewrote (1.0 when the
+    /// domain grew in place, since every leaf is re-derived). The churn
+    /// experiment's locality criterion is that this stays at or below 0.1
+    /// for a 1% churn step.
     pub fn refine_fraction(&self) -> f64 {
         if self.full_rebuild {
             return 1.0;
@@ -299,10 +330,12 @@ impl UvSystem {
 
     /// Applies an update batch atomically: validates every op against a
     /// shadow of the object set (nothing is mutated on error), computes the
-    /// net object-set difference, and repairs the UV-partition locally —
-    /// falling back to a full rebuild only when the domain grows or the
-    /// non-leaf memory budget binds. Bumps the index epoch exactly once when
-    /// the net difference is non-empty.
+    /// net object-set difference, and repairs the UV-partition locally.
+    /// Domain growth is handled in place (exponential extension plus a
+    /// canonical re-derivation that keeps the stores and epoch sequence) and
+    /// a bound non-leaf budget by post-repair reconciliation — an update
+    /// never falls back to a full rebuild. Bumps the index epoch exactly
+    /// once when the net difference is non-empty.
     pub fn apply(&mut self, batch: UpdateBatch) -> Result<UpdateStats, UvError> {
         let mut stats = UpdateStats {
             epoch: self.index.epoch(),
@@ -412,21 +445,7 @@ impl UvSystem {
             self.objects.push(updated(id).clone());
         }
 
-        // ---- 4. Full-rebuild triggers ------------------------------------
-        let grown_domain = inserted
-            .iter()
-            .chain(&changed)
-            .map(|id| updated(id).mbr())
-            .filter(|mbr| !self.domain.contains_rect(mbr))
-            .fold(None::<Rect>, |acc, mbr| {
-                Some(acc.map_or(mbr, |a| a.union(&mbr)))
-            });
-        if grown_domain.is_some() || self.index.budget_bound {
-            let domain = grown_domain.map_or(self.domain, |g| self.domain.union(&g));
-            return self.finish_with_full_rebuild(stats, domain);
-        }
-
-        // ---- 5. Secondary structures -------------------------------------
+        // ---- 4. Secondary structures -------------------------------------
         for id in &deleted {
             self.object_store.remove(*id);
         }
@@ -436,8 +455,27 @@ impl UvSystem {
         for id in &inserted {
             self.object_store.insert(updated(id));
         }
-        let rtree_pages = std::sync::Arc::clone(self.rtree.store());
+        let rtree_pages = Arc::clone(self.rtree.store());
         self.rtree = RTree::build(&self.objects, &self.object_store, rtree_pages);
+
+        // ---- 5. In-place domain growth -----------------------------------
+        // The derivation is domain-seeded (possible regions start from the
+        // domain rectangle, the hull discretisation scales with its side),
+        // so a domain change invalidates every derivation: growth re-derives
+        // everything and rebuilds the grid canonically — into the live
+        // system, over the stores updated above.
+        let needed = inserted
+            .iter()
+            .chain(&changed)
+            .map(|id| updated(id).mbr())
+            .filter(|mbr| !self.domain.contains_rect(mbr))
+            .fold(None::<Rect>, |acc, mbr| {
+                Some(acc.map_or(mbr, |a| a.union(&mbr)))
+            });
+        if let Some(needed) = needed {
+            let domain = grow_domain(self.domain, &needed);
+            return self.finish_with_domain_growth(stats, domain);
+        }
 
         // ---- 6. Affected objects -----------------------------------------
         let changed_set: HashSet<ObjectId> = changed.iter().copied().collect();
@@ -602,6 +640,7 @@ impl UvSystem {
             }
         }
 
+        let prev_budget_bound = self.index.budget_bound;
         let mut repairer = Repairer {
             ctx,
             entry_dirty: &entry_dirty,
@@ -615,35 +654,76 @@ impl UvSystem {
             &removed_root,
             &changed_root,
         );
-        stats.leaves_refined = repairer.grow.leaves_built;
-        stats.leaves_split = repairer.grow.splits;
-        stats.leaves_merged = repairer.merges;
+        let Repairer {
+            ctx,
+            mut grow,
+            mut merges,
+            ..
+        } = repairer;
 
-        // ---- 10. Budget fallback & epoch ---------------------------------
-        if self.index.budget_bound {
-            return self.finish_with_full_rebuild(stats, self.domain);
+        // ---- 10. Budget reconciliation & epoch ---------------------------
+        // The repair above ran with an unbounded budget, so member sets are
+        // exact everywhere but the tree may exceed the non-leaf cap `M` —
+        // and if a *previous* build or batch was denied a split, the tree
+        // may also contain overflowing leaves a freed-up budget would now
+        // expand. Replaying the cold build's preorder allocation restores
+        // the bounded canonical structure in both cases. When the budget
+        // never bound and the repaired tree fits the cap, no cold-build
+        // decision point can differ, so the replay is skipped entirely.
+        if prev_budget_bound || self.index.nonleaf_count > self.config.max_nonleaf {
+            merges += reconcile_budget(&mut self.index, &ctx, &mut grow);
         }
+        stats.leaves_refined = grow.leaves_built;
+        stats.leaves_split = grow.splits;
+        stats.leaves_merged = merges;
         self.index.epoch += 1;
         stats.epoch = self.index.epoch;
         stats.total_leaves = self.index.num_leaf_nodes();
         Ok(stats)
     }
 
-    /// Rebuilds every structure from the (already updated) object vector,
-    /// preserving epoch continuity. Used for the domain-growth and
-    /// budget-bound triggers. The configuration was validated when the
-    /// system was first built, so the rebuild cannot fail on it; the
-    /// `Result` merely threads the builder's typed-error signature through.
-    fn finish_with_full_rebuild(
+    /// Extends the indexed domain to `domain` in place: re-derives every
+    /// object (the derivation is domain-seeded, so none survives a domain
+    /// change) and rebuilds the grid canonically over the *existing* object
+    /// and R-tree stores, advancing the epoch by one. A no-op when `domain`
+    /// equals the current one. The configuration was validated when the
+    /// system was first built; the `Result` threads the builder's
+    /// typed-error signature through.
+    pub(crate) fn grow_domain_to(&mut self, domain: Rect) -> Result<(), UvError> {
+        if domain == self.domain {
+            return Ok(());
+        }
+        let index_pages = Arc::new(PageStore::new());
+        let (index, construction, ref_table) = build_uv_index_full(
+            &self.objects,
+            &self.object_store,
+            &self.rtree,
+            domain,
+            index_pages,
+            self.method,
+            self.config,
+        )?;
+        let epoch = self.index.epoch() + 1;
+        self.domain = domain;
+        self.index = index;
+        self.index.epoch = epoch;
+        self.construction = construction;
+        self.ref_table = ref_table;
+        Ok(())
+    }
+
+    /// Finishes a batch whose net difference left the old domain: grows the
+    /// domain in place via [`UvSystem::grow_domain_to`] and fills the stats
+    /// of the implied global re-derivation (every live object is re-derived,
+    /// every leaf rewritten — which is exactly what `rederived_ids` tells
+    /// the sharded layer to reconcile).
+    fn finish_with_domain_growth(
         &mut self,
         mut stats: UpdateStats,
         domain: Rect,
     ) -> Result<UpdateStats, UvError> {
-        let old_epoch = self.index.epoch();
-        let objects = std::mem::take(&mut self.objects);
-        *self = UvSystem::build(objects, domain, self.method, self.config)?;
-        self.index.epoch = old_epoch + 1;
-        stats.full_rebuild = true;
+        self.grow_domain_to(domain)?;
+        stats.domain_grown = true;
         stats.objects_rederived = self.objects.len();
         stats.rederived_ids = self.objects.iter().map(|o| o.id).collect();
         stats.objects_in_knn_radius = self.objects.len();
@@ -653,6 +733,32 @@ impl UvSystem {
         stats.epoch = self.index.epoch;
         Ok(stats)
     }
+}
+
+/// The domain-growth policy: doubles the domain away from every violated
+/// side until `needed` fits. Growth is exponential so a staircase of `K`
+/// just-outside inserts costs `O(log)` growth events, and the result is a
+/// pure function of (current domain, needed rectangle) — the sharded
+/// router, its shards and any cold-rebuild oracle all agree on the grown
+/// domain without coordination.
+fn grow_domain(mut domain: Rect, needed: &Rect) -> Rect {
+    while !domain.contains_rect(needed) {
+        let w = domain.width().max(1.0);
+        let h = domain.height().max(1.0);
+        if needed.min_x < domain.min_x {
+            domain.min_x -= w;
+        }
+        if needed.max_x > domain.max_x {
+            domain.max_x += w;
+        }
+        if needed.min_y < domain.min_y {
+            domain.min_y -= h;
+        }
+        if needed.max_y > domain.max_y {
+            domain.max_y += h;
+        }
+    }
+    domain
 }
 
 fn validate_object(o: &UncertainObject) -> Result<(), UvError> {
@@ -708,10 +814,20 @@ impl Repairer<'_> {
                 if split_members(index, &self.ctx, &region, &new_members).is_some() {
                     // The canonical structure wants a subtree here now (the
                     // member count grew past the capacity, or a changed
-                    // reference set flipped the split fraction). `grow_node`
-                    // re-checks the budget and records `budget_bound` when
-                    // denied, which the caller turns into a full rebuild.
-                    grow_node(index, node, new_members, &self.ctx, &mut self.grow);
+                    // reference set flipped the split fraction). Repair runs
+                    // with an unbounded budget so the member sets come out
+                    // exact; the caller replays the cold build's preorder
+                    // allocation afterwards (`reconcile_budget`) if the
+                    // non-leaf cap could bind.
+                    let mut budget = NodeBudget::unbounded();
+                    grow_node(
+                        index,
+                        node,
+                        new_members,
+                        &self.ctx,
+                        &mut self.grow,
+                        &mut budget,
+                    );
                 } else if list_changed || changed.iter().any(|id| self.entry_dirty.contains(id)) {
                     make_leaf(index, node, new_members, &self.ctx, &mut self.grow);
                 }
@@ -933,7 +1049,7 @@ mod tests {
     }
 
     #[test]
-    fn domain_growth_triggers_full_rebuild() {
+    fn domain_growth_extends_the_grid_in_place() {
         let (ds, mut sys) = system(80, UvConfig::default());
         let outside = UncertainObject::with_uniform(
             800,
@@ -941,7 +1057,8 @@ mod tests {
             10.0,
         );
         let stats = sys.insert_object(outside).unwrap();
-        assert!(stats.full_rebuild);
+        assert!(!stats.full_rebuild);
+        assert!(stats.domain_grown);
         assert_eq!(stats.epoch, 1);
         assert!(sys
             .domain()
@@ -951,9 +1068,30 @@ mod tests {
     }
 
     #[test]
-    fn budget_bound_index_falls_back_to_full_rebuild() {
+    fn staircase_growth_amortizes_to_one_growth_event() {
+        // Exponential expansion: the first just-outside insert doubles the
+        // domain, which then swallows the rest of the staircase.
+        let (ds, mut sys) = system(80, UvConfig::default());
+        let mut growths = 0;
+        for k in 1..=6u32 {
+            let o = UncertainObject::with_uniform(
+                800 + k,
+                Point::new(ds.domain.max_x + f64::from(k) * 50.0, 5_000.0),
+                5.0,
+            );
+            let stats = sys.insert_object(o).unwrap();
+            assert!(!stats.full_rebuild);
+            growths += usize::from(stats.domain_grown);
+        }
+        assert_eq!(growths, 1, "staircase must not grow on every step");
+        assert_matches_cold_rebuild(&sys);
+    }
+
+    #[test]
+    fn budget_bound_index_repairs_in_place() {
         // A tiny non-leaf budget makes canonical budget allocation
-        // order-dependent; the updater must refuse to repair locally.
+        // order-dependent; the updater repairs unbounded and then replays
+        // the cold build's preorder allocation instead of rebuilding.
         let (_, mut sys) = system(
             400,
             UvConfig::default()
@@ -962,7 +1100,8 @@ mod tests {
         );
         assert!(sys.index().num_nonleaf_nodes() <= 1);
         let stats = sys.move_object(0, Point::new(5_001.0, 5_002.0)).unwrap();
-        assert!(stats.full_rebuild);
+        assert!(!stats.full_rebuild);
+        assert!(!stats.domain_grown);
         assert_matches_cold_rebuild(&sys);
     }
 

@@ -7,7 +7,10 @@
 //! every physical page read exactly (per-query I/O *values* legitimately
 //! differ from the unsharded system, whose leaves have a different physical
 //! page layout — what must hold is that summing the breakdowns reproduces
-//! the shard stores' atomic counters).
+//! the shard stores' atomic counters). Adversarial sequences biased to
+//! provoke the retired full-rebuild triggers additionally assert that
+//! [`ShardedUpdateStats::resharded`] stays `false` forever — domain growth
+//! extends the shard geometry in place.
 
 use proptest::prelude::*;
 use uv_core::{Method, ShardedUvSystem, UpdateBatch, UvConfig, UvSystem};
@@ -196,6 +199,116 @@ proptest! {
         prop_assert_eq!(covered.len(), live.len(), "some live object lost all replicas");
 
         let queries = dataset.query_points(24, seed ^ 0xd1ce);
+        assert_bit_identical(&sharded, &unsharded, &queries);
+    }
+
+    /// Adversarial half (the `proptest_adversarial.rs` sequences routed
+    /// through the sharded layer): op sequences biased to provoke the old
+    /// full-rebuild triggers — staircase inserts beyond the domain and
+    /// hotspot mass-inserts — must never reshard the layout, must grow the
+    /// domain at least once, and must keep routed answers bit-identical to
+    /// the unsharded oracle, including in the newly annexed territory.
+    #[test]
+    fn adversarial_growth_sequences_never_reshard(
+        case in (60..100usize, 0..2u8, 0..2u8, 900.0..2_500.0f64, 0..10_000u64),
+        raw_ops in prop::collection::vec(
+            (0..6u8, 0..u16::MAX, 0.0..1.0f64, 0.0..1.0f64),
+            30..45,
+        ),
+        batch_size in 2..8usize,
+    ) {
+        let (n, method_pick, kind_pick, sigma, seed) = case;
+        let (dataset, mut sharded, mut unsharded) =
+            build_case(n, method_pick, kind_pick, sigma, seed);
+        let mut next_id = 300_000u32;
+        let mut growths = 0usize;
+        for chunk in raw_ops.chunks(batch_size) {
+            let domain = unsharded.domain();
+            let live: Vec<u32> = unsharded.objects().iter().map(|o| o.id).collect();
+            let mut batch = UpdateBatch::new();
+            let mut deleted: Vec<u32> = Vec::new();
+            for (op_pick, id_pick, fx, fy) in chunk {
+                let target = live.get(*id_pick as usize % live.len().max(1))
+                    .copied()
+                    .filter(|id| !deleted.contains(id));
+                // Positions are *relative to the current domain*, so the
+                // strategy keeps provoking growth as the domain expands.
+                let w = domain.width();
+                let h = domain.height();
+                match op_pick {
+                    0 => {
+                        // Staircase: insert just beyond the NE corner.
+                        batch = batch.insert(UncertainObject::with_gaussian(
+                            next_id,
+                            Point::new(
+                                domain.max_x + 30.0 + fx * 0.06 * w,
+                                domain.max_y + 30.0 + fy * 0.06 * h,
+                            ),
+                            10.0,
+                        ));
+                        next_id += 1;
+                    }
+                    1 => {
+                        // Growth on the opposite side.
+                        batch = batch.insert(UncertainObject::with_gaussian(
+                            next_id,
+                            Point::new(
+                                domain.min_x - 30.0 - fx * 0.04 * w,
+                                domain.min_y + fy * h,
+                            ),
+                            10.0,
+                        ));
+                        next_id += 1;
+                    }
+                    2 | 3 => {
+                        // Hotspot mass-insert into one quadrant.
+                        batch = batch.insert(UncertainObject::with_gaussian(
+                            next_id,
+                            Point::new(
+                                domain.min_x + (0.70 + fx * 0.08) * w,
+                                domain.min_y + (0.70 + fy * 0.08) * h,
+                            ),
+                            8.0,
+                        ));
+                        next_id += 1;
+                    }
+                    4 if live.len() > deleted.len() + 10 => {
+                        if let Some(target) = target {
+                            batch = batch.delete(target);
+                            deleted.push(target);
+                        }
+                    }
+                    _ => {
+                        if let Some(target) = target {
+                            batch = batch.move_to(
+                                target,
+                                Point::new(
+                                    domain.min_x + (0.2 + fx * 0.6) * w,
+                                    domain.min_y + (0.2 + fy * 0.6) * h,
+                                ),
+                            );
+                            deleted.push(target); // at most one op per id
+                        }
+                    }
+                }
+            }
+            let stats = sharded.apply(batch.clone())
+                .expect("adversarial batch must validate on the sharded path");
+            unsharded.apply(batch)
+                .expect("adversarial batch must validate on the unsharded path");
+            prop_assert!(!stats.resharded, "the layout must never be rebuilt");
+            prop_assert!(!stats.router.full_rebuild);
+            growths += usize::from(stats.domain_grown);
+            prop_assert_eq!(sharded.domain(), unsharded.domain());
+        }
+        prop_assert!(growths >= 1, "the biased sequence must grow the domain");
+
+        // Bit-identical everywhere, including the annexed ring beyond the
+        // original domain.
+        let mut queries = dataset.query_points(20, seed ^ 0x60ee);
+        let old = dataset.domain;
+        queries.push(Point::new(old.max_x + 40.0, old.max_y + 40.0));
+        queries.push(Point::new(old.min_x - 40.0, old.min_y + 10.0));
         assert_bit_identical(&sharded, &unsharded, &queries);
     }
 }

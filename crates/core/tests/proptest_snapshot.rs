@@ -3,7 +3,9 @@
 //! * **Round-trip**: `build → save → load → {pnn_batch, apply(UpdateBatch)}`
 //!   equals the never-persisted system — leaf structure, member lists,
 //!   epoch, `cell_area` and every PNN answer, bit-exact — across
-//!   {IC, ICR} × {Uniform, GaussianSkew}.
+//!   {IC, ICR} × {Uniform, GaussianSkew}; the update step ends with a
+//!   domain-growing insert, so in-place growth and a post-growth snapshot
+//!   round-trip are covered too.
 //! * **Corruption**: truncated streams, flipped bytes and unsupported
 //!   format versions surface as the right typed [`UvError`], never a panic.
 
@@ -133,6 +135,27 @@ proptest! {
             prop_assert_eq!(&x.probabilities, &y.probabilities);
             prop_assert_eq!(x.candidates_examined, y.candidates_examined);
         }
+
+        // Growth step: an insert beyond the domain extends the grid in
+        // place on both sides of the round-trip, the states stay equal, and
+        // a post-growth system snapshots and reloads bit-identically.
+        let far = sys.domain().max_x + 321.0;
+        let grow = UpdateBatch::new().insert(UncertainObject::with_gaussian(
+            900_000,
+            Point::new(far, far),
+            15.0,
+        ));
+        let ga = sys.apply(grow.clone()).unwrap();
+        let gb = loaded.apply(grow).unwrap();
+        prop_assert!(ga.domain_grown && gb.domain_grown);
+        prop_assert!(!ga.full_rebuild && !gb.full_rebuild);
+        prop_assert_eq!(sys.domain(), loaded.domain());
+        prop_assert_eq!(canonical_leaves(&loaded), canonical_leaves(&sys));
+        let bytes = snapshot_bytes(&sys);
+        let reloaded = UvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(reloaded.epoch(), sys.epoch());
+        prop_assert_eq!(reloaded.domain(), sys.domain());
+        prop_assert_eq!(canonical_leaves(&reloaded), canonical_leaves(&sys));
     }
 
     /// Corruption never panics and always yields the right typed error:

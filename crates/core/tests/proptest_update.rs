@@ -94,8 +94,9 @@ fn churn(sys: &mut UvSystem, raw_ops: &[RawOp], batch_size: usize, mut next_id: 
 
 fn op_strategy() -> impl Strategy<Value = Vec<RawOp>> {
     // Positions keep a margin so the 20-unit radius stays inside the domain
-    // (domain growth is covered by a dedicated unit test; here we want the
-    // incremental path).
+    // (sequences biased to *leave* the domain — staircase growth, budget
+    // overflow — live in `proptest_adversarial.rs`; here we exercise the
+    // steady-state localized-repair path).
     prop::collection::vec(
         (0..3u8, 0..u16::MAX, 50.0..9_950.0f64, 50.0..9_950.0f64),
         50..70,
