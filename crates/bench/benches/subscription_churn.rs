@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of the continuous-PNN subscription engine:
+//! the per-tick cost of a moving fleet at three walk regimes — all
+//! safe-region hits (stationary), the mixed drift/jump workload of
+//! `experiments -- subscribe`, and all misses (every step a long jump) —
+//! plus the refresh cost of revalidating the fleet after an update batch.
+//!
+//! The hit tick is the headline: it must stay flat in fleet size with no
+//! leaf I/O at all, which is what makes the subscription model cheaper
+//! than re-answering every report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uv_core::{Method, SubscriptionEngine, SubscriptionTable, UpdateBatch, UvConfig, UvSystem};
+use uv_data::{Dataset, GeneratorConfig, UncertainObject};
+use uv_geom::Point;
+
+const N: usize = 1_000;
+const CLIENTS: usize = 2_000;
+
+fn dynamic_config() -> UvConfig {
+    UvConfig::default()
+        .with_seed_knn(32)
+        .with_leaf_split_capacity(12)
+        .with_max_nonleaf(20_000)
+}
+
+fn build_system() -> (Dataset, UvSystem) {
+    let dataset = Dataset::generate(GeneratorConfig::paper_uniform(N));
+    let system = UvSystem::build(
+        dataset.objects.clone(),
+        dataset.domain,
+        Method::IC,
+        dynamic_config(),
+    )
+    .unwrap();
+    (dataset, system)
+}
+
+/// Deterministic positions for the fleet (same LCG family as the
+/// experiment harness).
+fn fleet_positions(dataset: &Dataset) -> Vec<Point> {
+    let mut state = 0x5afe_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let d = dataset.domain;
+    (0..CLIENTS)
+        .map(|_| Point::new(d.min_x + next() * d.width(), d.min_y + next() * d.height()))
+        .collect()
+}
+
+fn subscribed_table(system: &UvSystem, positions: &[Point]) -> SubscriptionTable {
+    let mut engine = SubscriptionEngine::new(system);
+    for (i, p) in positions.iter().enumerate() {
+        engine.subscribe(i as u64, *p).expect("fresh client id");
+    }
+    engine.into_table()
+}
+
+fn bench_ticks(c: &mut Criterion) {
+    let (dataset, system) = build_system();
+    let positions = fleet_positions(&dataset);
+    let d = dataset.domain;
+
+    // Move sets for the three regimes, precomputed so iterations compare
+    // pure tick cost. Each regime alternates between two position sets so
+    // every iteration actually moves the fleet.
+    let stationary: Vec<(u64, Point)> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, *p))
+        .collect();
+    let drift: Vec<(u64, Point)> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, Point::new(p.x + 0.25, p.y - 0.25)))
+        .collect();
+    let jumps: Vec<(u64, Point)> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                i as u64,
+                Point::new(
+                    d.min_x + (d.max_x - p.x).abs() % d.width(),
+                    d.min_y + (d.max_y - p.y).abs() % d.height(),
+                ),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("subscription_tick_2k_clients");
+    group.bench_with_input(BenchmarkId::new("all_hits", CLIENTS), &CLIENTS, |b, _| {
+        let mut engine =
+            SubscriptionEngine::with_table(&system, subscribed_table(&system, &positions));
+        engine.tick(&stationary); // warm every safe region
+        b.iter(|| std::hint::black_box(engine.tick(&stationary).len()));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("drift_mostly_hits", CLIENTS),
+        &CLIENTS,
+        |b, _| {
+            let mut engine =
+                SubscriptionEngine::with_table(&system, subscribed_table(&system, &positions));
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let moves = if flip { &drift } else { &stationary };
+                std::hint::black_box(engine.tick(moves).len())
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("jump_all_misses", CLIENTS),
+        &CLIENTS,
+        |b, _| {
+            let mut engine =
+                SubscriptionEngine::with_table(&system, subscribed_table(&system, &positions));
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let moves = if flip { &jumps } else { &stationary };
+                std::hint::black_box(engine.tick(moves).len())
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_refresh_after_churn(c: &mut Criterion) {
+    let (dataset, mut system) = build_system();
+    let positions = fleet_positions(&dataset);
+    let n = dataset.len() as u32;
+
+    // A small churn batch and its inverse (the churn-bench scheme), so the
+    // system returns to its initial state every iteration.
+    let o = UncertainObject::with_gaussian(n + 1, Point::new(4_100.0, 5_900.0), 20.0);
+    let forward = UpdateBatch::new()
+        .insert(o)
+        .move_to(77, Point::new(6_000.0, 2_000.0));
+    let inverse = UpdateBatch::new()
+        .delete(n + 1)
+        .move_to(77, dataset.objects[77].center());
+
+    let mut group = c.benchmark_group("subscription_refresh_2k_clients");
+    group.bench_function("churn_and_refresh_roundtrip", |b| {
+        let mut table = subscribed_table(&system, &positions);
+        b.iter(|| {
+            for batch in [forward.clone(), inverse.clone()] {
+                let stats = system.apply(batch).expect("batch applies");
+                let mut engine =
+                    SubscriptionEngine::with_table(&system, std::mem::take(&mut table));
+                std::hint::black_box(engine.refresh_after(&stats).len());
+                table = engine.into_table();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ticks, bench_refresh_after_churn);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
 //! fig7d fig7e fig7f fig7g fig7h sens_theta sens_memory throughput churn
-//! snapshot shard all`.
+//! snapshot shard subscribe all`.
 //!
 //! `--scale` multiplies the paper's dataset cardinalities (default 0.05, i.e.
 //! 500–4,000 objects instead of 10K–80K); `--queries` sets the number of PNN
@@ -24,8 +24,8 @@
 use std::collections::BTreeSet;
 use uv_bench::json::JsonExperiment;
 use uv_bench::{
-    churn, fig6, fig7, json, print_table, sensitivity, shard, snapshot, table2, throughput,
-    ExperimentScale,
+    churn, fig6, fig7, json, print_table, sensitivity, shard, snapshot, subscribe, table2,
+    throughput, ExperimentScale,
 };
 
 const ALL: &[&str] = &[
@@ -48,6 +48,7 @@ const ALL: &[&str] = &[
     "churn",
     "snapshot",
     "shard",
+    "subscribe",
 ];
 
 /// Routes every experiment's rows either to the human-readable table
@@ -452,6 +453,28 @@ fn main() {
                 "verified",
             ],
             shard::shard_rows(&reports),
+        );
+    }
+
+    if wants("subscribe") {
+        let report = subscribe::subscribe_experiment(&scale);
+        verification_failed |= !report.verified;
+        out.table(
+            "subscribe",
+            "Continuous PNN subscriptions: safe-region serving for a moving fleet",
+            &[
+                "|O|",
+                "clients",
+                "ticks",
+                "hit rate",
+                "derivations",
+                "deltas",
+                "stationary reads",
+                "reports/s",
+                "clients/core @10Hz",
+                "verified",
+            ],
+            subscribe::subscribe_rows(&report),
         );
     }
 

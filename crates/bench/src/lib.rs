@@ -35,6 +35,7 @@ pub mod json;
 pub mod sensitivity;
 pub mod shard;
 pub mod snapshot;
+pub mod subscribe;
 pub mod table2;
 pub mod throughput;
 pub mod workload;

@@ -325,6 +325,12 @@ pub(crate) struct GrowStats {
     pub(crate) leaves_built: usize,
     /// Nodes turned into internal nodes.
     pub(crate) splits: usize,
+    /// Regions of the leaf page lists written. Every structural or content
+    /// rewrite of a leaf flows through [`make_leaf`], so after a repair this
+    /// is exactly the set of regions whose answers may have changed — the
+    /// invalidation footprint consumed by [`crate::subscribe`] (a cold build
+    /// collects them too; callers that don't care simply drop the vector).
+    pub(crate) leaf_rects: Vec<Rect>,
 }
 
 /// Algorithm 4 (`CheckSplit`), canonical form: returns the four quadrant
@@ -557,6 +563,7 @@ pub(crate) fn make_leaf(
         object_ids: members,
     };
     stats.leaves_built += 1;
+    stats.leaf_rects.push(index.node_regions[node]);
 }
 
 #[cfg(test)]

@@ -47,6 +47,19 @@ pub struct UvConfig {
     /// shard rectangles. `1` (the default) means a single shard. Ignored by
     /// the unsharded [`crate::UvSystem`].
     pub num_shards: usize,
+    /// Enable safe regions for continuous queries: the subscription engine
+    /// ([`crate::subscribe`]) answers ticks inside a client's safe region
+    /// with zero leaf page reads, and trajectory evaluation reuses the
+    /// cached candidate set for path points inside a stable region. `false`
+    /// re-derives every tick / path point from the index (the PR-5
+    /// behaviour); answers are bit-identical either way.
+    pub safe_region: bool,
+    /// Minimum useful safe-region radius as a fraction of the domain side,
+    /// in `[0, 1]`. Radii below `domain_side * fraction` are discarded (the
+    /// client re-derives every tick) — a floor that avoids tracking regions
+    /// too small to ever absorb a movement step. `0.0` (the default) keeps
+    /// every positive radius.
+    pub safe_region_min_radius_fraction: f64,
 }
 
 impl Default for UvConfig {
@@ -64,6 +77,8 @@ impl Default for UvConfig {
             leaf_cache: true,
             leaf_split_capacity: 0,
             num_shards: 1,
+            safe_region: true,
+            safe_region_min_radius_fraction: 0.0,
         }
     }
 }
@@ -104,6 +119,13 @@ impl UvConfig {
         }
         if self.num_shards == 0 {
             return Err(UvError::InvalidConfig("num_shards must be positive"));
+        }
+        if !self.safe_region_min_radius_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.safe_region_min_radius_fraction)
+        {
+            return Err(UvError::InvalidConfig(
+                "safe_region_min_radius_fraction must lie in [0, 1]",
+            ));
         }
         Ok(())
     }
@@ -182,6 +204,38 @@ impl UvConfig {
         self
     }
 
+    /// Builder-style setter for safe-region maintenance (subscriptions and
+    /// trajectory reuse).
+    pub fn with_safe_region(mut self, enabled: bool) -> Self {
+        self.safe_region = enabled;
+        self
+    }
+
+    /// Builder-style setter for the minimum useful safe-region radius, as a
+    /// fraction of the domain side.
+    pub fn with_safe_region_min_radius_fraction(mut self, fraction: f64) -> Self {
+        self.safe_region_min_radius_fraction = fraction;
+        self
+    }
+
+    /// Applies the safe-region policy to a raw stability radius: `0.0` when
+    /// safe regions are disabled or the radius falls below the configured
+    /// floor (`safe_region_min_radius_fraction` of the longer domain side),
+    /// the radius itself otherwise. A zero radius simply means "re-derive
+    /// every tick", so the policy only trades work for work — never
+    /// correctness.
+    pub(crate) fn apply_safe_region_floor(&self, radius: f64, domain: uv_geom::Rect) -> f64 {
+        if !self.safe_region {
+            return 0.0;
+        }
+        let floor = self.safe_region_min_radius_fraction * domain.width().max(domain.height());
+        if radius < floor {
+            0.0
+        } else {
+            radius
+        }
+    }
+
     /// The effective query-engine worker count: `query_workers`, with `0`
     /// resolved to the number of available CPUs.
     pub fn resolved_query_workers(&self) -> usize {
@@ -206,6 +260,8 @@ mod tests {
         assert_eq!(c.num_seeds, 8);
         assert_eq!(c.max_nonleaf, 4000);
         assert_eq!(c.split_threshold, 1.0);
+        assert!(c.safe_region);
+        assert_eq!(c.safe_region_min_radius_fraction, 0.0);
         assert!(c.validate().is_ok());
     }
 
@@ -265,6 +321,24 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(UvConfig {
+            safe_region_min_radius_fraction: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig {
+            safe_region_min_radius_fraction: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig {
+            safe_region_min_radius_fraction: f64::NAN,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -280,7 +354,9 @@ mod tests {
             .with_integration_steps(40)
             .with_curve_samples(4)
             .with_leaf_split_capacity(16)
-            .with_num_shards(3);
+            .with_num_shards(3)
+            .with_safe_region(false)
+            .with_safe_region_min_radius_fraction(0.01);
         assert_eq!(c.split_threshold, 0.5);
         assert_eq!(c.max_nonleaf, 128);
         assert!(!c.parallel);
@@ -292,6 +368,8 @@ mod tests {
         assert_eq!(c.curve_samples, 4);
         assert_eq!(c.leaf_split_capacity, 16);
         assert_eq!(c.num_shards, 3);
+        assert!(!c.safe_region);
+        assert_eq!(c.safe_region_min_radius_fraction, 0.01);
         assert!(c.validate().is_ok());
     }
 

@@ -28,10 +28,11 @@
 //! algorithm and experiment of the paper, with its module and key functions —
 //! lives in `docs/PAPER_MAP.md` at the repository root.*
 
-use crate::index::{verify_and_refine, UvIndex};
+use crate::index::{verify_and_refine, verify_and_refine_full, UvIndex};
+use crate::subscribe::{answer_from_candidates, candidate_stability_radius};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
-use uv_data::{AnswerDelta, ObjectEntry, ObjectStore, PnnAnswer};
+use uv_data::{AnswerDelta, ObjectEntry, ObjectStore, PnnAnswer, UncertainObject};
 use uv_geom::{Point, Rect, EPS};
 
 /// One step of a moving-PNN (trajectory) workload: the query position, its
@@ -45,6 +46,10 @@ pub struct TrajectoryStep {
     /// Change of the answer set relative to the previous step (for the first
     /// step, relative to the empty answer: everything `entered`).
     pub delta: AnswerDelta,
+    /// `true` when the step was answered from the previous step's safe
+    /// region (cached candidate set, zero index/object I/O) rather than a
+    /// full index descent. The answer is bit-identical either way.
+    pub reused: bool,
 }
 
 /// Leaf payload memoized by the engine: the leaf's entries after the sound
@@ -85,6 +90,34 @@ impl LeafCache {
     }
 }
 
+/// Reuse state threaded through a trajectory walk: the last fully derived
+/// step's leaf, a disk around its position inside which the candidate set is
+/// provably unchanged, and the fetched candidate objects themselves.
+///
+/// While the next path point stays strictly inside the disk *and* in the
+/// same leaf, the answer is recomputed from the cached candidates alone —
+/// same candidate ids in the same order, same integration — so it is
+/// bit-identical to a full derivation, at zero index and object I/O.
+#[derive(Debug)]
+pub(crate) struct StepReuse {
+    leaf: usize,
+    anchor: Point,
+    radius: f64,
+    examined: usize,
+    candidates: Vec<UncertainObject>,
+}
+
+/// Everything a full single-point derivation produces: the leaf, the answer,
+/// the fetched candidate objects (candidate order) and the screened entry
+/// list the candidates were verified against. [`crate::subscribe`] consumes
+/// all of it to build a safe region.
+pub(crate) struct DeriveResult {
+    pub(crate) leaf: usize,
+    pub(crate) answer: PnnAnswer,
+    pub(crate) candidates: Vec<UncertainObject>,
+    pub(crate) entries: Vec<ObjectEntry>,
+}
+
 /// Drops entries that can never survive the per-query `d_minmax` screen for
 /// *any* query point inside `region` (the leaf's rectangle).
 ///
@@ -96,7 +129,7 @@ impl LeafCache {
 /// (being non-minimal everywhere) shift the `d_minmax` value itself, so the
 /// surviving candidate set and probabilities are bit-identical to screening
 /// the full entry list.
-fn prescreen_entries(mut entries: Vec<ObjectEntry>, region: &Rect) -> Vec<ObjectEntry> {
+pub(crate) fn prescreen_entries(mut entries: Vec<ObjectEntry>, region: &Rect) -> Vec<ObjectEntry> {
     let d = entries
         .iter()
         .map(|e| region.dist_max(e.mbc.center) + e.mbc.radius)
@@ -234,6 +267,97 @@ impl<'a> QueryEngine<'a> {
         )
     }
 
+    /// The index this engine serves.
+    pub(crate) fn index(&self) -> &'a UvIndex {
+        self.index
+    }
+
+    /// Screened entry list of leaf node `leaf`, plus the leaf pages this call
+    /// actually read. Goes through the per-leaf cache when enabled (a hit
+    /// reads zero pages), otherwise reads and screens the pages directly.
+    /// Either way the entries are the sound `d_minmax` prescreen of the full
+    /// page list, so candidate sets derived from them are bit-identical to
+    /// the unscreened path for every query point inside the leaf.
+    pub(crate) fn leaf_entries_screened(&self, leaf: usize) -> (Vec<ObjectEntry>, u64) {
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|c| c.epoch == self.index.epoch() && leaf < c.slots.len());
+        let Some(cache) = cache else {
+            let (entries, io) = self.index.leaf_entries(leaf);
+            return (
+                prescreen_entries(entries, &self.index.node_regions[leaf]),
+                io,
+            );
+        };
+        let mut filled_here = false;
+        let cached = cache.slots[leaf].get_or_init(|| {
+            filled_here = true;
+            let (entries, io_pages) = self.index.leaf_entries(leaf);
+            CachedLeaf {
+                entries: prescreen_entries(entries, &self.index.node_regions[leaf]),
+                io_pages,
+            }
+        });
+        let io = if filled_here { cached.io_pages } else { 0 };
+        (cached.entries.clone(), io)
+    }
+
+    /// Fully derives the answer at `q` — leaf descent, screened entries,
+    /// `d_minmax` verification, probability integration — returning the
+    /// derivation context alongside the answer. `None` when `q` lies outside
+    /// the domain. The answer is bit-identical to [`QueryEngine::pnn`].
+    pub(crate) fn derive_at(&self, q: Point) -> Option<DeriveResult> {
+        let t_traversal = Instant::now();
+        let leaf = self.index.locate_leaf(q)?;
+        let (entries, io) = self.leaf_entries_screened(leaf);
+        let (answer, candidates) = verify_and_refine_full(
+            self.objects,
+            q,
+            self.integration_steps,
+            &entries,
+            io,
+            t_traversal,
+        );
+        Some(DeriveResult {
+            leaf,
+            answer,
+            candidates,
+            entries,
+        })
+    }
+
+    /// Answers one trajectory point, reusing `reuse` when the point stays
+    /// strictly inside the previous full derivation's stability disk (and
+    /// leaf). Returns the answer and whether it was served from the cached
+    /// candidate set. On a miss the reuse state is re-derived (or cleared,
+    /// outside the domain / when no useful stability radius exists).
+    pub(crate) fn pnn_step(&self, q: Point, reuse: &mut Option<StepReuse>) -> (PnnAnswer, bool) {
+        if let Some(r) = reuse.as_ref() {
+            if q.dist(r.anchor) < r.radius && self.index.locate_leaf(q) == Some(r.leaf) {
+                let answer =
+                    answer_from_candidates(q, &r.candidates, r.examined, self.integration_steps);
+                return (answer, true);
+            }
+        }
+        let Some(d) = self.derive_at(q) else {
+            *reuse = None;
+            return (PnnAnswer::default(), false);
+        };
+        let radius = self.index.config().apply_safe_region_floor(
+            candidate_stability_radius(q, &d.entries),
+            self.index.domain(),
+        );
+        *reuse = (radius > 0.0).then_some(StepReuse {
+            leaf: d.leaf,
+            anchor: q,
+            radius,
+            examined: d.answer.candidates_examined,
+            candidates: d.candidates,
+        });
+        (d.answer, false)
+    }
+
     /// Answers a batch of PNN queries, fanned out over the worker pool.
     ///
     /// Answers come back in query order and are bit-identical (probabilities
@@ -271,29 +395,44 @@ impl<'a> QueryEngine<'a> {
     /// along a trajectory; each step carries the full answer plus the delta
     /// against the previous step's answer set.
     ///
-    /// The answers themselves are computed with [`QueryEngine::pnn_batch`]
-    /// (trajectory points are independent point queries), the deltas are
-    /// derived afterwards in path order.
+    /// With [`crate::UvConfig::safe_region`] enabled (the default) the walk
+    /// carries a stability disk: consecutive points inside the previous full
+    /// derivation's disk skip the index descent and recompute from the
+    /// cached candidate set ([`TrajectoryStep::reused`] is `true`), with
+    /// answers bit-identical to a full evaluation. When disabled, every
+    /// point is answered through [`QueryEngine::pnn_batch`] as before.
     pub fn pnn_trajectory(&self, path: &[Point]) -> Vec<TrajectoryStep> {
-        trajectory_steps(path, self.pnn_batch(path))
+        if !self.index.config().safe_region {
+            let answers = self.pnn_batch(path).into_iter().map(|a| (a, false));
+            return trajectory_steps(path, answers.collect());
+        }
+        let mut reuse = None;
+        let answers: Vec<(PnnAnswer, bool)> =
+            path.iter().map(|q| self.pnn_step(*q, &mut reuse)).collect();
+        trajectory_steps(path, answers)
     }
 }
 
-/// Folds per-point answers into [`TrajectoryStep`]s with answer-set deltas,
-/// in path order. Shared by [`QueryEngine::pnn_trajectory`] and the
-/// domain-sharded serving layer ([`crate::shard::ShardedUvSystem`]), whose
-/// trajectory queries re-route to a different shard at every shard-boundary
-/// crossing while the delta chain stays one unbroken sequence.
-pub(crate) fn trajectory_steps(path: &[Point], answers: Vec<PnnAnswer>) -> Vec<TrajectoryStep> {
+/// Folds per-point answers (and their reuse flags) into [`TrajectoryStep`]s
+/// with answer-set deltas, in path order. Shared by
+/// [`QueryEngine::pnn_trajectory`] and the domain-sharded serving layer
+/// ([`crate::shard::ShardedUvSystem`]), whose trajectory queries re-route to
+/// a different shard at every shard-boundary crossing while the delta chain
+/// stays one unbroken sequence.
+pub(crate) fn trajectory_steps(
+    path: &[Point],
+    answers: Vec<(PnnAnswer, bool)>,
+) -> Vec<TrajectoryStep> {
     let mut steps = Vec::with_capacity(answers.len());
     let mut prev = PnnAnswer::default();
-    for (position, answer) in path.iter().zip(answers) {
+    for (position, (answer, reused)) in path.iter().zip(answers) {
         let delta = AnswerDelta::between(&prev, &answer);
         prev = answer.clone();
         steps.push(TrajectoryStep {
             position: *position,
             answer,
             delta,
+            reused,
         });
     }
     steps
@@ -435,6 +574,60 @@ mod tests {
         );
         // The moving query visits many leaves; the cache should have filled.
         assert!(engine.cached_leaves() > 1);
+    }
+
+    #[test]
+    fn safe_region_trajectory_is_bit_identical_to_the_disabled_walk() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(250));
+        let on = UvSystem::build(
+            ds.objects.clone(),
+            ds.domain,
+            Method::IC,
+            UvConfig::default(),
+        )
+        .unwrap();
+        let off = UvSystem::build(
+            ds.objects.clone(),
+            ds.domain,
+            Method::IC,
+            UvConfig::default().with_safe_region(false),
+        )
+        .unwrap();
+        // A slow drift: steps short enough that most land inside the
+        // previous derivation's stability disk.
+        let path: Vec<Point> = (0..120)
+            .map(|i| {
+                let t = i as f64;
+                Point::new(4_000.0 + 6.0 * t, 5_200.0 + 2.5 * t)
+            })
+            .collect();
+        let engine_on = QueryEngine::new(on.index(), on.object_store());
+        let engine_off = QueryEngine::new(off.index(), off.object_store());
+        let steps_on = engine_on.pnn_trajectory(&path);
+        let steps_off = engine_off.pnn_trajectory(&path);
+
+        // The disabled walk never reuses; the enabled one must, and its
+        // first step is always a full derivation.
+        assert!(steps_off.iter().all(|s| !s.reused));
+        assert!(!steps_on[0].reused);
+        let reused = steps_on.iter().filter(|s| s.reused).count();
+        assert!(
+            reused * 2 > steps_on.len(),
+            "a slow drift should mostly stay inside its safe regions \
+             ({reused}/{} reused)",
+            steps_on.len()
+        );
+
+        // Bit-identical answers and deltas, step by step.
+        for (a, b) in steps_on.iter().zip(&steps_off) {
+            assert_eq!(a.position, b.position);
+            assert_identical(&a.answer, &b.answer);
+            for ((ia, pa), (ib, pb)) in a.answer.probabilities.iter().zip(&b.answer.probabilities) {
+                assert_eq!(ia, ib);
+                assert_eq!(pa.to_bits(), pb.to_bits(), "probability bits diverged");
+            }
+            assert_eq!(a.delta, b.delta);
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub enum UvError {
     DuplicateObject(u32),
     /// An object has non-finite coordinates or a negative radius.
     InvalidObject(u32),
+    /// A subscription client id was not found in the subscription table.
+    UnknownClient(u64),
+    /// A subscribe used a client id that is already registered.
+    DuplicateClient(u64),
     /// The query point lies outside the indexed domain.
     OutOfDomain,
     /// The index was built over an empty dataset.
@@ -47,6 +51,10 @@ impl fmt::Display for UvError {
                     f,
                     "object {id} has a non-finite position or negative radius"
                 )
+            }
+            UvError::UnknownClient(id) => write!(f, "unknown subscription client id {id}"),
+            UvError::DuplicateClient(id) => {
+                write!(f, "subscription client id {id} is already registered")
             }
             UvError::OutOfDomain => write!(f, "query point lies outside the indexed domain"),
             UvError::EmptyIndex => write!(f, "the index contains no objects"),
@@ -95,6 +103,14 @@ mod tests {
             "object id 4 is already live"
         );
         assert!(UvError::InvalidObject(5).to_string().contains("object 5"));
+        assert_eq!(
+            UvError::UnknownClient(6).to_string(),
+            "unknown subscription client id 6"
+        );
+        assert_eq!(
+            UvError::DuplicateClient(7).to_string(),
+            "subscription client id 7 is already registered"
+        );
         assert!(UvError::OutOfDomain.to_string().contains("outside"));
         assert!(UvError::EmptyIndex.to_string().contains("no objects"));
         assert!(UvError::Io("disk on fire".into())

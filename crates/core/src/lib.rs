@@ -30,6 +30,12 @@
 //!   into an `S × S` grid of shard rectangles, each served by its own
 //!   system over a halo-replicated object subset, with queries routed by
 //!   point ownership and answers bit-identical to the unsharded system.
+//! * [`subscribe`] — continuous PNN subscriptions beyond the paper: moving
+//!   clients carry per-position *safe regions* (UV-leaf pinned stability
+//!   disks derived from the `d_minmax` screen and the integration's branch
+//!   structure); ticks inside the region cost zero leaf page reads, misses
+//!   push answer-set deltas, updates invalidate by repaired-leaf epoch, and
+//!   shard crossings migrate the subscription with an unbroken delta chain.
 //!
 //! # Quick start
 //!
@@ -76,6 +82,7 @@ pub mod region;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;
+pub mod subscribe;
 pub mod system;
 pub mod update;
 
@@ -90,5 +97,8 @@ pub use pattern::PartitionCell;
 pub use region::PossibleRegion;
 pub use shard::{ShardedUpdateStats, ShardedUvSystem};
 pub use stats::{ConstructionStats, PruneStats};
+pub use subscribe::{
+    ClientId, SafeRegion, SubscriptionEngine, SubscriptionStats, SubscriptionTable,
+};
 pub use system::UvSystem;
 pub use update::{ObjectState, UpdateBatch, UpdateOp, UpdateStats, Updater};

@@ -74,7 +74,7 @@
 
 use crate::builder::Method;
 use crate::config::UvConfig;
-use crate::engine::{trajectory_steps, TrajectoryStep};
+use crate::engine::{trajectory_steps, QueryEngine, StepReuse, TrajectoryStep};
 use crate::snapshot::{FORMAT_VERSION, SECTION_OVERHEAD};
 use crate::system::UvSystem;
 use crate::update::{UpdateBatch, UpdateStats};
@@ -441,8 +441,41 @@ impl ShardedUvSystem {
     /// owning shard — the query re-routes at each shard-boundary crossing —
     /// while the per-step answer deltas chain across the whole path, so the
     /// steps equal the unsharded [`UvSystem::pnn_trajectory`] bit-exactly.
+    ///
+    /// With [`UvConfig::safe_region`] enabled (the default) the walk carries
+    /// the same per-step stability disk as the unsharded engine, scoped to
+    /// the current owning shard: consecutive points inside the disk reuse
+    /// the cached candidate set ([`TrajectoryStep::reused`]); a
+    /// shard-boundary crossing drops the disk and re-derives on the
+    /// destination shard. Answers are bit-identical either way.
     pub fn pnn_trajectory(&self, path: &[Point]) -> Vec<TrajectoryStep> {
-        trajectory_steps(path, self.pnn_batch(path))
+        if !self.config().safe_region {
+            let answers = self.pnn_batch(path).into_iter().map(|a| (a, false));
+            return trajectory_steps(path, answers.collect());
+        }
+        let engines: Vec<QueryEngine<'_>> = self
+            .shards
+            .iter()
+            .map(|s| QueryEngine::new(s.index(), s.object_store()))
+            .collect();
+        let mut reuse: Option<StepReuse> = None;
+        let mut current: Option<usize> = None;
+        let mut answers = Vec::with_capacity(path.len());
+        for q in path {
+            let owner = self.owner_of(*q);
+            if owner != current {
+                reuse = None;
+                current = owner;
+            }
+            answers.push(match owner {
+                Some(s) => engines[s].pnn_step(*q, &mut reuse),
+                None => {
+                    reuse = None;
+                    (PnnAnswer::default(), false)
+                }
+            });
+        }
+        trajectory_steps(path, answers)
     }
 
     /// Applies an update batch atomically: the router validates and applies

@@ -35,6 +35,7 @@
 //! then, in fixed order, framed sections     tag u8 | len u64 | payload | fnv64
 //!   1 CONFIG   2 META      3 OBJECTS   4 OBJECT_PAGES  5 OBJECT_STORE
 //!   6 RTREE_PAGES  7 RTREE  8 INDEX_PAGES  9 INDEX  10 REF_TABLE  11 STATS
+//!   12 SUBSCRIPTIONS
 //! ```
 //!
 //! Every malformation maps to a typed [`UvError`], never a panic: a wrong
@@ -57,6 +58,7 @@ use crate::config::UvConfig;
 use crate::crobjects::UpdateSensitivity;
 use crate::index::{GridNode, UvIndex};
 use crate::stats::ConstructionStats;
+use crate::subscribe::SubscriptionTable;
 use crate::system::UvSystem;
 use crate::update::{ObjectState, RefTable};
 use crate::UvError;
@@ -89,7 +91,14 @@ pub const MAGIC: [u8; 8] = *b"UVDSNAP\0";
 ///   domain). The unsharded stream layout is unchanged from v2; the
 ///   persisted budget flag is still read and written bit-faithfully but is
 ///   now recomputed after every repair and never forces a rebuild.
-pub const FORMAT_VERSION: u32 = 3;
+/// * **4** — `UvConfig` gained `safe_region` and
+///   `safe_region_min_radius_fraction`, and every snapshot ends with a
+///   SUBSCRIPTIONS section persisting the continuous-query subscription
+///   table (client id, position, answer id set; empty for
+///   [`UvSystem::save_snapshot`]). Restored clients carry no safe region,
+///   so their first tick re-derives and the pushed delta chain continues
+///   unbroken.
+pub const FORMAT_VERSION: u32 = 4;
 
 mod tag {
     pub const CONFIG: u8 = 1;
@@ -103,6 +112,7 @@ mod tag {
     pub const INDEX: u8 = 9;
     pub const REF_TABLE: u8 = 10;
     pub const STATS: u8 = 11;
+    pub const SUBSCRIPTIONS: u8 = 12;
 }
 
 // ---------------------------------------------------------------------------
@@ -122,7 +132,9 @@ impl Encode for UvConfig {
         self.query_workers.write_to(w)?;
         self.leaf_cache.write_to(w)?;
         self.leaf_split_capacity.write_to(w)?;
-        self.num_shards.write_to(w)
+        self.num_shards.write_to(w)?;
+        self.safe_region.write_to(w)?;
+        self.safe_region_min_radius_fraction.write_to(w)
     }
 }
 
@@ -141,6 +153,8 @@ impl Decode for UvConfig {
             leaf_cache: bool::read_from(r)?,
             leaf_split_capacity: usize::read_from(r)?,
             num_shards: usize::read_from(r)?,
+            safe_region: bool::read_from(r)?,
+            safe_region_min_radius_fraction: f64::read_from(r)?,
         })
     }
 }
@@ -385,6 +399,21 @@ impl UvSystem {
     /// [module docs](crate::snapshot) for the format and the correctness
     /// contract.
     pub fn save_snapshot<W: Write>(&self, w: &mut W) -> Result<u64, UvError> {
+        self.save_snapshot_with_subscriptions(w, &SubscriptionTable::new())
+    }
+
+    /// Like [`UvSystem::save_snapshot`], additionally persisting a
+    /// continuous-query subscription table
+    /// ([`crate::subscribe::SubscriptionEngine::into_table`]) in the
+    /// snapshot's SUBSCRIPTIONS section: client ids, positions and answer
+    /// id sets. Safe regions and epoch tags are runtime state and are *not*
+    /// persisted — a restored client re-derives on its first tick, which
+    /// keeps its pushed delta chain unbroken across the restart.
+    pub fn save_snapshot_with_subscriptions<W: Write>(
+        &self,
+        w: &mut W,
+        subscriptions: &SubscriptionTable,
+    ) -> Result<u64, UvError> {
         let config_payload = to_bytes(&self.config);
 
         w.write_all(&MAGIC)?;
@@ -432,6 +461,15 @@ impl UvSystem {
         written += emit(w, tag::REF_TABLE, ref_payload)?;
 
         written += emit(w, tag::STATS, to_bytes(&self.construction))?;
+
+        let mut subs_payload = Vec::new();
+        subscriptions.len().write_to(&mut subs_payload)?;
+        for (id, client) in subscriptions.iter() {
+            id.write_to(&mut subs_payload)?;
+            client.position().write_to(&mut subs_payload)?;
+            client.answer_ids().to_vec().write_to(&mut subs_payload)?;
+        }
+        written += emit(w, tag::SUBSCRIPTIONS, subs_payload)?;
         w.flush()?;
         Ok(written)
     }
@@ -449,13 +487,23 @@ impl UvSystem {
     /// re-derivation. I/O counters start at zero; query-engine caches
     /// refill lazily.
     pub fn load_snapshot<R: Read>(r: &mut R) -> Result<UvSystem, UvError> {
+        Ok(Self::load_snapshot_inner(r, None)?.0)
+    }
+
+    /// Like [`UvSystem::load_snapshot`], additionally restoring the
+    /// persisted subscription table. Restored clients carry their saved
+    /// position and answer id set but no safe region; resume serving with
+    /// [`crate::subscribe::SubscriptionEngine::with_table`].
+    pub fn load_snapshot_with_subscriptions<R: Read>(
+        r: &mut R,
+    ) -> Result<(UvSystem, SubscriptionTable), UvError> {
         Self::load_snapshot_inner(r, None)
     }
 
     fn load_snapshot_inner<R: Read>(
         r: &mut R,
         expected: Option<&UvConfig>,
-    ) -> Result<UvSystem, UvError> {
+    ) -> Result<(UvSystem, SubscriptionTable), UvError> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if magic != MAGIC {
@@ -557,9 +605,51 @@ impl UvSystem {
         let construction: ConstructionStats =
             uv_store::codec::from_bytes(&read_section(r, tag::STATS)?)?;
 
-        // The stats section is the last one: anything after it (a second
-        // snapshot concatenated on, a partially overwritten longer file) is
-        // corruption, not data to ignore.
+        let subs_payload = read_section(r, tag::SUBSCRIPTIONS)?;
+        let mut subs_r: &[u8] = &subs_payload;
+        let num_clients = usize::read_from(&mut subs_r)?;
+        let live: std::collections::HashSet<u32> = objects.iter().map(|o| o.id).collect();
+        let mut subscriptions = SubscriptionTable::new();
+        let mut prev_id: Option<u64> = None;
+        for _ in 0..num_clients {
+            let id = u64::read_from(&mut subs_r)?;
+            if prev_id.is_some_and(|p| p >= id) {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "subscription client ids not strictly ascending at {id}"
+                )));
+            }
+            prev_id = Some(id);
+            let position = Point::read_from(&mut subs_r)?;
+            if !position.x.is_finite() || !position.y.is_finite() {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "subscription client {id} has a non-finite position"
+                )));
+            }
+            let answer_ids: Vec<u32> = Vec::read_from(&mut subs_r)?;
+            if answer_ids.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "subscription client {id} answer ids not strictly ascending"
+                )));
+            }
+            if let Some(dead) = answer_ids.iter().find(|a| !live.contains(a)) {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "subscription client {id} answers with unknown object {dead}"
+                )));
+            }
+            // The restored answer set is exactly the saved system's answer
+            // at this position, so tag the client with the loaded epoch:
+            // it is current until the next update.
+            subscriptions.insert_persisted(id, position, answer_ids, index.epoch);
+        }
+        if !subs_r.is_empty() {
+            return Err(UvError::SnapshotCorrupt(
+                "subscription section has trailing bytes".into(),
+            ));
+        }
+
+        // The subscriptions section is the last one: anything after it (a
+        // second snapshot concatenated on, a partially overwritten longer
+        // file) is corruption, not data to ignore.
         let mut probe = [0u8; 1];
         if r.read(&mut probe)? != 0 {
             return Err(UvError::SnapshotCorrupt(
@@ -567,17 +657,20 @@ impl UvSystem {
             ));
         }
 
-        Ok(UvSystem {
-            objects,
-            domain,
-            object_store,
-            rtree,
-            index,
-            construction,
-            config,
-            method,
-            ref_table,
-        })
+        Ok((
+            UvSystem {
+                objects,
+                domain,
+                object_store,
+                rtree,
+                index,
+                construction,
+                config,
+                method,
+                ref_table,
+            },
+            subscriptions,
+        ))
     }
 
     /// Loads a snapshot from a file.
@@ -597,7 +690,7 @@ impl UvSystem {
         r: &mut R,
         expected: &UvConfig,
     ) -> Result<UvSystem, UvError> {
-        let system = Self::load_snapshot_inner(r, Some(expected))?;
+        let (system, _) = Self::load_snapshot_inner(r, Some(expected))?;
         if system.config() != expected {
             return Err(UvError::ConfigMismatch);
         }
@@ -889,5 +982,133 @@ mod tests {
             UvSystem::load_snapshot_from_path(&path),
             Err(UvError::Io(_))
         ));
+    }
+
+    #[test]
+    fn subscription_table_roundtrips_and_resumes_the_delta_chain() {
+        use crate::subscribe::SubscriptionEngine;
+
+        let (ds, sys) = fixture(120);
+        let queries = ds.query_points(6, 77);
+        let mut engine = SubscriptionEngine::new(&sys);
+        for (i, q) in queries.iter().enumerate() {
+            engine.subscribe(i as u64 * 10, *q).unwrap();
+        }
+        let table = engine.into_table();
+
+        let mut bytes = Vec::new();
+        sys.save_snapshot_with_subscriptions(&mut bytes, &table)
+            .unwrap();
+        let (loaded, restored) =
+            UvSystem::load_snapshot_with_subscriptions(&mut bytes.as_slice()).unwrap();
+
+        assert_eq!(restored.len(), table.len());
+        for (id, client) in table.iter() {
+            let r = restored.client(id).expect("client survives the roundtrip");
+            assert_eq!(r.position(), client.position());
+            assert_eq!(r.answer_ids(), client.answer_ids());
+            // Safe regions are runtime-only state: rebuilt on first miss.
+            assert!(r.safe_region().is_none());
+        }
+
+        // Resuming from the restored table must continue the delta chain:
+        // each pushed delta applied to the *persisted* answer set yields the
+        // oracle answer at the new position.
+        let mut resumed = SubscriptionEngine::with_table(&loaded, restored);
+        let moves: Vec<(u64, Point)> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i as u64 * 10, Point::new(q.x + 3.0, q.y - 2.0)))
+            .collect();
+        let deltas = resumed.tick(&moves);
+        let after = resumed.into_table();
+        for (id, p) in &moves {
+            let oracle: Vec<u32> = loaded
+                .pnn(*p)
+                .probabilities
+                .iter()
+                .map(|(id, _)| *id)
+                .collect();
+            assert_eq!(
+                after.client(*id).unwrap().answer_ids(),
+                oracle.as_slice(),
+                "client {id} diverged from the oracle after resume"
+            );
+        }
+        for (id, delta) in &deltas {
+            let before = table.client(*id).unwrap().answer_ids();
+            assert!(delta.entered.iter().all(|e| !before.contains(e)));
+            assert!(delta.left.iter().all(|l| before.contains(l)));
+        }
+    }
+
+    #[test]
+    fn plain_save_persists_an_empty_subscription_table() {
+        let (_, sys) = fixture(60);
+        let bytes = snapshot_bytes(&sys);
+        let (_, restored) =
+            UvSystem::load_snapshot_with_subscriptions(&mut bytes.as_slice()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    /// Re-frames the final (SUBSCRIPTIONS) section of a valid snapshot with
+    /// a crafted payload, keeping the checksum consistent so the *semantic*
+    /// validation — not the framing — is what rejects it.
+    fn with_subscription_payload(sys: &UvSystem, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = snapshot_bytes(sys);
+        // The empty table's section is SECTION_OVERHEAD + 8 bytes (count 0).
+        bytes.truncate(bytes.len() - (SECTION_OVERHEAD as usize + 8));
+        write_section(&mut bytes, tag::SUBSCRIPTIONS, payload).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn subscription_corruption_yields_typed_errors() {
+        let (_, sys) = fixture(60);
+        let live = sys.objects()[0].id;
+
+        let encode = |clients: &[(u64, Point, Vec<u32>)]| {
+            let mut p = Vec::new();
+            clients.len().write_to(&mut p).unwrap();
+            for (id, pos, ids) in clients {
+                id.write_to(&mut p).unwrap();
+                pos.write_to(&mut p).unwrap();
+                ids.write_to(&mut p).unwrap();
+            }
+            p
+        };
+        let expect_corrupt = |payload: Vec<u8>, what: &str| {
+            let bytes = with_subscription_payload(&sys, &payload);
+            match UvSystem::load_snapshot_with_subscriptions(&mut bytes.as_slice()) {
+                Err(UvError::SnapshotCorrupt(msg)) => assert!(
+                    msg.contains(what),
+                    "expected {what:?} in the error, got {msg:?}"
+                ),
+                other => panic!("expected SnapshotCorrupt for {what}, got {other:?}"),
+            }
+        };
+
+        let p = Point::new(10.0, 10.0);
+        expect_corrupt(
+            encode(&[(5, p, vec![live]), (5, p, vec![live])]),
+            "not strictly ascending",
+        );
+        expect_corrupt(
+            encode(&[(1, Point::new(f64::NAN, 0.0), vec![live])]),
+            "non-finite position",
+        );
+        expect_corrupt(
+            encode(&[(1, p, vec![live, live])]),
+            "answer ids not strictly ascending",
+        );
+        expect_corrupt(encode(&[(1, p, vec![u32::MAX])]), "unknown object");
+        let mut trailing = encode(&[(1, p, vec![live])]);
+        trailing.push(0xAB);
+        expect_corrupt(trailing, "trailing bytes");
+
+        // A valid payload through the same framing still loads.
+        let ok = with_subscription_payload(&sys, &encode(&[(1, p, vec![live])]));
+        let (_, restored) = UvSystem::load_snapshot_with_subscriptions(&mut ok.as_slice()).unwrap();
+        assert_eq!(restored.len(), 1);
     }
 }

@@ -1,0 +1,1328 @@
+//! Continuous PNN subscriptions: per-client safe regions with delta push.
+//!
+//! The paper's UV-diagram makes one promise that batch queries cannot cash
+//! in: inside a UV-cell the PNN answer is *constant* (Section V-A), so a
+//! moving client whose position stays inside a known stable region needs no
+//! index work at all — the setting of the probabilistic moving-NN literature
+//! (Ali et al., see `docs/PAPER_MAP.md`). [`SubscriptionEngine`] is that
+//! serving mode:
+//!
+//! * **Safe regions** — every full derivation for a client also computes a
+//!   *stability disk* around the query point: the largest radius within
+//!   which (a) the `d_minmax` candidate screen of the client's UV-leaf keeps
+//!   the exact same candidate list (`candidate_stability_radius`) and (b)
+//!   the numerically integrated qualification probabilities keep the exact
+//!   same positive/zero split (`answer_stability_radius`). While a tick
+//!   stays strictly inside the disk and in the same leaf, the answer *id
+//!   set* is provably unchanged: the tick is answered with zero leaf page
+//!   reads and pushes no delta.
+//! * **Delta push** — a tick that leaves the safe region re-derives through
+//!   the same per-leaf cache and worker pool as [`crate::engine`] and pushes
+//!   an [`AnswerDelta`] only when the answer id set actually changed, so the
+//!   client-visible stream is one unbroken chain of deltas.
+//! * **Epoch-tagged invalidation** — after [`crate::UvSystem::apply`], only
+//!   subscriptions whose position lies inside a repaired leaf rectangle
+//!   ([`crate::update::UpdateStats::repaired_regions`]) re-derive; everyone
+//!   else revalidates by bumping their epoch tag
+//!   ([`SubscriptionEngine::refresh_after`]).
+//! * **Shard-aware migration** — over a [`ShardedUvSystem`] each client is
+//!   pinned to its owning shard; a tick that crosses a shard boundary
+//!   re-derives on the destination shard and the client migrates, with the
+//!   delta chain staying unbroken ([`SubscriptionEngine::sharded`]).
+//!
+//! The engine borrows the system immutably (like [`crate::engine`]'s
+//! [`QueryEngine`]), so applying updates requires handing the table across:
+//! [`SubscriptionEngine::into_table`], apply, then
+//! [`SubscriptionEngine::with_table`] and a `refresh_after*` call with the
+//! apply's stats **before the next tick** — the refresh is what re-derives
+//! subscriptions the update invalidated.
+//!
+//! # Soundness of the stability margins
+//!
+//! Both radii below are *conservative* under-approximations built from
+//! Lipschitz bounds on the exact quantities the query pipeline computes
+//! (`dist_min`/`dist_max` are 1-Lipschitz in the query point, the
+//! integration bounds and ring saturation points 1-Lipschitz, the step
+//! width `dt` at most `2/steps`-Lipschitz), with explicit `~1e-9`-scale
+//! guards wherever a floating-point comparison inside
+//! [`uv_data::qualification_probabilities`] must land on a *specific side*
+//! of a branch. A margin that comes out non-positive simply produces no
+//! safe region, which only costs a re-derivation — never a wrong answer.
+
+use crate::engine::QueryEngine;
+use crate::error::UvError;
+use crate::shard::{ShardedUpdateStats, ShardedUvSystem};
+use crate::system::UvSystem;
+use crate::update::UpdateStats;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+use uv_data::{
+    qualification_probabilities, AnswerDelta, ObjectEntry, ObjectId, PnnAnswer, QueryBreakdown,
+    UncertainObject, DEFAULT_RINGS,
+};
+use uv_geom::{Point, EPS};
+
+/// Identifier of a subscribed client, chosen by the caller.
+pub type ClientId = u64;
+
+/// A disk around a client's last fully derived position inside which the PNN
+/// answer id set is provably unchanged, tagged with the UV-leaf the
+/// derivation descended to. A tick strictly inside the disk that still lands
+/// in the same leaf (and, sharded, the same owning shard at an unchanged
+/// epoch) is served with zero leaf page reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafeRegion {
+    leaf: usize,
+    anchor: Point,
+    radius: f64,
+}
+
+impl SafeRegion {
+    /// Centre of the stability disk (the position of the derivation).
+    pub fn anchor(&self) -> Point {
+        self.anchor
+    }
+
+    /// Radius of the stability disk. May be infinite (e.g. a single live
+    /// object answers every query with probability 1).
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// UV-leaf (grid node id) the derivation descended to; sharded, this is
+    /// a node id *within the owning shard's index*.
+    pub fn leaf(&self) -> usize {
+        self.leaf
+    }
+}
+
+/// One subscribed client: its last reported position, its current answer id
+/// set (the state the pushed delta chain encodes), the epoch it was last
+/// validated against and, when one exists, its safe region.
+#[derive(Debug, Clone)]
+pub struct Client {
+    position: Point,
+    answer_ids: Vec<ObjectId>,
+    epoch: u64,
+    shard: Option<usize>,
+    safe: Option<SafeRegion>,
+}
+
+impl Client {
+    /// Last reported position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Current answer id set (sorted ascending) — the state a consumer of
+    /// the client's delta stream has accumulated.
+    pub fn answer_ids(&self) -> &[ObjectId] {
+        &self.answer_ids
+    }
+
+    /// The client's safe region, when the last derivation produced a
+    /// positive stability radius.
+    pub fn safe_region(&self) -> Option<&SafeRegion> {
+        self.safe.as_ref()
+    }
+
+    /// Owning shard of the last derivation (always `None` on unsharded
+    /// engines and for out-of-domain positions).
+    pub fn shard(&self) -> Option<usize> {
+        self.shard
+    }
+}
+
+/// The registered clients, keyed by id. Owned by the engine during serving;
+/// handed across update cycles via [`SubscriptionEngine::into_table`] /
+/// [`SubscriptionEngine::with_table`] and persisted by
+/// [`crate::UvSystem::save_snapshot_with_subscriptions`].
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionTable {
+    clients: BTreeMap<ClientId, Client>,
+}
+
+impl SubscriptionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// `true` when no client is registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// `true` when `id` is registered.
+    pub fn contains(&self, id: ClientId) -> bool {
+        self.clients.contains_key(&id)
+    }
+
+    /// The client registered under `id`.
+    pub fn client(&self, id: ClientId) -> Option<&Client> {
+        self.clients.get(&id)
+    }
+
+    /// Iterates over all clients in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClientId, &Client)> {
+        self.clients.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Snapshot-load constructor: a client restored from disk carries no
+    /// safe region and no shard pin, so its first tick (or refresh) fully
+    /// re-derives; `epoch` is the loaded system's epoch, making the restored
+    /// answer ids current.
+    pub(crate) fn insert_persisted(
+        &mut self,
+        id: ClientId,
+        position: Point,
+        answer_ids: Vec<ObjectId>,
+        epoch: u64,
+    ) {
+        self.clients.insert(
+            id,
+            Client {
+                position,
+                answer_ids,
+                epoch,
+                shard: None,
+                safe: None,
+            },
+        );
+    }
+}
+
+/// Serving counters of a [`SubscriptionEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// Position reports processed (known clients only).
+    pub ticks: u64,
+    /// Ticks served from a safe region: zero leaf page reads, no delta.
+    pub hits: u64,
+    /// Full derivations (subscribes, safe-region misses, refreshes).
+    pub derivations: u64,
+    /// Derivations that moved a client to a different owning shard.
+    pub migrations: u64,
+    /// Clients re-derived by `refresh_after*` because an update's repaired
+    /// region covered their position (or invalidated the whole table).
+    pub invalidated: u64,
+    /// Non-empty deltas pushed to clients.
+    pub deltas_pushed: u64,
+}
+
+impl SubscriptionStats {
+    /// Fraction of ticks served from a safe region (0.0 before any tick).
+    pub fn hit_rate(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.ticks as f64
+        }
+    }
+}
+
+/// The index stack a subscription engine serves from: one [`UvSystem`] with
+/// its query engine, or a [`ShardedUvSystem`] with one query engine per
+/// shard (each engine keeps its own per-leaf cache).
+enum Backend<'a> {
+    Single {
+        system: &'a UvSystem,
+        engine: QueryEngine<'a>,
+    },
+    Sharded {
+        system: &'a ShardedUvSystem,
+        engines: Vec<QueryEngine<'a>>,
+    },
+}
+
+impl Backend<'_> {
+    fn config(&self) -> &crate::UvConfig {
+        match self {
+            Backend::Single { system, .. } => system.config(),
+            Backend::Sharded { system, .. } => system.config(),
+        }
+    }
+}
+
+/// Everything one full derivation hands back to the table.
+struct Derived {
+    answer: PnnAnswer,
+    ids: Vec<ObjectId>,
+    epoch: u64,
+    shard: Option<usize>,
+    safe: Option<SafeRegion>,
+}
+
+/// Continuous PNN subscription engine: thousands of moving clients register
+/// once and then stream position ticks; the engine answers each tick either
+/// from the client's safe region (zero leaf page reads, no delta) or by a
+/// full re-derivation that pushes the answer-set delta.
+///
+/// ```
+/// use uv_core::{SubscriptionEngine, UvSystem};
+/// use uv_data::{Dataset, GeneratorConfig};
+/// use uv_geom::Point;
+///
+/// let ds = Dataset::generate(GeneratorConfig::paper_uniform(150));
+/// let system = UvSystem::with_defaults(ds.objects.clone(), ds.domain);
+/// let mut subs = SubscriptionEngine::new(&system);
+/// let start = ds.query_points(1, 7)[0];
+/// let answer = subs.subscribe(42, start).unwrap();
+/// assert_eq!(answer.answer_ids(), system.pnn(start).answer_ids());
+/// // A tiny move almost always stays inside the safe region: no delta.
+/// let deltas = subs.tick(&[(42, Point::new(start.x + 1e-6, start.y))]);
+/// assert!(deltas.is_empty());
+/// ```
+pub struct SubscriptionEngine<'a> {
+    backend: Backend<'a>,
+    table: SubscriptionTable,
+    stats: SubscriptionStats,
+}
+
+impl<'a> SubscriptionEngine<'a> {
+    /// Creates an engine over a single (unsharded) system with an empty
+    /// subscription table.
+    pub fn new(system: &'a UvSystem) -> Self {
+        Self::with_table(system, SubscriptionTable::new())
+    }
+
+    /// Creates an engine over a single system, resuming an existing table
+    /// (from [`SubscriptionEngine::into_table`] across an update cycle, or
+    /// from a loaded snapshot).
+    pub fn with_table(system: &'a UvSystem, table: SubscriptionTable) -> Self {
+        let engine = QueryEngine::new(system.index(), system.object_store());
+        Self {
+            backend: Backend::Single { system, engine },
+            table,
+            stats: SubscriptionStats::default(),
+        }
+    }
+
+    /// Creates an engine over a sharded system with an empty table.
+    pub fn sharded(system: &'a ShardedUvSystem) -> Self {
+        Self::sharded_with_table(system, SubscriptionTable::new())
+    }
+
+    /// Creates an engine over a sharded system, resuming an existing table.
+    ///
+    /// After a [`ShardedUvSystem::apply`], call
+    /// [`SubscriptionEngine::refresh_after_sharded`] with the apply's stats
+    /// before the next tick: resharding remaps shard indices, and the
+    /// refresh is what re-derives every client the update invalidated.
+    pub fn sharded_with_table(system: &'a ShardedUvSystem, table: SubscriptionTable) -> Self {
+        let engines = (0..system.shard_count())
+            .map(|s| {
+                let shard = system.shard(s);
+                QueryEngine::new(shard.index(), shard.object_store())
+            })
+            .collect();
+        Self {
+            backend: Backend::Sharded { system, engines },
+            table,
+            stats: SubscriptionStats::default(),
+        }
+    }
+
+    /// The subscription table (positions, answer sets, safe regions).
+    pub fn table(&self) -> &SubscriptionTable {
+        &self.table
+    }
+
+    /// Releases the table, e.g. to apply updates (which needs `&mut` on the
+    /// system) and resume via [`SubscriptionEngine::with_table`].
+    pub fn into_table(self) -> SubscriptionTable {
+        self.table
+    }
+
+    /// Serving counters since construction (or the last reset).
+    pub fn stats(&self) -> SubscriptionStats {
+        self.stats
+    }
+
+    /// Zeroes the serving counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SubscriptionStats::default();
+    }
+
+    /// Registers client `id` at `position` and returns its initial answer
+    /// (the head of its delta chain). Errors with
+    /// [`UvError::DuplicateClient`] when the id is already registered.
+    pub fn subscribe(&mut self, id: ClientId, position: Point) -> Result<PnnAnswer, UvError> {
+        if self.table.clients.contains_key(&id) {
+            return Err(UvError::DuplicateClient(id));
+        }
+        let d = derive(&self.backend, position);
+        self.stats.derivations += 1;
+        self.table.clients.insert(
+            id,
+            Client {
+                position,
+                answer_ids: d.ids,
+                epoch: d.epoch,
+                shard: d.shard,
+                safe: d.safe,
+            },
+        );
+        Ok(d.answer)
+    }
+
+    /// Removes client `id`. Errors with [`UvError::UnknownClient`] when it
+    /// is not registered.
+    pub fn unsubscribe(&mut self, id: ClientId) -> Result<(), UvError> {
+        match self.table.clients.remove(&id) {
+            Some(_) => Ok(()),
+            None => Err(UvError::UnknownClient(id)),
+        }
+    }
+
+    /// Processes a batch of position reports and returns the non-empty
+    /// answer-set deltas, in report order.
+    ///
+    /// A report inside the client's safe region is a *hit*: the answer id
+    /// set is provably unchanged, so the tick costs zero leaf page reads
+    /// and pushes nothing. Misses re-derive concurrently over the worker
+    /// pool (sequentially when one client appears twice in the batch, so
+    /// later reports see earlier state) and push a delta only when the
+    /// answer set actually changed. Reports for unregistered ids are
+    /// silently skipped.
+    pub fn tick(&mut self, moves: &[(ClientId, Point)]) -> Vec<(ClientId, AnswerDelta)> {
+        let mut seen = HashSet::with_capacity(moves.len());
+        let unique_ids = moves.iter().all(|(id, _)| seen.insert(*id));
+        let mut derived: HashMap<usize, Derived> = HashMap::new();
+        if unique_ids {
+            let misses: Vec<(usize, Point)> = moves
+                .iter()
+                .enumerate()
+                .filter(|(_, (id, p))| {
+                    self.table
+                        .clients
+                        .get(id)
+                        .is_some_and(|c| !hit(&self.backend, c, *p))
+                })
+                .map(|(i, (_, p))| (i, *p))
+                .collect();
+            derived = self.derive_many(misses).into_iter().collect();
+        }
+        let mut out = Vec::new();
+        for (i, (id, p)) in moves.iter().enumerate() {
+            let Some(client) = self.table.clients.get(id) else {
+                continue;
+            };
+            self.stats.ticks += 1;
+            if hit(&self.backend, client, *p) {
+                self.stats.hits += 1;
+                self.table
+                    .clients
+                    .get_mut(id)
+                    .expect("client exists")
+                    .position = *p;
+                continue;
+            }
+            let d = derived
+                .remove(&i)
+                .unwrap_or_else(|| derive(&self.backend, *p));
+            if let Some(delta) = self.apply_derived(*id, *p, d) {
+                out.push((*id, delta));
+            }
+        }
+        out
+    }
+
+    /// Revalidates every subscription after an (unsharded)
+    /// [`crate::UvSystem::apply`], given the apply's stats: clients whose
+    /// position lies outside every repaired leaf rectangle keep their
+    /// answer *and safe region* and only bump their epoch tag; clients
+    /// inside a repaired rectangle (or too many epochs behind) re-derive,
+    /// returning the resulting non-empty deltas in ascending client order.
+    pub fn refresh_after(&mut self, stats: &UpdateStats) -> Vec<(ClientId, AnswerDelta)> {
+        let Backend::Single { system, .. } = &self.backend else {
+            panic!("refresh_after serves unsharded engines; use refresh_after_sharded");
+        };
+        let cur = system.epoch();
+        let selective = stats.epoch == cur;
+        let mut stale = Vec::new();
+        for (id, client) in self.table.clients.iter_mut() {
+            if client.epoch == cur {
+                continue;
+            }
+            if selective
+                && client.epoch + 1 == cur
+                && !stats
+                    .repaired_regions()
+                    .iter()
+                    .any(|r| r.contains(client.position))
+            {
+                // A PNN answer can only change at points inside a repaired
+                // leaf; same for the safe region, whose hit test is pinned
+                // to the client's (untouched) leaf.
+                client.epoch = cur;
+                continue;
+            }
+            stale.push((*id, client.position));
+        }
+        self.rederive_stale(stale)
+    }
+
+    /// Sharded counterpart of [`SubscriptionEngine::refresh_after`]: the
+    /// epoch tags and repaired rectangles are checked per owning shard.
+    /// Resharding and domain growth remap shard ownership, so they
+    /// invalidate the whole table.
+    pub fn refresh_after_sharded(
+        &mut self,
+        stats: &ShardedUpdateStats,
+    ) -> Vec<(ClientId, AnswerDelta)> {
+        let Backend::Sharded { system, .. } = &self.backend else {
+            panic!("refresh_after_sharded serves sharded engines; use refresh_after");
+        };
+        let remapped = stats.domain_grown || stats.resharded;
+        let mut stale = Vec::new();
+        for (id, client) in self.table.clients.iter_mut() {
+            if remapped {
+                stale.push((*id, client.position));
+                continue;
+            }
+            let Some(s) = client.shard else {
+                // No shard pin: either out of domain at derivation time
+                // (still out — the domain did not grow) or restored from a
+                // snapshot and never derived here; re-derive when owned.
+                if system.owner_of(client.position).is_some() {
+                    stale.push((*id, client.position));
+                }
+                continue;
+            };
+            let cur = system.shard(s).epoch();
+            if client.epoch == cur {
+                continue;
+            }
+            let per = stats.per_shard.get(s);
+            if per.is_some_and(|p| p.epoch == cur)
+                && client.epoch + 1 == cur
+                && !per
+                    .expect("checked above")
+                    .repaired_regions()
+                    .iter()
+                    .any(|r| r.contains(client.position))
+            {
+                client.epoch = cur;
+                continue;
+            }
+            stale.push((*id, client.position));
+        }
+        self.rederive_stale(stale)
+    }
+
+    /// Re-derives `stale` clients (concurrently) at their current positions
+    /// and pushes the resulting non-empty deltas in the given order.
+    fn rederive_stale(&mut self, stale: Vec<(ClientId, Point)>) -> Vec<(ClientId, AnswerDelta)> {
+        self.stats.invalidated += stale.len() as u64;
+        let jobs: Vec<(usize, Point)> = stale
+            .iter()
+            .enumerate()
+            .map(|(i, (_, p))| (i, *p))
+            .collect();
+        let mut derived: HashMap<usize, Derived> = self.derive_many(jobs).into_iter().collect();
+        let mut out = Vec::new();
+        for (i, (id, p)) in stale.into_iter().enumerate() {
+            let d = derived.remove(&i).expect("one derivation per stale client");
+            if let Some(delta) = self.apply_derived(id, p, d) {
+                out.push((id, delta));
+            }
+        }
+        out
+    }
+
+    /// Runs the indexed derivation jobs over the configured worker pool.
+    fn derive_many(&self, jobs: Vec<(usize, Point)>) -> Vec<(usize, Derived)> {
+        let workers = self.backend.config().resolved_query_workers().max(1);
+        if workers <= 1 || jobs.len() <= 1 {
+            return jobs
+                .into_iter()
+                .map(|(i, p)| (i, derive(&self.backend, p)))
+                .collect();
+        }
+        let chunk_size = jobs.len().div_ceil(workers);
+        let backend = &self.backend;
+        let mut out = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(i, p)| (*i, derive(backend, *p)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("subscription worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Commits one derivation to the table, returning the delta to push (if
+    /// the answer set changed).
+    fn apply_derived(&mut self, id: ClientId, p: Point, d: Derived) -> Option<AnswerDelta> {
+        self.stats.derivations += 1;
+        let client = self
+            .table
+            .clients
+            .get_mut(&id)
+            .expect("derivation for an unregistered client");
+        if let (Some(old), Some(new)) = (client.shard, d.shard) {
+            if old != new {
+                self.stats.migrations += 1;
+            }
+        }
+        let delta = delta_between_ids(&client.answer_ids, &d.ids);
+        client.position = p;
+        client.answer_ids = d.ids;
+        client.epoch = d.epoch;
+        client.shard = d.shard;
+        client.safe = d.safe;
+        if delta.is_unchanged() {
+            None
+        } else {
+            self.stats.deltas_pushed += 1;
+            Some(delta)
+        }
+    }
+}
+
+/// Safe-region hit test: strictly inside the stability disk, same leaf
+/// (located through the in-memory grid — no page reads), current epoch and,
+/// sharded, still owned by the pinned shard.
+fn hit(backend: &Backend<'_>, client: &Client, p: Point) -> bool {
+    let Some(safe) = &client.safe else {
+        return false;
+    };
+    // `partial_cmp` rather than `<` so a NaN distance (non-finite client
+    // position) is a miss, never a hit.
+    if p.dist(safe.anchor).partial_cmp(&safe.radius) != Some(std::cmp::Ordering::Less) {
+        return false;
+    }
+    match backend {
+        Backend::Single { system, .. } => {
+            client.epoch == system.epoch() && system.index().locate_leaf(p) == Some(safe.leaf)
+        }
+        Backend::Sharded { system, engines } => {
+            let Some(s) = client.shard else { return false };
+            if s >= engines.len() {
+                return false;
+            }
+            system.owner_of(p) == Some(s)
+                && client.epoch == system.shard(s).epoch()
+                && engines[s].index().locate_leaf(p) == Some(safe.leaf)
+        }
+    }
+}
+
+/// One full derivation (answer + safe region) against the backend.
+fn derive(backend: &Backend<'_>, p: Point) -> Derived {
+    match backend {
+        Backend::Single { system, engine } => derive_on(engine, system, p, system.epoch(), None),
+        Backend::Sharded { system, engines } => match system.owner_of(p) {
+            None => Derived {
+                answer: PnnAnswer::default(),
+                ids: Vec::new(),
+                epoch: 0,
+                shard: None,
+                safe: None,
+            },
+            Some(s) => derive_on(
+                &engines[s],
+                system.shard(s),
+                p,
+                system.shard(s).epoch(),
+                Some(s),
+            ),
+        },
+    }
+}
+
+/// Derives on one concrete system/engine pair, computing the stability
+/// radius from the screened leaf entries and the integrated candidates.
+fn derive_on(
+    engine: &QueryEngine<'_>,
+    system: &UvSystem,
+    p: Point,
+    epoch: u64,
+    shard: Option<usize>,
+) -> Derived {
+    let Some(d) = engine.derive_at(p) else {
+        return Derived {
+            answer: PnnAnswer::default(),
+            ids: Vec::new(),
+            epoch,
+            shard,
+            safe: None,
+        };
+    };
+    let config = system.config();
+    let rho = candidate_stability_radius(p, &d.entries).min(answer_stability_radius(
+        p,
+        &d.candidates,
+        &d.answer,
+        config.integration_steps,
+    ));
+    let rho = config.apply_safe_region_floor(rho, system.domain());
+    Derived {
+        ids: d.answer.answer_ids(),
+        safe: (rho > 0.0).then_some(SafeRegion {
+            leaf: d.leaf,
+            anchor: p,
+            radius: rho,
+        }),
+        epoch,
+        shard,
+        answer: d.answer,
+    }
+}
+
+/// Diff of two sorted-ascending answer id sets, mirroring
+/// [`AnswerDelta::between`].
+fn delta_between_ids(prev: &[ObjectId], next: &[ObjectId]) -> AnswerDelta {
+    let entered: Vec<ObjectId> = next
+        .iter()
+        .filter(|id| prev.binary_search(id).is_err())
+        .copied()
+        .collect();
+    let left: Vec<ObjectId> = prev
+        .iter()
+        .filter(|id| next.binary_search(id).is_err())
+        .copied()
+        .collect();
+    let retained = next.len() - entered.len();
+    AnswerDelta {
+        entered,
+        left,
+        retained,
+    }
+}
+
+/// Recomputes the answer at `q` from an already-fetched candidate list —
+/// the tail of the full pipeline (`qualification_probabilities` + the
+/// positive-probability filter), at zero index and object I/O. Bit-identical
+/// to a full derivation whenever the candidate list (in order) matches what
+/// the screen at `q` would produce, which is exactly what
+/// [`candidate_stability_radius`] guarantees inside its disk.
+pub(crate) fn answer_from_candidates(
+    q: Point,
+    candidates: &[UncertainObject],
+    examined: usize,
+    steps: usize,
+) -> PnnAnswer {
+    let t = Instant::now();
+    let refs: Vec<&UncertainObject> = candidates.iter().collect();
+    let mut probabilities = qualification_probabilities(q, &refs, steps);
+    probabilities.retain(|(_, p)| *p > 0.0);
+    PnnAnswer {
+        probabilities,
+        candidates_examined: examined,
+        breakdown: QueryBreakdown {
+            probability: t.elapsed(),
+            ..QueryBreakdown::default()
+        },
+    }
+}
+
+/// Largest radius around `q` within which the `d_minmax` candidate screen
+/// over `entries` provably keeps the exact same outcome for every entry.
+///
+/// The screen admits entry `e` iff `dist_min_e(q) <= dminmax(q) + EPS`,
+/// where `dminmax(q) = min_e dist_max_e(q)`. Both sides are 1-Lipschitz in
+/// `q`, so the signed clearance `f_e(q) = dist_min_e(q) - dminmax(q) - EPS`
+/// is 2-Lipschitz and a move of less than `|f_e|/2` cannot flip its sign.
+/// The minimum over all entries therefore freezes the candidate *list*
+/// (same ids, same order, same examined count). Infinite when there are no
+/// entries (nothing to flip).
+pub(crate) fn candidate_stability_radius(q: Point, entries: &[ObjectEntry]) -> f64 {
+    if entries.is_empty() {
+        return f64::INFINITY;
+    }
+    let dminmax = entries
+        .iter()
+        .map(|e| e.dist_max(q))
+        .fold(f64::INFINITY, f64::min);
+    let threshold = dminmax + EPS;
+    entries
+        .iter()
+        .map(|e| (e.dist_min(q) - threshold).abs() / 2.0)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Per-candidate ring discretisation facts the stability analysis needs:
+/// the onset `a` (the smallest distance at which the candidate's distance
+/// cdf becomes positive: `min |d - s_k|` over positive-mass rings), the
+/// saturation `sat` (the largest `d + s_k`, beyond which every positive
+/// ring's cdf is 1) and the total ring mass (whether the clamp in
+/// [`uv_data::DistanceDistribution::cdf`] reaches an exact 1.0 at `sat`).
+/// `None` when the analysis would be fragile: a degenerate radius or a
+/// query (nearly) at the candidate's centre switch `ring_cdf` into its step
+/// branches, or no ring carries mass.
+fn ring_support(o: &UncertainObject, q: Point) -> Option<(f64, f64, f64)> {
+    let d = o.center().dist(q);
+    let radius = o.radius();
+    if radius <= 1e-9 || d <= 1e-9 {
+        return None;
+    }
+    let rings = o.pdf.num_bars().unwrap_or(DEFAULT_RINGS);
+    let masses = o.pdf.ring_masses(rings);
+    let mut onset = f64::INFINITY;
+    let mut sat = f64::NEG_INFINITY;
+    let mut mass = 0.0;
+    for (k, w) in masses.iter().enumerate() {
+        if *w <= 0.0 {
+            continue;
+        }
+        let s = radius * (k as f64 + 0.5) / rings as f64;
+        onset = onset.min((d - s).abs());
+        sat = sat.max(d + s);
+        mass += w;
+    }
+    if !onset.is_finite() || !sat.is_finite() {
+        return None;
+    }
+    Some((onset, sat, mass))
+}
+
+/// Largest radius around `q` within which the numerically integrated
+/// answer — the *set* of candidates retained with positive probability by
+/// [`uv_data::qualification_probabilities`] followed by the `p > 0.0`
+/// filter — provably cannot change, assuming the candidate list itself is
+/// frozen (see [`candidate_stability_radius`]; callers take the minimum of
+/// both radii).
+///
+/// The analysis tracks, per candidate, which side of zero its *computed*
+/// probability landed on and bounds how far `q` can move before the
+/// floating-point evaluation could land differently:
+///
+/// * a candidate computed **positive** stays positive while some
+///   integration step both starts at or before its cdf onset `a_i` and ends
+///   strictly after it, with every competitor's survival factor still
+///   strictly below saturation at the step start;
+/// * a candidate computed **zero** stays exactly zero while either its
+///   onset lies at or beyond the integration's upper bound (`df` is exactly
+///   `0.0` on every step — the cdf sums zero terms) or some competitor's
+///   cdf is exactly `1.0` (by forced `dist_max` return or by clamp with
+///   total ring mass >= 1) at the start of every step that could see a
+///   positive `df` (the survival product is exactly `0.0`).
+///
+/// All quantities involved are 1-Lipschitz in `q` except the step width
+/// (`2/steps`-Lipschitz), giving the `/2` and `/4` divisors; `~1e-9`-scale
+/// guards absorb floating-point evaluation noise around each branch point.
+/// Probabilities within `1e-12` of the `p > 0.0` filter are treated as
+/// unstable. Any non-positive margin yields radius 0 — no safe region, so a
+/// pessimistic bound only ever costs a re-derivation.
+pub(crate) fn answer_stability_radius(
+    q: Point,
+    candidates: &[UncertainObject],
+    answer: &PnnAnswer,
+    steps: usize,
+) -> f64 {
+    let n = candidates.len();
+    if n <= 1 {
+        // Empty answers stay empty and a lone candidate keeps probability 1
+        // for as long as the candidate list itself is stable.
+        return f64::INFINITY;
+    }
+    let dist_min: Vec<f64> = candidates.iter().map(|o| o.dist_min(q)).collect();
+    let dist_max: Vec<f64> = candidates.iter().map(|o| o.dist_max(q)).collect();
+    let lower = dist_min.iter().copied().fold(f64::INFINITY, f64::min);
+    let upper = dist_max.iter().copied().fold(f64::INFINITY, f64::min);
+    if upper <= lower {
+        // Degenerate-geometry branch: a uniform share among all candidates,
+        // stable while `upper` stays at or below `lower`.
+        return (lower - upper) / 2.0;
+    }
+    let mut rho = (upper - lower) / 2.0;
+
+    let steps_eff = steps.max(2) as f64;
+    let dt = (upper - lower) / steps_eff;
+    let guard = 1e-9 * (1.0 + upper.abs());
+
+    let mut supports = Vec::with_capacity(n);
+    for o in candidates {
+        match ring_support(o, q) {
+            Some(s) => supports.push(s),
+            None => return 0.0,
+        }
+    }
+    // First exact-saturation point of each competitor's cdf: `dist_max`
+    // always forces an exact 1.0; the ring-sum clamp does too, but only
+    // when the masses sum to at least 1 (Gaussian ring masses normalise to
+    // ~1 from below, so the clamp may never engage).
+    let zero_sat: Vec<f64> = supports
+        .iter()
+        .zip(&dist_max)
+        .map(|((_, sat, mass), dm)| if *mass >= 1.0 { *sat } else { *dm })
+        .collect();
+    let positive: HashMap<ObjectId, f64> = answer.probabilities.iter().copied().collect();
+
+    for (i, o) in candidates.iter().enumerate() {
+        let (onset, _, _) = supports[i];
+        // Keep the query far enough from the candidate's centre that
+        // `ring_cdf` stays in its law-of-cosines branch everywhere in the
+        // disk.
+        let d_center = o.center().dist(q);
+        rho = rho.min((d_center - 1e-9) / 2.0);
+        match positive.get(&o.id) {
+            Some(p) => {
+                if *p < 1e-12 {
+                    return 0.0;
+                }
+                // Competitors must all still be strictly unsaturated at the
+                // start of the step that first crosses the onset.
+                let sat_lo = supports
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, (_, sat, _))| *sat)
+                    .fold(f64::INFINITY, f64::min)
+                    - guard;
+                rho = rho.min((sat_lo.min(upper) - (onset + 2.0 * dt)) / 4.0);
+            }
+            None => {
+                let z = zero_sat
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, zs)| *zs)
+                    .fold(f64::INFINITY, f64::min);
+                let never_rises = (onset - upper - guard) / 2.0;
+                let killed_first = (onset - dt - z - guard) / 4.0;
+                rho = rho.min(never_rises.max(killed_first));
+            }
+        }
+        if rho <= 0.0 {
+            return 0.0;
+        }
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Method, UvConfig, UvSystem};
+    use uv_data::{Dataset, GeneratorConfig};
+    use uv_geom::Rect;
+
+    fn fixture(n: usize) -> (Dataset, UvSystem) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let system = UvSystem::build(
+            ds.objects.clone(),
+            ds.domain,
+            Method::IC,
+            UvConfig::default(),
+        )
+        .unwrap();
+        (ds, system)
+    }
+
+    #[test]
+    fn subscribe_returns_the_pnn_answer_and_rejects_duplicates() {
+        let (ds, system) = fixture(200);
+        let mut subs = SubscriptionEngine::new(&system);
+        let q = ds.query_points(1, 3)[0];
+        let answer = subs.subscribe(7, q).unwrap();
+        assert_eq!(answer.probabilities, system.pnn(q).probabilities);
+        assert_eq!(
+            subs.subscribe(7, q).unwrap_err(),
+            UvError::DuplicateClient(7)
+        );
+        assert_eq!(subs.table().len(), 1);
+        assert_eq!(
+            subs.table().client(7).unwrap().answer_ids(),
+            answer.answer_ids()
+        );
+    }
+
+    #[test]
+    fn unsubscribe_unknown_errors_and_known_removes() {
+        let (ds, system) = fixture(150);
+        let mut subs = SubscriptionEngine::new(&system);
+        assert_eq!(subs.unsubscribe(9).unwrap_err(), UvError::UnknownClient(9));
+        subs.subscribe(9, ds.query_points(1, 5)[0]).unwrap();
+        subs.unsubscribe(9).unwrap();
+        assert!(subs.table().is_empty());
+    }
+
+    #[test]
+    fn safe_region_hits_read_no_leaf_pages_and_match_the_oracle() {
+        let (ds, system) = fixture(400);
+        let mut subs = SubscriptionEngine::new(&system);
+        let points = ds.query_points(64, 11);
+        for (i, q) in points.iter().enumerate() {
+            subs.subscribe(i as ClientId, *q).unwrap();
+        }
+        // Nudge every client by a vanishing amount: almost all ticks should
+        // be safe-region hits, and hits must read zero leaf pages.
+        system.reset_io();
+        let moves: Vec<(ClientId, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i as ClientId, Point::new(q.x + 1e-7, q.y - 1e-7)))
+            .collect();
+        let deltas = subs.tick(&moves);
+        let stats = subs.stats();
+        assert_eq!(stats.ticks, 64);
+        assert!(
+            stats.hit_rate() > 0.9,
+            "expected mostly hits, got {stats:?}"
+        );
+        if stats.hits == stats.ticks {
+            let io = system.index().store().io();
+            assert_eq!(io.reads, 0, "pure-hit tick must read no pages");
+            assert!(deltas.is_empty());
+        }
+        // Every client's tracked answer must equal the oracle at its new
+        // position, hit or miss.
+        for (id, client) in subs.table().iter() {
+            let oracle = system.pnn(moves[id as usize].1);
+            assert_eq!(
+                client.answer_ids(),
+                oracle.answer_ids(),
+                "client {id} diverged from the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn long_random_walk_stays_bit_identical_to_per_tick_oracle() {
+        let (ds, system) = fixture(300);
+        let mut subs = SubscriptionEngine::new(&system);
+        let start = ds.query_points(1, 21)[0];
+        subs.subscribe(1, start).unwrap();
+        let mut tracked = subs.table().client(1).unwrap().answer_ids().to_vec();
+        let mut p = start;
+        // Deterministic jagged walk: mixes sub-safe-region steps with jumps.
+        let mut k = 0u64;
+        for _ in 0..200 {
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let dx = ((k >> 16) % 2001) as f64 / 10.0 - 100.0;
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let dy = ((k >> 16) % 2001) as f64 / 10.0 - 100.0;
+            p = Point::new(
+                (p.x + dx).clamp(ds.domain.min_x, ds.domain.max_x),
+                (p.y + dy).clamp(ds.domain.min_y, ds.domain.max_y),
+            );
+            let deltas = subs.tick(&[(1, p)]);
+            for (_, delta) in &deltas {
+                for id in &delta.left {
+                    let pos = tracked.binary_search(id).expect("left id was tracked");
+                    tracked.remove(pos);
+                }
+                for id in &delta.entered {
+                    let pos = tracked.binary_search(id).unwrap_err();
+                    tracked.insert(pos, *id);
+                }
+            }
+            assert_eq!(
+                tracked,
+                system.pnn(p).answer_ids(),
+                "delta chain diverged at {p:?}"
+            );
+        }
+        let stats = subs.stats();
+        assert!(stats.ticks == 200 && stats.derivations >= 1);
+    }
+
+    #[test]
+    fn duplicate_ids_in_one_tick_are_processed_sequentially() {
+        let (ds, system) = fixture(250);
+        let mut subs = SubscriptionEngine::new(&system);
+        let q = ds.query_points(1, 9)[0];
+        subs.subscribe(3, q).unwrap();
+        let far = Point::new(
+            ds.domain.min_x + ds.domain.width() * 0.1,
+            ds.domain.min_y + ds.domain.height() * 0.1,
+        );
+        let deltas = subs.tick(&[(3, far), (3, q)]);
+        // Both moves processed in order: final position is back at q with
+        // the original answer; the two deltas (if any) must compose to the
+        // identity.
+        assert_eq!(subs.table().client(3).unwrap().position(), q);
+        assert_eq!(
+            subs.table().client(3).unwrap().answer_ids(),
+            system.pnn(q).answer_ids()
+        );
+        if deltas.len() == 2 {
+            assert_eq!(deltas[0].1.entered, deltas[1].1.left);
+            assert_eq!(deltas[0].1.left, deltas[1].1.entered);
+        }
+        // Unknown ids are skipped silently.
+        assert!(subs.tick(&[(99, q)]).is_empty());
+    }
+
+    #[test]
+    fn refresh_after_rederives_only_touched_regions() {
+        let (ds, mut system) = fixture(300);
+        let points = ds.query_points(32, 17);
+        let mut subs = SubscriptionEngine::new(&system);
+        for (i, q) in points.iter().enumerate() {
+            subs.subscribe(i as ClientId, *q).unwrap();
+        }
+        let table = subs.into_table();
+        // Move one object: the repair touches few leaves.
+        let target = ds.objects[0].id;
+        let dest = Point::new(
+            ds.domain.min_x + ds.domain.width() * 0.25,
+            ds.domain.min_y + ds.domain.height() * 0.75,
+        );
+        let stats = system.updater().move_to(target, dest).commit().unwrap();
+        assert!(!stats.repaired_regions().is_empty());
+        let mut subs = SubscriptionEngine::with_table(&system, table);
+        let deltas = subs.refresh_after(&stats);
+        let sstats = subs.stats();
+        assert!(
+            (sstats.invalidated as usize) < points.len(),
+            "selective invalidation should spare clients outside repaired leaves: {sstats:?}"
+        );
+        // All clients current again, answers equal the oracle.
+        for (id, client) in subs.table().iter() {
+            assert_eq!(
+                client.answer_ids(),
+                system.pnn(points[id as usize]).answer_ids(),
+                "client {id} stale after refresh"
+            );
+        }
+        // Pushed deltas must be consistent: only invalidated clients may push.
+        assert!(deltas.len() as u64 <= sstats.invalidated);
+        // Subsequent ticks still work (epochs upgraded).
+        let moves: Vec<(ClientId, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i as ClientId, *q))
+            .collect();
+        subs.tick(&moves);
+        for (id, client) in subs.table().iter() {
+            assert_eq!(
+                client.answer_ids(),
+                system.pnn(points[id as usize]).answer_ids(),
+                "client {id} stale after post-refresh tick"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_stability_radius_edges() {
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(candidate_stability_radius(q, &[]), f64::INFINITY);
+        let a = UncertainObject::with_uniform(1, Point::new(10.0, 0.0), 2.0);
+        let b = UncertainObject::with_uniform(2, Point::new(100.0, 0.0), 2.0);
+        let entries = vec![ObjectEntry::new(&a, 0), ObjectEntry::new(&b, 0)];
+        let rho = candidate_stability_radius(q, &entries);
+        // b fails the screen by ~86; a passes by ~dminmax. The margin must
+        // be positive and no larger than half the smallest clearance.
+        assert!(rho > 0.0 && rho.is_finite());
+        assert!(rho <= (b.dist_min(q) - (a.dist_max(q) + EPS)).abs() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn answer_stability_radius_is_conservative_on_a_grid() {
+        // Empirical soundness sweep: at every probe point, the computed
+        // radius must keep the answer id set unchanged at points just
+        // inside the disk along several directions.
+        let objects = vec![
+            UncertainObject::with_uniform(1, Point::new(30.0, 30.0), 8.0),
+            UncertainObject::with_uniform(2, Point::new(70.0, 30.0), 6.0),
+            UncertainObject::with_gaussian(3, Point::new(50.0, 70.0), 10.0),
+            UncertainObject::with_uniform(4, Point::new(45.0, 45.0), 4.0),
+        ];
+        let refs: Vec<&UncertainObject> = objects.iter().collect();
+        let answer_at = |q: Point| {
+            let mut probs = qualification_probabilities(q, &refs, 60);
+            probs.retain(|(_, p)| *p > 0.0);
+            let mut ids: Vec<ObjectId> = probs.iter().map(|(id, _)| *id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        for gy in 0..12 {
+            for gx in 0..12 {
+                let q = Point::new(8.0 * gx as f64 + 3.7, 8.0 * gy as f64 + 2.3);
+                let mut probs = qualification_probabilities(q, &refs, 60);
+                probs.retain(|(_, p)| *p > 0.0);
+                let answer = PnnAnswer {
+                    probabilities: probs,
+                    candidates_examined: refs.len(),
+                    breakdown: QueryBreakdown::default(),
+                };
+                let rho = answer_stability_radius(q, &objects, &answer, 60);
+                assert!(rho >= 0.0 && !rho.is_nan());
+                if rho <= 0.0 || !rho.is_finite() {
+                    continue;
+                }
+                let base = answer.answer_ids();
+                for (dx, dy) in [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.7, -0.7)] {
+                    let step = rho * 0.95;
+                    let probe = Point::new(q.x + dx * step, q.y + dy * step);
+                    assert_eq!(
+                        answer_at(probe),
+                        base,
+                        "answer set changed inside stability disk at {q:?} + {rho}*({dx},{dy})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn safe_region_accessors_and_floor_knob() {
+        let (ds, _) = fixture(200);
+        // With an absurdly large floor every radius collapses to zero: no
+        // safe regions, every tick re-derives, answers still exact.
+        let system = UvSystem::build(
+            ds.objects.clone(),
+            ds.domain,
+            Method::IC,
+            UvConfig::default().with_safe_region_min_radius_fraction(1.0),
+        )
+        .unwrap();
+        let mut subs = SubscriptionEngine::new(&system);
+        let q = ds.query_points(1, 2)[0];
+        subs.subscribe(1, q).unwrap();
+        assert!(subs.table().client(1).unwrap().safe_region().is_none());
+        let p2 = Point::new(q.x + 1e-9, q.y);
+        subs.tick(&[(1, p2)]);
+        assert_eq!(subs.stats().hits, 0);
+        assert_eq!(
+            subs.table().client(1).unwrap().answer_ids(),
+            system.pnn(p2).answer_ids()
+        );
+
+        // Defaults produce a safe region with sane accessors at most points.
+        let system = UvSystem::with_defaults(ds.objects.clone(), ds.domain);
+        let mut subs = SubscriptionEngine::new(&system);
+        subs.subscribe(1, q).unwrap();
+        if let Some(region) = subs.table().client(1).unwrap().safe_region() {
+            assert_eq!(region.anchor(), q);
+            assert!(region.radius() > 0.0);
+            assert!(region.leaf() < usize::MAX);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_clients_have_empty_answers_and_recover() {
+        let (ds, system) = fixture(150);
+        let mut subs = SubscriptionEngine::new(&system);
+        let outside = Point::new(ds.domain.max_x + 1_000.0, ds.domain.max_y + 1_000.0);
+        let answer = subs.subscribe(5, outside).unwrap();
+        assert!(answer.probabilities.is_empty());
+        // Walking back inside pushes the full answer as `entered`.
+        let inside = ds.query_points(1, 4)[0];
+        let deltas = subs.tick(&[(5, inside)]);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].1.entered, system.pnn(inside).answer_ids());
+        assert!(deltas[0].1.left.is_empty());
+    }
+
+    #[test]
+    fn delta_between_ids_matches_answer_delta_semantics() {
+        let d = delta_between_ids(&[1, 2, 3], &[2, 3, 4]);
+        assert_eq!(d.entered, vec![4]);
+        assert_eq!(d.left, vec![1]);
+        assert_eq!(d.retained, 2);
+        assert!(delta_between_ids(&[], &[]).is_unchanged());
+        assert!(delta_between_ids(&[7], &[7]).is_unchanged());
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = SubscriptionStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.ticks = 10;
+        s.hits = 8;
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_resume_preserves_the_delta_chain() {
+        let (ds, system) = fixture(200);
+        let mut subs = SubscriptionEngine::new(&system);
+        let q = ds.query_points(1, 8)[0];
+        subs.subscribe(11, q).unwrap();
+        let table = subs.into_table();
+        let mut resumed = SubscriptionEngine::with_table(&system, table);
+        // Same position: the resumed client's answer is current; a no-move
+        // tick pushes nothing.
+        let deltas = resumed.tick(&[(11, q)]);
+        assert!(deltas.is_empty());
+        assert_eq!(
+            resumed.table().client(11).unwrap().answer_ids(),
+            system.pnn(q).answer_ids()
+        );
+    }
+
+    #[test]
+    fn domain_growth_invalidates_every_in_domain_client() {
+        let (ds, mut system) = fixture(120);
+        let points = ds.query_points(8, 13);
+        let mut subs = SubscriptionEngine::new(&system);
+        for (i, q) in points.iter().enumerate() {
+            subs.subscribe(i as ClientId, *q).unwrap();
+        }
+        let table = subs.into_table();
+        let outside = UncertainObject::with_uniform(
+            9_000,
+            Point::new(ds.domain.max_x + 600.0, ds.domain.max_y + 600.0),
+            10.0,
+        );
+        let stats = system.insert_object(outside).unwrap();
+        assert!(stats.domain_grown);
+        let mut subs = SubscriptionEngine::with_table(&system, table);
+        subs.refresh_after(&stats);
+        assert_eq!(subs.stats().invalidated, points.len() as u64);
+        for (id, client) in subs.table().iter() {
+            assert_eq!(
+                client.answer_ids(),
+                system.pnn(points[id as usize]).answer_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_support_guards_degenerate_geometry() {
+        let q = Point::new(0.0, 0.0);
+        let at_center = UncertainObject::with_uniform(1, q, 5.0);
+        assert!(ring_support(&at_center, q).is_none());
+        let degenerate = UncertainObject::with_uniform(2, Point::new(3.0, 0.0), 0.0);
+        assert!(ring_support(&degenerate, q).is_none());
+        let fine = UncertainObject::with_uniform(3, Point::new(10.0, 0.0), 2.0);
+        let (onset, sat, mass) = ring_support(&fine, q).unwrap();
+        assert!(onset >= fine.dist_min(q) && sat <= fine.dist_max(q));
+        assert!((0.9..=1.1).contains(&mass));
+    }
+
+    #[test]
+    fn tick_applies_safe_region_floor_from_config() {
+        // A small but positive floor: regions narrower than the floor are
+        // dropped, wider ones kept as-is.
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(100));
+        let domain: Rect = ds.domain;
+        let system = UvSystem::build(
+            ds.objects.clone(),
+            domain,
+            Method::IC,
+            UvConfig::default().with_safe_region_min_radius_fraction(1e-12),
+        )
+        .unwrap();
+        let mut subs = SubscriptionEngine::new(&system);
+        let q = ds.query_points(1, 6)[0];
+        subs.subscribe(1, q).unwrap();
+        if let Some(r) = subs.table().client(1).unwrap().safe_region() {
+            assert!(r.radius() >= 1e-12 * domain.width().max(domain.height()));
+        }
+    }
+}

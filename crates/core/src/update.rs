@@ -229,6 +229,14 @@ pub struct UpdateStats {
     /// on an object's geometry and its sensitivity, and the sensitivity can
     /// only change through a re-derivation.
     pub(crate) rederived_ids: Vec<ObjectId>,
+    /// Regions of every leaf page list the repair rewrote (split products,
+    /// merge survivors and plain content rewrites alike — all leaf writes
+    /// flow through the builder's `make_leaf`). A PNN answer can only have
+    /// changed at query points inside one of these rectangles, which is what
+    /// lets [`crate::subscribe::SubscriptionEngine::refresh_after`] re-derive
+    /// only the subscriptions whose safe region touches a repaired leaf.
+    /// Domain growth re-derives everything, so it reports the grown domain.
+    pub(crate) repaired_rects: Vec<Rect>,
 }
 
 impl UpdateStats {
@@ -241,6 +249,14 @@ impl UpdateStats {
             return 1.0;
         }
         self.leaves_refined as f64 / self.total_leaves.max(1) as f64
+    }
+
+    /// Regions of the leaf page lists this batch rewrote — the update's
+    /// invalidation footprint. Query answers are unchanged at every point
+    /// outside these rectangles; after domain growth the footprint is the
+    /// whole (grown) domain.
+    pub fn repaired_regions(&self) -> &[Rect] {
+        &self.repaired_rects
     }
 }
 
@@ -676,6 +692,7 @@ impl UvSystem {
         stats.leaves_refined = grow.leaves_built;
         stats.leaves_split = grow.splits;
         stats.leaves_merged = merges;
+        stats.repaired_rects = grow.leaf_rects;
         self.index.epoch += 1;
         stats.epoch = self.index.epoch;
         stats.total_leaves = self.index.num_leaf_nodes();
@@ -731,6 +748,7 @@ impl UvSystem {
         stats.leaves_refined = self.index.num_leaf_nodes();
         stats.total_leaves = self.index.num_leaf_nodes();
         stats.epoch = self.index.epoch;
+        stats.repaired_rects = vec![self.domain];
         Ok(stats)
     }
 }

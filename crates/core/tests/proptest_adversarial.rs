@@ -15,23 +15,14 @@
 //! batch so the query engine's per-leaf cache can never serve stale
 //! entries.
 //!
-//! The vendored proptest shim runs a fixed deterministic case count, so
-//! this suite reads `PROPTEST_CASES` itself: the CI PR gate keeps the
-//! default (small) count, a scheduled deep run dials it up.
+//! The vendored proptest shim honours `PROPTEST_CASES` globally: the CI PR
+//! gate keeps the configured (small) count, a scheduled deep run dials it
+//! up with one environment variable.
 
 use proptest::prelude::*;
 use uv_core::{Method, UpdateBatch, UvConfig, UvSystem};
 use uv_data::{Dataset, GeneratorConfig, UncertainObject};
 use uv_geom::Point;
-
-/// Deep-run escape hatch: the shimmed `proptest!` macro does not read the
-/// conventional `PROPTEST_CASES` variable, so this suite does.
-fn cases() -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3)
-}
 
 /// Local sensitivity bounds + small leaves (the `proptest_update.rs`
 /// tuning), with an optionally *tiny* non-leaf budget so the budget-replay
@@ -252,7 +243,7 @@ fn assert_matches_cold_rebuild(sys: &UvSystem, query_seed: u64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: cases(), ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
 
     /// The tentpole property: ≥50 adversarial ops — staircase growth on two
     /// flanks, hotspot mass-inserts, interleaved deletes/moves — across

@@ -30,6 +30,6 @@ pub mod storage;
 pub use generator::{Dataset, DatasetKind, GeneratorConfig};
 pub use object::{ObjectId, UncertainObject};
 pub use pdf::{Pdf, DEFAULT_HISTOGRAM_BARS};
-pub use probability::{qualification_probabilities, DistanceDistribution};
+pub use probability::{qualification_probabilities, DistanceDistribution, DEFAULT_RINGS};
 pub use stats::{AnswerDelta, PnnAnswer, QueryBreakdown};
 pub use storage::{ObjectEntry, ObjectStore};

@@ -22,8 +22,10 @@ use uv_geom::Point;
 pub const DEFAULT_INTEGRATION_STEPS: usize = 200;
 
 /// Number of concentric rings used to discretise a pdf when it is not
-/// already a histogram.
-const DEFAULT_RINGS: usize = 20;
+/// already a histogram ([`crate::pdf::Pdf::num_bars`] returning `None`).
+/// Safe-region stability margins must mirror the discretisation exactly,
+/// which is why the constant is public.
+pub const DEFAULT_RINGS: usize = 20;
 
 /// Distribution of the distance between a fixed query point and an uncertain
 /// object's location.

@@ -11,7 +11,10 @@
 //!   `prop_assume!`.
 //!
 //! Each test runs `ProptestConfig::cases` deterministic cases seeded from
-//! the test's module path, so failures reproduce across runs. Unlike the
+//! the test's module path, so failures reproduce across runs. Like the real
+//! proptest, the `PROPTEST_CASES` environment variable overrides the case
+//! count globally — the CI PR gate keeps the configured (small) counts, a
+//! scheduled deep run dials every suite up with one variable. Unlike the
 //! real proptest there is **no shrinking**: a failing case reports the
 //! panic message of the first failing input. The failing values can be
 //! recovered by re-running the seed printed in the panic message.
@@ -44,6 +47,21 @@ pub mod test_runner {
                 max_global_rejects: 65_536,
                 fork: false,
             }
+        }
+    }
+
+    impl ProptestConfig {
+        /// The number of cases a test actually runs: the `PROPTEST_CASES`
+        /// environment variable (the real proptest's override convention)
+        /// wins over the configured count; unset or unparsable falls back
+        /// to [`ProptestConfig::cases`]. The `proptest!` macro calls this,
+        /// so every suite in the workspace honours the variable without
+        /// reading the environment itself.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
         }
     }
 
@@ -247,7 +265,7 @@ macro_rules! __proptest_tests {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..config.resolved_cases() {
                 let mut rng = $crate::test_runner::case_rng(seed, case);
                 $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
                 let run = || $body;
@@ -343,5 +361,24 @@ mod tests {
         let mut r1 = crate::test_runner::case_rng(1, 2);
         let mut r2 = crate::test_runner::case_rng(1, 2);
         assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    /// `PROPTEST_CASES` overrides the configured count; unset or garbage
+    /// falls back to it. Runs as one test because it mutates the process
+    /// environment.
+    #[test]
+    fn proptest_cases_env_overrides_the_configured_count() {
+        use crate::test_runner::ProptestConfig;
+        let config = ProptestConfig {
+            cases: 7,
+            ..ProptestConfig::default()
+        };
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(config.resolved_cases(), 7);
+        std::env::set_var("PROPTEST_CASES", "41");
+        assert_eq!(config.resolved_cases(), 41);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(config.resolved_cases(), 7);
+        std::env::remove_var("PROPTEST_CASES");
     }
 }
