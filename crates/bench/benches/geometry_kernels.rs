@@ -1,12 +1,17 @@
 //! Criterion benchmarks of the geometry kernels on the UV-diagram hot path:
 //! possible-region clipping, convex hulls, overlap checking and the
-//! qualification-probability integration.
+//! qualification-probability integration — each scalar reference next to its
+//! batched SoA arena counterpart, so the kernel-pass speedup is measured
+//! directly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use uv_core::index::check_overlap;
 use uv_core::PossibleRegion;
-use uv_data::{qualification_probabilities, UncertainObject};
-use uv_geom::{convex_hull, Circle, Point, Rect};
+use uv_data::{
+    qualification_probabilities, EntryArena, KernelArena, ObjectEntry, QuadratureScratch,
+    ScreenScratch, UncertainObject,
+};
+use uv_geom::{convex_hull, Circle, ClipScratch, Point, Rect};
 
 fn ring_of_circles(n: usize, center: Point, radius: f64) -> Vec<Circle> {
     (0..n)
@@ -37,6 +42,20 @@ fn bench_region_clip(c: &mut Criterion) {
                     let mut region = PossibleRegion::full(subject, &domain);
                     for o in others {
                         region.clip(*o, 8, 156.0);
+                    }
+                    std::hint::black_box(region.area())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scratch", neighbours),
+            &others,
+            |b, others| {
+                b.iter(|| {
+                    let mut region = PossibleRegion::full(subject, &domain);
+                    let mut scratch = ClipScratch::default();
+                    for o in others {
+                        region.clip_with(*o, 8, 156.0, &mut scratch);
                     }
                     std::hint::black_box(region.area())
                 })
@@ -89,6 +108,55 @@ fn bench_probability(c: &mut Criterion) {
                 std::hint::black_box(qualification_probabilities(Point::new(0.0, 0.0), refs, 100))
             })
         });
+        // The batched SoA arena kernel on the same candidate set: assign
+        // once, integrate many times through reused scratch — the engine's
+        // per-leaf usage pattern.
+        group.bench_with_input(
+            BenchmarkId::new("arena", candidates),
+            &objects,
+            |b, objects| {
+                let mut arena = KernelArena::new();
+                arena.assign(objects.iter());
+                let mut scratch = QuadratureScratch::default();
+                b.iter(|| {
+                    std::hint::black_box(arena.qualification_probabilities(
+                        Point::new(0.0, 0.0),
+                        100,
+                        &mut scratch,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fused_screen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_screen");
+    for &entries in &[32usize, 256] {
+        let objects: Vec<UncertainObject> = (0..entries as u32)
+            .map(|k| {
+                UncertainObject::with_uniform(
+                    k,
+                    Point::new((k as f64 * 37.0) % 1_000.0, (k as f64 * 91.0) % 1_000.0),
+                    5.0 + (k % 7) as f64,
+                )
+            })
+            .collect();
+        let leaf: Vec<ObjectEntry> = objects.iter().map(|o| ObjectEntry::new(o, 0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &leaf, |b, leaf| {
+            let mut arena = EntryArena::default();
+            arena.assign(leaf);
+            let mut scratch = ScreenScratch::default();
+            let mut candidates = Vec::new();
+            b.iter(|| {
+                std::hint::black_box(arena.screen(
+                    Point::new(500.0, 500.0),
+                    &mut scratch,
+                    &mut candidates,
+                ))
+            })
+        });
     }
     group.finish();
 }
@@ -96,6 +164,7 @@ fn bench_probability(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_region_clip, bench_convex_hull, bench_check_overlap, bench_probability
+    targets = bench_region_clip, bench_convex_hull, bench_check_overlap, bench_probability,
+        bench_fused_screen
 }
 criterion_main!(benches);

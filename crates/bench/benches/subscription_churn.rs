@@ -2,7 +2,9 @@
 //! the per-tick cost of a moving fleet at three walk regimes — all
 //! safe-region hits (stationary), the mixed drift/jump workload of
 //! `experiments -- subscribe`, and all misses (every step a long jump) —
-//! plus the refresh cost of revalidating the fleet after an update batch.
+//! plus a co-located miss cluster exercising the per-leaf clearance-arena
+//! reuse, and the refresh cost of revalidating the fleet after an update
+//! batch.
 //!
 //! The hit tick is the headline: it must stay flat in fleet size with no
 //! leaf I/O at all, which is what makes the subscription model cheaper
@@ -129,6 +131,51 @@ fn bench_ticks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Miss cost for a co-located cluster: the whole fleet jumps between two
+/// shared positions, so every tick is all-misses into the *same* leaf — the
+/// first derivation builds the leaf's screened clearance arena, the rest
+/// reuse it. Asserts the reuse counter actually engages (> 0), so the
+/// clearance cache's contribution to miss cost is what this bench measures.
+fn bench_colocated_misses(c: &mut Criterion) {
+    let (dataset, system) = build_system();
+    let d = dataset.domain;
+    let cluster = 256usize;
+    let a = Point::new(d.min_x + d.width() * 0.3, d.min_y + d.height() * 0.3);
+    let z = Point::new(d.min_x + d.width() * 0.7, d.min_y + d.height() * 0.7);
+    let spread = |anchor: Point| -> Vec<(u64, Point)> {
+        (0..cluster)
+            .map(|i| (i as u64, Point::new(anchor.x + 1e-6 * i as f64, anchor.y)))
+            .collect()
+    };
+    let at_a = spread(a);
+    let at_z = spread(z);
+
+    let mut group = c.benchmark_group("subscription_colocated_miss");
+    group.bench_with_input(
+        BenchmarkId::new("jump_cluster", cluster),
+        &cluster,
+        |b, _| {
+            let mut engine = SubscriptionEngine::new(&system);
+            for (id, p) in &at_a {
+                engine.subscribe(*id, *p).expect("fresh client id");
+            }
+            engine.reset_stats();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let moves = if flip { &at_z } else { &at_a };
+                std::hint::black_box(engine.tick(moves).len())
+            });
+            let stats = engine.stats();
+            assert!(
+                stats.clearance_reuses > 0,
+                "co-located misses should reuse the leaf clearance arena: {stats:?}"
+            );
+        },
+    );
+    group.finish();
+}
+
 fn bench_refresh_after_churn(c: &mut Criterion) {
     let (dataset, mut system) = build_system();
     let positions = fleet_positions(&dataset);
@@ -160,5 +207,10 @@ fn bench_refresh_after_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ticks, bench_refresh_after_churn);
+criterion_group!(
+    benches,
+    bench_ticks,
+    bench_colocated_misses,
+    bench_refresh_after_churn
+);
 criterion_main!(benches);

@@ -332,7 +332,14 @@ fn main() {
         out.table(
             "throughput",
             "Serving throughput: sequential vs concurrent batched PNN",
-            &["mode", "workers", "batch wall (ms)", "queries/s", "speedup"],
+            &[
+                "mode",
+                "workers",
+                "cores",
+                "batch wall (ms)",
+                "queries/s",
+                "speedup",
+            ],
             throughput::throughput_table(&rows),
         );
         let summary = throughput::trajectory_workload(&scale, &dataset, &system);
@@ -468,6 +475,7 @@ fn main() {
                 "ticks",
                 "hit rate",
                 "derivations",
+                "clearance reuses",
                 "deltas",
                 "stationary reads",
                 "reports/s",

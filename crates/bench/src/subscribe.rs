@@ -40,6 +40,9 @@ pub struct SubscribeReport {
     pub hit_rate: f64,
     /// Full derivations over the walk (misses + subscriptions).
     pub derivations: u64,
+    /// Derivations that reused a leaf's cached clearance geometry (the
+    /// screened arena built by an earlier co-located derivation or query).
+    pub clearance_reuses: u64,
     /// Non-empty deltas pushed.
     pub deltas_pushed: u64,
     /// Leaf pages read by one all-hit (stationary) tick — must be 0.
@@ -169,6 +172,7 @@ pub fn subscribe_experiment(scale: &ExperimentScale) -> SubscribeReport {
         ticks,
         hit_rate,
         derivations: stats.derivations,
+        clearance_reuses: stats.clearance_reuses,
         deltas_pushed: stats.deltas_pushed,
         stationary_tick_reads,
         reports_per_sec,
@@ -185,6 +189,7 @@ pub fn subscribe_rows(r: &SubscribeReport) -> Vec<Vec<String>> {
         r.ticks.to_string(),
         format!("{:.1}%", r.hit_rate * 100.0),
         r.derivations.to_string(),
+        r.clearance_reuses.to_string(),
         r.deltas_pushed.to_string(),
         r.stationary_tick_reads.to_string(),
         format!("{:.0}", r.reports_per_sec),

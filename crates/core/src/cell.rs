@@ -9,7 +9,7 @@
 use crate::config::UvConfig;
 use crate::region::PossibleRegion;
 use uv_data::{ObjectId, UncertainObject};
-use uv_geom::{OutsideRegion, Rect};
+use uv_geom::{ClipScratch, OutsideRegion, Rect};
 
 /// A UV-cell together with the objects that define its boundary.
 #[derive(Debug, Clone)]
@@ -59,11 +59,17 @@ pub fn build_exact_cell<'a>(
     let mut region = PossibleRegion::full(subject.mbc(), domain);
     let mut contributors = Vec::new();
     let mut contributor_circles = Vec::new();
+    let mut clip_scratch = ClipScratch::default();
     for other in others {
         if other.id == subject.id {
             continue;
         }
-        if region.clip(other.mbc(), config.curve_samples, max_edge_len) {
+        if region.clip_with(
+            other.mbc(),
+            config.curve_samples,
+            max_edge_len,
+            &mut clip_scratch,
+        ) {
             contributors.push(other.id);
             contributor_circles.push(other.mbc());
         }

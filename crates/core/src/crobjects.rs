@@ -22,7 +22,7 @@ use crate::config::UvConfig;
 use crate::region::PossibleRegion;
 use crate::stats::PruneStats;
 use uv_data::{ObjectEntry, ObjectId, UncertainObject};
-use uv_geom::{Circle, Point, Rect};
+use uv_geom::{Circle, ClipScratch, Point, Rect};
 use uv_rtree::RTree;
 
 /// How far away another object's change can be while still (possibly)
@@ -355,8 +355,14 @@ pub fn derive_cr_objects(
     }
 
     let mut region = PossibleRegion::full(subject.mbc(), domain);
+    let mut clip_scratch = ClipScratch::default();
     for seed in &seeds {
-        region.clip(seed.mbc, config.curve_samples, max_edge_len);
+        region.clip_with(
+            seed.mbc,
+            config.curve_samples,
+            max_edge_len,
+            &mut clip_scratch,
+        );
     }
 
     // ---- Step 2: I-pruning (Lemma 2) -----------------------------------------

@@ -28,11 +28,14 @@
 //! algorithm and experiment of the paper, with its module and key functions —
 //! lives in `docs/PAPER_MAP.md` at the repository root.*
 
-use crate::index::{verify_and_refine, verify_and_refine_full, UvIndex};
-use crate::subscribe::{answer_from_candidates, candidate_stability_radius};
+use crate::index::UvIndex;
+use std::collections::HashSet;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
-use uv_data::{AnswerDelta, ObjectEntry, ObjectStore, PnnAnswer, UncertainObject};
+use uv_data::{
+    AnswerDelta, EntryArena, KernelArena, ObjectEntry, ObjectStore, PnnAnswer, QuadratureScratch,
+    QueryBreakdown, UncertainObject,
+};
 use uv_geom::{Point, Rect, EPS};
 
 /// One step of a moving-PNN (trajectory) workload: the query position, its
@@ -53,11 +56,97 @@ pub struct TrajectoryStep {
 }
 
 /// Leaf payload memoized by the engine: the leaf's entries after the sound
-/// region-level candidate screen, plus the page reads the fill cost.
+/// region-level candidate screen, flattened onto an [`EntryArena`] (the
+/// leaf's clearance geometry — every query and subscription miss landing in
+/// this leaf shares the one arena), plus the page reads the fill cost.
 #[derive(Debug)]
 struct CachedLeaf {
-    entries: Vec<ObjectEntry>,
+    arena: EntryArena,
     io_pages: u64,
+}
+
+/// Screened entry arena of one leaf: borrowed from the per-leaf cache when
+/// enabled, otherwise built on the spot from a direct page read.
+enum LeafArenaRef<'c> {
+    Cached(&'c EntryArena),
+    Owned(EntryArena),
+}
+
+impl LeafArenaRef<'_> {
+    fn get(&self) -> &EntryArena {
+        match self {
+            LeafArenaRef::Cached(a) => a,
+            LeafArenaRef::Owned(a) => a,
+        }
+    }
+}
+
+/// Per-worker scratch threaded through the batched kernels: screen
+/// distances, candidate indices, the object I/O page set, the candidate
+/// [`KernelArena`] and its quadrature buffers. One instance serves a whole
+/// chunk of queries; nothing in it survives a query except its allocations.
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    screen: uv_data::ScreenScratch,
+    candidates: Vec<usize>,
+    touched: HashSet<u32>,
+    kernel: KernelArena,
+    quad: QuadratureScratch,
+}
+
+/// The batched tail of PNN query processing, bit-identical to
+/// [`crate::index::verify_and_refine_full`] over the same (screened)
+/// entries: the fused `d_minmax` screen of the entry arena, pdf retrieval
+/// for the surviving candidates, and the arena quadrature. Additionally
+/// returns the signed clearance of the screen decision — the candidate
+/// stability radius [`crate::subscribe`] previously re-derived in a second
+/// scalar pass over the same entries.
+fn verify_and_refine_arena(
+    objects: &ObjectStore,
+    q: Point,
+    integration_steps: usize,
+    arena: &EntryArena,
+    scratch: &mut EngineScratch,
+    index_io: u64,
+    t_traversal: Instant,
+) -> (PnnAnswer, Vec<UncertainObject>, f64) {
+    let mut breakdown = QueryBreakdown::default();
+
+    let screen = arena.screen(q, &mut scratch.screen, &mut scratch.candidates);
+    breakdown.traversal = t_traversal.elapsed();
+    breakdown.index_io = index_io;
+
+    let t_retrieval = Instant::now();
+    scratch.touched.clear();
+    let ids = arena.ids();
+    let fetched: Vec<UncertainObject> = scratch
+        .candidates
+        .iter()
+        .filter_map(|&i| objects.fetch(ids[i], &mut scratch.touched))
+        .collect();
+    breakdown.retrieval = t_retrieval.elapsed();
+    // `fetch` charges exactly one page read per page newly inserted into
+    // the touched set, so the set size is this query's object I/O.
+    breakdown.object_io = scratch.touched.len() as u64;
+
+    let t_prob = Instant::now();
+    scratch.kernel.assign(fetched.iter());
+    let mut probabilities =
+        scratch
+            .kernel
+            .qualification_probabilities(q, integration_steps, &mut scratch.quad);
+    probabilities.retain(|(_, p)| *p > 0.0);
+    breakdown.probability = t_prob.elapsed();
+
+    (
+        PnnAnswer {
+            probabilities,
+            candidates_examined: scratch.candidates.len(),
+            breakdown,
+        },
+        fetched,
+        screen.clearance,
+    )
 }
 
 /// Lazily filled per-leaf cache, indexed by grid-node id. `OnceLock` makes
@@ -92,30 +181,37 @@ impl LeafCache {
 
 /// Reuse state threaded through a trajectory walk: the last fully derived
 /// step's leaf, a disk around its position inside which the candidate set is
-/// provably unchanged, and the fetched candidate objects themselves.
+/// provably unchanged, and the candidate [`KernelArena`] (ids, geometry and
+/// ring tables of the fetched candidates, in candidate order).
 ///
 /// While the next path point stays strictly inside the disk *and* in the
-/// same leaf, the answer is recomputed from the cached candidates alone —
-/// same candidate ids in the same order, same integration — so it is
-/// bit-identical to a full derivation, at zero index and object I/O.
+/// same leaf, the answer is recomputed from the cached arena alone — same
+/// candidate ids in the same order, same integration — so it is
+/// bit-identical to a full derivation, at zero index and object I/O. Only
+/// the three per-candidate distance terms are recomputed per step; the ring
+/// tables were built once at derivation time.
 #[derive(Debug)]
 pub(crate) struct StepReuse {
     leaf: usize,
     anchor: Point,
     radius: f64,
     examined: usize,
-    candidates: Vec<UncertainObject>,
+    kernel: KernelArena,
+    quad: QuadratureScratch,
 }
 
 /// Everything a full single-point derivation produces: the leaf, the answer,
-/// the fetched candidate objects (candidate order) and the screened entry
-/// list the candidates were verified against. [`crate::subscribe`] consumes
-/// all of it to build a safe region.
+/// the fetched candidate objects (candidate order), the signed clearance of
+/// the candidate screen (the fused stability term) and whether the leaf's
+/// cached clearance geometry was reused rather than built by this
+/// derivation. [`crate::subscribe`] consumes all of it to build a safe
+/// region.
 pub(crate) struct DeriveResult {
     pub(crate) leaf: usize,
     pub(crate) answer: PnnAnswer,
     pub(crate) candidates: Vec<UncertainObject>,
-    pub(crate) entries: Vec<ObjectEntry>,
+    pub(crate) clearance: f64,
+    pub(crate) arena_reused: bool,
 }
 
 /// Drops entries that can never survive the per-query `d_minmax` screen for
@@ -223,10 +319,43 @@ impl<'a> QueryEngine<'a> {
     /// Answers a single PNN query through the engine (leaf cache, if
     /// enabled, but no fan-out). Bit-identical to [`UvIndex::pnn`].
     pub fn pnn(&self, q: Point) -> PnnAnswer {
+        self.pnn_with(q, &mut EngineScratch::default())
+    }
+
+    /// [`QueryEngine::pnn`] with caller-provided kernel scratch, so a worker
+    /// serving a chunk of queries reuses its buffers across the whole chunk.
+    pub(crate) fn pnn_with(&self, q: Point, scratch: &mut EngineScratch) -> PnnAnswer {
         let t_traversal = Instant::now();
         let Some(leaf) = self.index.locate_leaf(q) else {
             return PnnAnswer::default();
         };
+        let (arena, io, _) = self.leaf_arena(leaf);
+        verify_and_refine_arena(
+            self.objects,
+            q,
+            self.integration_steps,
+            arena.get(),
+            scratch,
+            io,
+            t_traversal,
+        )
+        .0
+    }
+
+    /// The index this engine serves.
+    pub(crate) fn index(&self) -> &'a UvIndex {
+        self.index
+    }
+
+    /// Screened entry arena of leaf node `leaf`, plus the leaf pages this
+    /// call actually read and whether an already-built cached arena was
+    /// reused. Goes through the per-leaf cache when enabled (a hit reads
+    /// zero pages and reuses the leaf's clearance geometry), otherwise reads
+    /// and screens the pages directly. Either way the arena holds the sound
+    /// `d_minmax` prescreen of the full page list, so candidate sets derived
+    /// from it are bit-identical to the unscreened path for every query
+    /// point inside the leaf.
+    fn leaf_arena(&self, leaf: usize) -> (LeafArenaRef<'_>, u64, bool) {
         // The cache is only usable while its epoch matches the index (and
         // its slot table still covers the node id): anything else falls back
         // to a direct leaf read, so stale pages are unreachable.
@@ -236,86 +365,42 @@ impl<'a> QueryEngine<'a> {
             .filter(|c| c.epoch == self.index.epoch() && leaf < c.slots.len());
         let Some(cache) = cache else {
             let (entries, io) = self.index.leaf_entries(leaf);
-            return verify_and_refine(
-                self.objects,
-                q,
-                self.integration_steps,
-                &entries,
-                io,
-                t_traversal,
-            );
+            let entries = prescreen_entries(entries, &self.index.node_regions[leaf]);
+            let mut arena = EntryArena::default();
+            arena.assign(&entries);
+            return (LeafArenaRef::Owned(arena), io, false);
         };
         let mut filled_here = false;
         let cached = cache.slots[leaf].get_or_init(|| {
             filled_here = true;
             let (entries, io_pages) = self.index.leaf_entries(leaf);
-            CachedLeaf {
-                entries: prescreen_entries(entries, &self.index.node_regions[leaf]),
-                io_pages,
-            }
+            let entries = prescreen_entries(entries, &self.index.node_regions[leaf]);
+            let mut arena = EntryArena::default();
+            arena.assign(&entries);
+            CachedLeaf { arena, io_pages }
         });
         // Only the worker that actually read the pages is charged the I/O;
         // cache hits cost none, keeping per-query attribution exact.
-        let index_io = if filled_here { cached.io_pages } else { 0 };
-        verify_and_refine(
-            self.objects,
-            q,
-            self.integration_steps,
-            &cached.entries,
-            index_io,
-            t_traversal,
-        )
-    }
-
-    /// The index this engine serves.
-    pub(crate) fn index(&self) -> &'a UvIndex {
-        self.index
-    }
-
-    /// Screened entry list of leaf node `leaf`, plus the leaf pages this call
-    /// actually read. Goes through the per-leaf cache when enabled (a hit
-    /// reads zero pages), otherwise reads and screens the pages directly.
-    /// Either way the entries are the sound `d_minmax` prescreen of the full
-    /// page list, so candidate sets derived from them are bit-identical to
-    /// the unscreened path for every query point inside the leaf.
-    pub(crate) fn leaf_entries_screened(&self, leaf: usize) -> (Vec<ObjectEntry>, u64) {
-        let cache = self
-            .cache
-            .as_ref()
-            .filter(|c| c.epoch == self.index.epoch() && leaf < c.slots.len());
-        let Some(cache) = cache else {
-            let (entries, io) = self.index.leaf_entries(leaf);
-            return (
-                prescreen_entries(entries, &self.index.node_regions[leaf]),
-                io,
-            );
-        };
-        let mut filled_here = false;
-        let cached = cache.slots[leaf].get_or_init(|| {
-            filled_here = true;
-            let (entries, io_pages) = self.index.leaf_entries(leaf);
-            CachedLeaf {
-                entries: prescreen_entries(entries, &self.index.node_regions[leaf]),
-                io_pages,
-            }
-        });
         let io = if filled_here { cached.io_pages } else { 0 };
-        (cached.entries.clone(), io)
+        (LeafArenaRef::Cached(&cached.arena), io, !filled_here)
     }
 
-    /// Fully derives the answer at `q` — leaf descent, screened entries,
-    /// `d_minmax` verification, probability integration — returning the
-    /// derivation context alongside the answer. `None` when `q` lies outside
-    /// the domain. The answer is bit-identical to [`QueryEngine::pnn`].
+    /// Fully derives the answer at `q` — leaf descent, screened entry
+    /// arena, fused `d_minmax` verification, arena quadrature — returning
+    /// the derivation context alongside the answer. `None` when `q` lies
+    /// outside the domain. The answer is bit-identical to
+    /// [`QueryEngine::pnn`].
     pub(crate) fn derive_at(&self, q: Point) -> Option<DeriveResult> {
         let t_traversal = Instant::now();
         let leaf = self.index.locate_leaf(q)?;
-        let (entries, io) = self.leaf_entries_screened(leaf);
-        let (answer, candidates) = verify_and_refine_full(
+        let (arena, io, arena_reused) = self.leaf_arena(leaf);
+        let mut scratch = EngineScratch::default();
+        let (answer, candidates, clearance) = verify_and_refine_arena(
             self.objects,
             q,
             self.integration_steps,
-            &entries,
+            arena.get(),
+            &mut scratch,
             io,
             t_traversal,
         );
@@ -323,20 +408,37 @@ impl<'a> QueryEngine<'a> {
             leaf,
             answer,
             candidates,
-            entries,
+            clearance,
+            arena_reused,
         })
     }
 
     /// Answers one trajectory point, reusing `reuse` when the point stays
     /// strictly inside the previous full derivation's stability disk (and
     /// leaf). Returns the answer and whether it was served from the cached
-    /// candidate set. On a miss the reuse state is re-derived (or cleared,
+    /// candidate arena. On a miss the reuse state is re-derived (or cleared,
     /// outside the domain / when no useful stability radius exists).
     pub(crate) fn pnn_step(&self, q: Point, reuse: &mut Option<StepReuse>) -> (PnnAnswer, bool) {
-        if let Some(r) = reuse.as_ref() {
+        if let Some(r) = reuse.as_mut() {
             if q.dist(r.anchor) < r.radius && self.index.locate_leaf(q) == Some(r.leaf) {
-                let answer =
-                    answer_from_candidates(q, &r.candidates, r.examined, self.integration_steps);
+                // The tail of the full pipeline over the cached candidate
+                // arena (quadrature + positive-probability filter), at zero
+                // index and object I/O. Bit-identical to a full derivation
+                // because the candidate list is provably frozen inside the
+                // disk.
+                let t = Instant::now();
+                let mut probabilities =
+                    r.kernel
+                        .qualification_probabilities(q, self.integration_steps, &mut r.quad);
+                probabilities.retain(|(_, p)| *p > 0.0);
+                let answer = PnnAnswer {
+                    probabilities,
+                    candidates_examined: r.examined,
+                    breakdown: QueryBreakdown {
+                        probability: t.elapsed(),
+                        ..QueryBreakdown::default()
+                    },
+                };
                 return (answer, true);
             }
         }
@@ -344,16 +446,21 @@ impl<'a> QueryEngine<'a> {
             *reuse = None;
             return (PnnAnswer::default(), false);
         };
-        let radius = self.index.config().apply_safe_region_floor(
-            candidate_stability_radius(q, &d.entries),
-            self.index.domain(),
-        );
-        *reuse = (radius > 0.0).then_some(StepReuse {
-            leaf: d.leaf,
-            anchor: q,
-            radius,
-            examined: d.answer.candidates_examined,
-            candidates: d.candidates,
+        let radius = self
+            .index
+            .config()
+            .apply_safe_region_floor(d.clearance, self.index.domain());
+        *reuse = (radius > 0.0).then(|| {
+            let mut kernel = KernelArena::new();
+            kernel.assign(d.candidates.iter());
+            StepReuse {
+                leaf: d.leaf,
+                anchor: q,
+                radius,
+                examined: d.answer.candidates_examined,
+                kernel,
+                quad: QuadratureScratch::default(),
+            }
         });
         (d.answer, false)
     }
@@ -366,14 +473,26 @@ impl<'a> QueryEngine<'a> {
     /// pages).
     pub fn pnn_batch(&self, queries: &[Point]) -> Vec<PnnAnswer> {
         if self.workers <= 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.pnn(*q)).collect();
+            let mut scratch = EngineScratch::default();
+            return queries
+                .iter()
+                .map(|q| self.pnn_with(*q, &mut scratch))
+                .collect();
         }
         let chunk_size = queries.len().div_ceil(self.workers);
         let mut answers = Vec::with_capacity(queries.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(|q| self.pnn(*q)).collect()))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut scratch = EngineScratch::default();
+                        chunk
+                            .iter()
+                            .map(|q| self.pnn_with(*q, &mut scratch))
+                            .collect()
+                    })
+                })
                 .collect();
             for handle in handles {
                 let chunk_answers: Vec<PnnAnswer> = handle.join().expect("query worker panicked");

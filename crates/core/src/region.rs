@@ -10,7 +10,7 @@
 //! approximation can only keep the region slightly larger than the true cell,
 //! which is the safe direction for all pruning lemmas.
 
-use uv_geom::{clip_keep_traced, Circle, OutsideRegion, Point, Polygon, Rect};
+use uv_geom::{clip_keep_traced_with, Circle, ClipScratch, OutsideRegion, Point, Polygon, Rect};
 
 /// A possible region of a subject object, shrunk by clipping with outside
 /// regions of other objects.
@@ -21,11 +21,12 @@ pub struct PossibleRegion {
     /// Cached maximum distance of the region boundary from the subject centre
     /// (the `d` of Lemma 2).
     max_dist: f64,
-    /// Uncertainty regions of the objects whose clips actually changed the
-    /// region so far. The boundary of the region is the zero set of the
-    /// minimum of their keep predicates; tracing new boundary segments against
-    /// that minimum keeps repeated clips consistent with one another.
-    constraints: Vec<Circle>,
+    /// Outside regions of the objects whose clips actually changed the
+    /// region so far, hoisted at clip time so trace evaluations never rebuild
+    /// them. The boundary of the region is the zero set of the minimum of
+    /// their keep predicates; tracing new boundary segments against that
+    /// minimum keeps repeated clips consistent with one another.
+    constraints: Vec<OutsideRegion>,
 }
 
 impl PossibleRegion {
@@ -84,6 +85,24 @@ impl PossibleRegion {
     /// Returns `true` when the region actually changed, i.e. `other`
     /// contributed a UV-edge to the current region boundary.
     pub fn clip(&mut self, other: Circle, curve_samples: usize, max_edge_len: f64) -> bool {
+        self.clip_with(
+            other,
+            curve_samples,
+            max_edge_len,
+            &mut ClipScratch::default(),
+        )
+    }
+
+    /// [`PossibleRegion::clip`] with caller-provided scratch buffers, so a
+    /// build or repair loop clipping one region against many objects reuses
+    /// its allocations across clips. Output is bit-identical to `clip`.
+    pub fn clip_with(
+        &mut self,
+        other: Circle,
+        curve_samples: usize,
+        max_edge_len: f64,
+        scratch: &mut ClipScratch,
+    ) -> bool {
         let outside = OutsideRegion::new(self.subject, other);
         if outside.is_empty() {
             // Overlapping uncertainty regions: the UV-edge does not exist and
@@ -94,22 +113,23 @@ impl PossibleRegion {
         // Trace new boundary segments along the boundary of the intersection
         // of every constraint applied so far (plus the new one), so a new
         // UV-edge never re-introduces area removed by an earlier one.
-        let subject = self.subject;
         let constraints = &self.constraints;
         let trace = |p: Point| {
             let mut m = outside.keep_signed(p);
             for c in constraints {
-                m = m.min(OutsideRegion::new(subject, *c).keep_signed(p));
+                m = m.min(c.keep_signed(p));
             }
             m
         };
-        let clipped = clip_keep_traced(
+        let clipped = clip_keep_traced_with(
             self.polygon.vertices(),
+            &self.polygon,
             &keep,
             &trace,
             outside.keep_anchor(),
             curve_samples,
             max_edge_len,
+            scratch,
         );
         if clipped.len() < 3 {
             // The true region always contains a neighbourhood of the subject
@@ -128,7 +148,7 @@ impl PossibleRegion {
         }
         self.polygon = Polygon::new(clipped);
         self.max_dist = self.polygon.max_dist_from(self.subject.center);
-        self.constraints.push(other);
+        self.constraints.push(outside);
         true
     }
 

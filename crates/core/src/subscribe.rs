@@ -55,11 +55,7 @@ use crate::shard::{ShardedUpdateStats, ShardedUvSystem};
 use crate::system::UvSystem;
 use crate::update::UpdateStats;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::time::Instant;
-use uv_data::{
-    qualification_probabilities, AnswerDelta, ObjectEntry, ObjectId, PnnAnswer, QueryBreakdown,
-    UncertainObject, DEFAULT_RINGS,
-};
+use uv_data::{AnswerDelta, ObjectEntry, ObjectId, PnnAnswer, UncertainObject, DEFAULT_RINGS};
 use uv_geom::{Point, EPS};
 
 /// Identifier of a subscribed client, chosen by the caller.
@@ -213,6 +209,11 @@ pub struct SubscriptionStats {
     pub invalidated: u64,
     /// Non-empty deltas pushed to clients.
     pub deltas_pushed: u64,
+    /// Derivations that reused a leaf's cached clearance geometry (the
+    /// screened entry arena an earlier derivation or query already built),
+    /// so co-located clients share the screen setup instead of re-reading
+    /// and re-screening the leaf.
+    pub clearance_reuses: u64,
 }
 
 impl SubscriptionStats {
@@ -256,6 +257,9 @@ struct Derived {
     epoch: u64,
     shard: Option<usize>,
     safe: Option<SafeRegion>,
+    /// Whether the derivation reused an already-built cached leaf arena
+    /// (clearance geometry shared with earlier co-located derivations).
+    clearance_reused: bool,
 }
 
 /// Continuous PNN subscription engine: thousands of moving clients register
@@ -358,6 +362,9 @@ impl<'a> SubscriptionEngine<'a> {
         }
         let d = derive(&self.backend, position);
         self.stats.derivations += 1;
+        if d.clearance_reused {
+            self.stats.clearance_reuses += 1;
+        }
         self.table.clients.insert(
             id,
             Client {
@@ -571,6 +578,9 @@ impl<'a> SubscriptionEngine<'a> {
     /// the answer set changed).
     fn apply_derived(&mut self, id: ClientId, p: Point, d: Derived) -> Option<AnswerDelta> {
         self.stats.derivations += 1;
+        if d.clearance_reused {
+            self.stats.clearance_reuses += 1;
+        }
         let client = self
             .table
             .clients
@@ -635,6 +645,7 @@ fn derive(backend: &Backend<'_>, p: Point) -> Derived {
                 epoch: 0,
                 shard: None,
                 safe: None,
+                clearance_reused: false,
             },
             Some(s) => derive_on(
                 &engines[s],
@@ -648,7 +659,9 @@ fn derive(backend: &Backend<'_>, p: Point) -> Derived {
 }
 
 /// Derives on one concrete system/engine pair, computing the stability
-/// radius from the screened leaf entries and the integrated candidates.
+/// radius from the fused-screen clearance (bit-identical to
+/// [`candidate_stability_radius`] over the screened leaf entries) and the
+/// integrated candidates.
 fn derive_on(
     engine: &QueryEngine<'_>,
     system: &UvSystem,
@@ -663,10 +676,11 @@ fn derive_on(
             epoch,
             shard,
             safe: None,
+            clearance_reused: false,
         };
     };
     let config = system.config();
-    let rho = candidate_stability_radius(p, &d.entries).min(answer_stability_radius(
+    let rho = d.clearance.min(answer_stability_radius(
         p,
         &d.candidates,
         &d.answer,
@@ -683,6 +697,7 @@ fn derive_on(
         epoch,
         shard,
         answer: d.answer,
+        clearance_reused: d.arena_reused,
     }
 }
 
@@ -707,32 +722,6 @@ fn delta_between_ids(prev: &[ObjectId], next: &[ObjectId]) -> AnswerDelta {
     }
 }
 
-/// Recomputes the answer at `q` from an already-fetched candidate list —
-/// the tail of the full pipeline (`qualification_probabilities` + the
-/// positive-probability filter), at zero index and object I/O. Bit-identical
-/// to a full derivation whenever the candidate list (in order) matches what
-/// the screen at `q` would produce, which is exactly what
-/// [`candidate_stability_radius`] guarantees inside its disk.
-pub(crate) fn answer_from_candidates(
-    q: Point,
-    candidates: &[UncertainObject],
-    examined: usize,
-    steps: usize,
-) -> PnnAnswer {
-    let t = Instant::now();
-    let refs: Vec<&UncertainObject> = candidates.iter().collect();
-    let mut probabilities = qualification_probabilities(q, &refs, steps);
-    probabilities.retain(|(_, p)| *p > 0.0);
-    PnnAnswer {
-        probabilities,
-        candidates_examined: examined,
-        breakdown: QueryBreakdown {
-            probability: t.elapsed(),
-            ..QueryBreakdown::default()
-        },
-    }
-}
-
 /// Largest radius around `q` within which the `d_minmax` candidate screen
 /// over `entries` provably keeps the exact same outcome for every entry.
 ///
@@ -743,6 +732,12 @@ pub(crate) fn answer_from_candidates(
 /// The minimum over all entries therefore freezes the candidate *list*
 /// (same ids, same order, same examined count). Infinite when there are no
 /// entries (nothing to flip).
+///
+/// Retained as the scalar reference for the fused screen in
+/// [`uv_data::EntryArena::screen`], which computes this same clearance
+/// bit-for-bit alongside the candidate pass; production derivations go
+/// through the arena, the tests here keep this reference as the reviewer.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn candidate_stability_radius(q: Point, entries: &[ObjectEntry]) -> f64 {
     if entries.is_empty() {
         return f64::INFINITY;
@@ -912,6 +907,7 @@ pub(crate) fn answer_stability_radius(
 mod tests {
     use super::*;
     use crate::{Method, UvConfig, UvSystem};
+    use uv_data::{qualification_probabilities, QueryBreakdown};
     use uv_data::{Dataset, GeneratorConfig};
     use uv_geom::Rect;
 
@@ -1128,6 +1124,59 @@ mod tests {
         // be positive and no larger than half the smallest clearance.
         assert!(rho > 0.0 && rho.is_finite());
         assert!(rho <= (b.dist_min(q) - (a.dist_max(q) + EPS)).abs() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn fused_screen_clearance_is_bit_identical_to_the_scalar_reference() {
+        // The arena's fused screen reports the same clearance bits as the
+        // retained scalar reference, so the safe regions derived through the
+        // engine are exactly the PR 7 disks.
+        let objects = [
+            UncertainObject::with_uniform(1, Point::new(12.0, 5.0), 3.0),
+            UncertainObject::with_uniform(2, Point::new(40.0, 11.0), 2.0),
+            UncertainObject::with_gaussian(3, Point::new(25.0, 30.0), 6.0),
+            UncertainObject::with_uniform(4, Point::new(12.0, 5.0), 3.0), // co-located twin
+            UncertainObject::with_uniform(5, Point::new(7.0, 9.0), 0.0),  // zero radius
+        ];
+        let entries: Vec<ObjectEntry> = objects.iter().map(|o| ObjectEntry::new(o, 0)).collect();
+        let mut arena = uv_data::EntryArena::default();
+        arena.assign(&entries);
+        let mut scratch = uv_data::ScreenScratch::default();
+        let mut candidates = Vec::new();
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(13.0, 6.0),
+            Point::new(26.0, 29.5),
+            Point::new(100.0, -40.0),
+        ] {
+            let screen = arena.screen(q, &mut scratch, &mut candidates);
+            let scalar = candidate_stability_radius(q, &entries);
+            assert_eq!(
+                screen.clearance.to_bits(),
+                scalar.to_bits(),
+                "clearance diverged from the scalar reference at {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn co_located_subscribers_reuse_the_leaf_clearance_geometry() {
+        let (ds, system) = fixture(250);
+        let mut subs = SubscriptionEngine::new(&system);
+        let q = ds.query_points(1, 17)[0];
+        // A cluster of clients at (essentially) the same position: the first
+        // derivation builds the leaf's screened arena, the rest reuse it.
+        let n = 16u64;
+        for i in 0..n {
+            let p = Point::new(q.x + 1e-9 * i as f64, q.y);
+            subs.subscribe(i, p).unwrap();
+        }
+        let stats = subs.stats();
+        assert_eq!(stats.derivations, n);
+        assert!(
+            stats.clearance_reuses >= n - 1,
+            "co-located subscribes should reuse the cached leaf arena: {stats:?}"
+        );
     }
 
     #[test]

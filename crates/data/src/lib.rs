@@ -12,6 +12,9 @@
 //! * [`probability`] — the numerical-integration qualification-probability
 //!   computation of Cheng et al. \[14\] that the paper plugs in for the final
 //!   PNN verification step.
+//! * [`arena`] — struct-of-arrays kernel arenas batching the candidate
+//!   screen and the quadrature over contiguous `f64` slices, bit-identical
+//!   to the scalar references in [`probability`].
 //! * [`generator`] — synthetic workloads: the uniform 10k×10k dataset, the
 //!   skewed (Gaussian-centre) datasets of Figure 7(g) and "Germany-like"
 //!   stand-ins for the utility / roads / rrlines real datasets of Table II.
@@ -20,6 +23,7 @@
 //! algorithm and experiment of the paper, with its module and key functions —
 //! lives in `docs/PAPER_MAP.md` at the repository root.*
 
+pub mod arena;
 pub mod generator;
 pub mod object;
 pub mod pdf;
@@ -27,6 +31,7 @@ pub mod probability;
 pub mod stats;
 pub mod storage;
 
+pub use arena::{EntryArena, KernelArena, QuadratureScratch, ScreenResult, ScreenScratch};
 pub use generator::{Dataset, DatasetKind, GeneratorConfig};
 pub use object::{ObjectId, UncertainObject};
 pub use pdf::{Pdf, DEFAULT_HISTOGRAM_BARS};

@@ -80,8 +80,10 @@ impl DistanceDistribution {
 
 /// Fraction of a circle of radius `s` centred at distance `d` from the query
 /// point that lies within distance `t` of the query point. Exact for points
-/// distributed uniformly in angle on the ring.
-fn ring_cdf(d: f64, s: f64, t: f64) -> f64 {
+/// distributed uniformly in angle on the ring. Shared with the batched
+/// kernels of [`crate::arena`] so both paths evaluate the identical
+/// expression.
+pub(crate) fn ring_cdf(d: f64, s: f64, t: f64) -> f64 {
     if t >= d + s {
         return 1.0;
     }

@@ -209,6 +209,16 @@ where
     clip_keep_traced(poly, f, f, anchor, curve_samples, max_edge_len)
 }
 
+/// Reusable buffers for [`clip_keep_traced_with`]: the densified vertex loop
+/// and its predicate values. Threading one scratch through a clip loop (one
+/// per region build, repair pass or worker) drops the two per-clip heap
+/// allocations of [`clip_keep_traced`] without changing a single output bit.
+#[derive(Debug, Clone, Default)]
+pub struct ClipScratch {
+    dense: Vec<Point>,
+    vals: Vec<f64>,
+}
+
 /// Like [`clip_keep`], but the curved boundary between an exit and an entry
 /// crossing is traced along the zero set of `f_trace` instead of `f`.
 ///
@@ -230,30 +240,66 @@ where
     F: Fn(Point) -> f64,
     G: Fn(Point) -> f64,
 {
+    let original_polygon = Polygon::new(poly.to_vec());
+    clip_keep_traced_with(
+        poly,
+        &original_polygon,
+        f,
+        f_trace,
+        anchor,
+        curve_samples,
+        max_edge_len,
+        &mut ClipScratch::default(),
+    )
+}
+
+/// [`clip_keep_traced`] with caller-provided containment polygon and scratch
+/// buffers, for hot clip loops.
+///
+/// `original_polygon` must be the polygon whose vertex loop is `poly` (the
+/// clip's containment test runs against it); callers that already hold a
+/// [`Polygon`] pass it directly instead of having every clip rebuild one.
+/// Output is bit-identical to [`clip_keep_traced`] for any `poly` in
+/// counter-clockwise order (the [`Polygon`] invariant).
+#[allow(clippy::too_many_arguments)]
+pub fn clip_keep_traced_with<F, G>(
+    poly: &[Point],
+    original_polygon: &Polygon,
+    f: &F,
+    f_trace: &G,
+    anchor: Point,
+    curve_samples: usize,
+    max_edge_len: f64,
+    scratch: &mut ClipScratch,
+) -> Vec<Point>
+where
+    F: Fn(Point) -> f64,
+    G: Fn(Point) -> f64,
+{
     if poly.is_empty() {
         return Vec::new();
     }
     let original = poly;
     // Densify long edges so mid-edge incursions of the clip region are seen.
     const MAX_PIECES: usize = 64;
-    let dense: Vec<Point> =
-        if max_edge_len <= 0.0 || max_edge_len.is_nan() || max_edge_len.is_infinite() {
-            poly.to_vec()
-        } else {
-            let mut d = Vec::with_capacity(poly.len() * 2);
-            for i in 0..poly.len() {
-                let a = poly[i];
-                let b = poly[(i + 1) % poly.len()];
-                let pieces = ((a.dist(b) / max_edge_len).ceil() as usize).clamp(1, MAX_PIECES);
-                for s in 0..pieces {
-                    d.push(a.lerp(b, s as f64 / pieces as f64));
-                }
+    scratch.dense.clear();
+    if max_edge_len <= 0.0 || max_edge_len.is_nan() || max_edge_len.is_infinite() {
+        scratch.dense.extend_from_slice(poly);
+    } else {
+        for i in 0..poly.len() {
+            let a = poly[i];
+            let b = poly[(i + 1) % poly.len()];
+            let pieces = ((a.dist(b) / max_edge_len).ceil() as usize).clamp(1, MAX_PIECES);
+            for s in 0..pieces {
+                scratch.dense.push(a.lerp(b, s as f64 / pieces as f64));
             }
-            d
-        };
-    let poly = &dense[..];
+        }
+    }
+    let poly = &scratch.dense[..];
     let n = poly.len();
-    let vals: Vec<f64> = poly.iter().map(|p| f(*p)).collect();
+    scratch.vals.clear();
+    scratch.vals.extend(poly.iter().map(|p| f(*p)));
+    let vals = &scratch.vals[..];
     if vals.iter().all(|v| *v >= 0.0) {
         return original.to_vec();
     }
@@ -265,7 +311,6 @@ where
     // zero set of the predicate can have components far away from it, e.g.
     // the second branch of a conic or a constraint's boundary on the other
     // side of the domain).
-    let original_polygon = Polygon::new(original.to_vec());
     let valid = |p: Point| original_polygon.contains(p);
 
     // Start the boundary walk at a kept vertex so that every entry crossing

@@ -6,20 +6,33 @@
 //! the [`criterion_group!`] / [`criterion_main!`] macros — backed by plain
 //! `std::time::Instant` wall-clock timing and a text report on stdout.
 //!
-//! Compared to the real criterion there is no statistical analysis, no
-//! warm-up calibration and no HTML report: each benchmark runs a small
-//! fixed number of samples (bounded by [`Criterion::sample_size`]) and
-//! reports the fastest observed time, which is stable enough to compare
-//! orders of magnitude between PRs until the real harness can be restored.
+//! Compared to the real criterion there is no warm-up calibration and no
+//! HTML report, but each benchmark runs a small bounded number of timed
+//! samples (default [`DEFAULT_MAX_SAMPLES`], overridable with the
+//! `UV_BENCH_SAMPLES` environment variable) and reports the **median**,
+//! minimum and standard deviation across them — enough statistics to tell a
+//! real regression from scheduler noise when diffing `BENCH_*.json`
+//! trajectories between PRs, until the real harness can be restored.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Samples actually executed per benchmark: enough for a stable minimum,
-/// small enough that `cargo bench` stays fast without calibration.
-const MAX_SAMPLES: usize = 5;
+/// Default cap on timed samples per benchmark: enough for a stable median,
+/// small enough that `cargo bench` stays fast without calibration. Raise it
+/// per run with `UV_BENCH_SAMPLES=<n>` for tighter statistics.
+pub const DEFAULT_MAX_SAMPLES: usize = 5;
+
+/// Timed samples actually executed per benchmark: `UV_BENCH_SAMPLES` when
+/// set to a positive integer, [`DEFAULT_MAX_SAMPLES`] otherwise.
+fn max_samples() -> usize {
+    std::env::var("UV_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(DEFAULT_MAX_SAMPLES)
+}
 
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -52,37 +65,71 @@ impl fmt::Display for BenchmarkId {
 /// Timing loop handed to each benchmark closure.
 pub struct Bencher {
     samples: usize,
-    best: Option<Duration>,
+    timings: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Calls `routine` repeatedly, recording the fastest execution.
+    /// Calls `routine` repeatedly, recording every timed execution.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One untimed call to warm caches and lazy statics.
         black_box(routine());
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
-            let elapsed = start.elapsed();
-            if self.best.is_none_or(|b| elapsed < b) {
-                self.best = Some(elapsed);
-            }
+            self.timings.push(start.elapsed());
         }
+    }
+}
+
+/// Median / minimum / standard deviation over one benchmark's samples.
+struct SampleStats {
+    median: Duration,
+    min: Duration,
+    stddev: Duration,
+}
+
+fn summarize(timings: &[Duration]) -> SampleStats {
+    let mut sorted = timings.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let mean = sorted.iter().sum::<Duration>().as_secs_f64() / n as f64;
+    let variance = sorted
+        .iter()
+        .map(|d| {
+            let diff = d.as_secs_f64() - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / n as f64;
+    SampleStats {
+        median,
+        min: sorted[0],
+        stddev: Duration::from_secs_f64(variance.sqrt()),
     }
 }
 
 fn run_benchmark(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
-        samples: samples.min(MAX_SAMPLES),
-        best: None,
+        samples: samples.min(max_samples()),
+        timings: Vec::new(),
     };
     f(&mut bencher);
-    match bencher.best {
-        Some(best) => println!(
-            "{full_id:<60} fastest of {} samples: {best:?}",
-            bencher.samples
-        ),
-        None => println!("{full_id:<60} (no measurement — iter was never called)"),
+    if bencher.timings.is_empty() {
+        println!("{full_id:<60} (no measurement — iter was never called)");
+    } else {
+        let stats = summarize(&bencher.timings);
+        println!(
+            "{full_id:<60} median {:?} (min {:?}, stddev {:?}, {} samples)",
+            stats.median,
+            stats.min,
+            stats.stddev,
+            bencher.timings.len()
+        );
     }
 }
 
@@ -99,8 +146,9 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Sets the target sample count (the shim caps execution at a small
-    /// constant; the value is kept for API compatibility).
+    /// Sets the target sample count (the shim caps execution at
+    /// `UV_BENCH_SAMPLES` / [`DEFAULT_MAX_SAMPLES`]; the value is kept for
+    /// API compatibility).
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
@@ -215,8 +263,9 @@ mod tests {
                 runs += 1;
             })
         });
-        // 1 warm-up + min(3, MAX_SAMPLES) timed runs.
-        assert_eq!(runs, 4);
+        // 1 warm-up + min(3, max samples) timed runs. The environment
+        // override can only raise the cap, never shrink the requested 3.
+        assert_eq!(runs, 1 + 3.min(max_samples()));
     }
 
     #[test]
@@ -231,5 +280,18 @@ mod tests {
         group.finish();
         assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn summary_statistics_are_order_insensitive() {
+        let ms = Duration::from_millis;
+        let stats = summarize(&[ms(9), ms(1), ms(5)]);
+        assert_eq!(stats.median, ms(5));
+        assert_eq!(stats.min, ms(1));
+        assert!(stats.stddev > Duration::ZERO);
+        // Even sample counts take the midpoint of the central pair.
+        let stats = summarize(&[ms(4), ms(2)]);
+        assert_eq!(stats.median, ms(3));
+        assert_eq!(stats.min, ms(2));
     }
 }
