@@ -6,6 +6,7 @@
 //! cargo run --release -p uv-bench --bin experiments -- --scale 0.1 --queries 50 fig7a
 //! cargo run --release -p uv-bench --bin experiments -- --json churn snapshot
 //! cargo run --release -p uv-bench --bin experiments -- --grow churn
+//! cargo run --release -p uv-bench --bin experiments -- --reshard shard
 //! ```
 //!
 //! Available experiment ids: `fig6a fig6b fig6c fig6d tab2 fig7a fig7b fig7c
@@ -19,7 +20,9 @@
 //! suitable for committing as `BENCH_*.json` and diffing across PRs;
 //! `--grow` makes every churn step insert past the current boundary, so the
 //! churn table doubles as a domain-growth latency profile (no step may cost
-//! a rebuild-style cliff).
+//! a rebuild-style cliff); `--reshard` makes the shard experiment run an
+//! elastic hot-split + cold-merge cycle per grid, re-verifying bit-identity
+//! after each step and snapshotting the resulting non-uniform layout.
 
 use std::collections::BTreeSet;
 use uv_bench::json::JsonExperiment;
@@ -78,6 +81,7 @@ fn main() {
     let mut requested: BTreeSet<String> = BTreeSet::new();
     let mut as_json = false;
     let mut grow_churn = false;
+    let mut reshard_shard = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -99,11 +103,14 @@ fn main() {
             "--grow" => {
                 grow_churn = true;
             }
+            "--reshard" => {
+                reshard_shard = true;
+            }
             "--help" | "-h" => {
                 println!("Regenerates the evaluation of the UV-diagram paper (Section VI).");
                 println!();
                 println!(
-                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] [--grow] <ids|all>"
+                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] [--grow] [--reshard] <ids|all>"
                 );
                 println!();
                 println!(
@@ -117,6 +124,10 @@ fn main() {
                 println!("  --grow         every churn step also inserts past the current domain,");
                 println!(
                     "                 profiling in-place domain growth (no rebuild-latency cliff)"
+                );
+                println!("  --reshard      the shard experiment runs a hot-split + cold-merge");
+                println!(
+                    "                 elastic reshard cycle, bit-identity re-verified each step"
                 );
                 println!();
                 println!("ids: {}", ALL.join(" "));
@@ -132,7 +143,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] [--grow] <ids|all>"
+                    "usage: experiments [--scale F] [--queries N] [--basic-cap N] [--json] [--grow] [--reshard] <ids|all>"
                 );
                 eprintln!("ids: {}", ALL.join(" "));
                 std::process::exit(2);
@@ -442,11 +453,11 @@ fn main() {
     }
 
     if wants("shard") {
-        let reports = shard::shard_experiment(&scale);
+        let reports = shard::shard_experiment(&scale, reshard_shard);
         verification_failed |= reports.iter().any(|r| !r.verified);
         out.table(
             "shard",
-            "Domain-sharded serving: halo replication, parallel shard builds",
+            "Domain-sharded serving: derivation-only router, halo replication, elastic resharding",
             &[
                 "grid",
                 "|O|",
@@ -457,6 +468,11 @@ fn main() {
                 "par speedup",
                 "halo overhead",
                 "snapshot bytes",
+                "router bytes",
+                "router-incl bytes",
+                "mem win",
+                "loads",
+                "reshard",
                 "verified",
             ],
             shard::shard_rows(&reports),

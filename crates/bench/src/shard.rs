@@ -1,5 +1,5 @@
 //! Shard experiment (beyond the paper): domain-sharded serving with halo
-//! replication.
+//! replication, a derivation-only router, and elastic resharding.
 //!
 //! For shard grids `S ∈ {2, 3}` the experiment builds a
 //! [`ShardedUvSystem`] and one unsharded oracle over the same dataset at the
@@ -12,10 +12,23 @@
 //! * **halo-replication overhead** — `replication_factor − 1`: the fraction
 //!   of extra object replicas the halos cost (0 = no replication), never
 //!   negative;
+//! * **router footprint win** — the sharded snapshot carries a slim
+//!   [`uv_core::DerivationRouter`] section (objects + R-tree + sensitivity tables,
+//!   no UV-grid or pages) where the retired layout embedded a full
+//!   `UvSystem`. The experiment reconstructs that router-inclusive total as
+//!   `snapshot_bytes − router_bytes + <full unsharded snapshot>` and gates
+//!   `snapshot_bytes < router_inclusive_bytes` through the exit-code path;
+//! * **per-shard load tallies** — the lock-free query/update counters that
+//!   drive the elastic reshard policy, summed across shards;
+//! * **elastic reshard cycle** (`--reshard`) — a policy-driven hot split
+//!   ([`ShardedUvSystem::maybe_reshard`]) followed by an explicit cold merge,
+//!   with routed answers re-verified bit-identical after each step and the
+//!   snapshot round-trip covering the resulting non-uniform layout;
 //! * **verification** — routed answers (point + batch) bit-identical to the
 //!   unsharded oracle, before and after one update batch applied to both,
-//!   and again after a sharded snapshot round-trip. A failure fails the
-//!   process through the harness's exit-code path, as for churn/snapshot.
+//!   after each reshard step, and again after a sharded snapshot round-trip.
+//!   A failure (including a lost memory win) fails the process through the
+//!   harness's exit-code path, as for churn/snapshot.
 
 use crate::churn::dynamic_config;
 use crate::workload::ExperimentScale;
@@ -27,7 +40,8 @@ use uv_geom::Point;
 /// Measurements of one shard-grid configuration.
 #[derive(Debug, Clone)]
 pub struct ShardReport {
-    /// Shard-grid side `S` (the system serves `S × S` shards).
+    /// Shard-grid side `S` (the system is built serving `S × S` shards; a
+    /// `--reshard` run ends on a non-uniform grid).
     pub grid: usize,
     /// Objects in the dataset.
     pub objects: usize,
@@ -44,10 +58,29 @@ pub struct ShardReport {
     pub parallel_speedup: f64,
     /// `replication_factor − 1` — extra replicas per live object (≥ 0).
     pub halo_overhead: f64,
-    /// Bytes of the sharded snapshot (router + every shard section).
+    /// Bytes of the sharded snapshot (slim router + every shard section).
     pub snapshot_bytes: u64,
+    /// Bytes of the slim router section inside the sharded snapshot.
+    pub router_bytes: u64,
+    /// What the same snapshot would cost under the retired layout that
+    /// embedded a full `UvSystem` as the router:
+    /// `snapshot_bytes − router_bytes + <full unsharded snapshot bytes>`.
+    pub router_inclusive_bytes: u64,
+    /// `snapshot_bytes < router_inclusive_bytes` — the footprint win the
+    /// derivation-only router exists for. Folded into [`verified`].
+    ///
+    /// [`verified`]: ShardReport::verified
+    pub memory_ok: bool,
+    /// Owned PNN queries tallied across all shards (point, batch and
+    /// trajectory-step lookups) up to the load-stats capture.
+    pub queries_routed: u64,
+    /// Non-empty per-shard reconciliation batches tallied by `apply`.
+    pub updates_routed: u64,
+    /// `Some(ok)` when `--reshard` ran the hot-split + cold-merge cycle;
+    /// `None` when resharding was not requested.
+    pub reshard_ok: Option<bool>,
     /// `true` when every verification stage matched the unsharded oracle
-    /// bit-exactly.
+    /// bit-exactly and the memory gate held.
     pub verified: bool,
 }
 
@@ -64,8 +97,19 @@ fn answers_match(sharded: &ShardedUvSystem, oracle: &UvSystem, queries: &[Point]
 }
 
 /// Runs the shard experiment for one grid side.
-fn run_grid(scale: &ExperimentScale, n: usize, dataset: &Dataset, grid: usize) -> ShardReport {
-    let config = dynamic_config(n).with_num_shards(grid);
+fn run_grid(
+    scale: &ExperimentScale,
+    n: usize,
+    dataset: &Dataset,
+    grid: usize,
+    reshard: bool,
+) -> ShardReport {
+    let mut config = dynamic_config(n).with_num_shards(grid);
+    if reshard {
+        // Any tallied load trips the split policy; the merge leg is driven
+        // explicitly so both reshard directions run in one cycle.
+        config = config.with_reshard_split_load(1);
+    }
 
     let t = Instant::now();
     let oracle = UvSystem::build(dataset.objects.clone(), dataset.domain, Method::IC, config)
@@ -127,6 +171,33 @@ fn run_grid(scale: &ExperimentScale, n: usize, dataset: &Dataset, grid: usize) -
     oracle.apply(batch).expect("oracle batch applies");
     verified &= answers_match(&sharded, &oracle, &queries);
 
+    // The reshard policy's raw inputs: every routed query and reconciliation
+    // batch since the build, read lock-free off the live counters (a reshard
+    // resets them, so capture first).
+    let loads = sharded.load_stats();
+    let queries_routed: u64 = loads.queries.iter().sum();
+    let updates_routed: u64 = loads.updates.iter().sum();
+
+    // `--reshard`: one policy-driven hot split (the tallies above trip the
+    // threshold-1 policy) and one explicit cold merge, answers re-verified
+    // bit-identical after each step. The snapshot below then round-trips
+    // the resulting non-uniform layout.
+    let reshard_ok = if reshard {
+        let split = sharded
+            .maybe_reshard()
+            .expect("maybe_reshard on a live system");
+        let mut ok = split.is_some_and(|stats| !stats.rebuilt.is_empty());
+        ok &= answers_match(&sharded, &oracle, &queries);
+        ok &= sharded.merge_shards(0, 1).is_ok();
+        ok &= answers_match(&sharded, &oracle, &queries);
+        Some(ok)
+    } else {
+        None
+    };
+    if let Some(ok) = reshard_ok {
+        verified &= ok;
+    }
+
     // Snapshot round-trip: per-shard sections under one versioned header.
     let mut bytes = Vec::new();
     let snapshot_bytes = sharded
@@ -135,6 +206,18 @@ fn run_grid(scale: &ExperimentScale, n: usize, dataset: &Dataset, grid: usize) -
     let loaded =
         ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).expect("sharded snapshot loads");
     verified &= answers_match(&loaded, &oracle, &queries);
+
+    // The memory gate: reconstruct the retired router-inclusive total (a
+    // full `UvSystem` snapshot where the slim router section now sits) and
+    // require the derivation-only layout to beat it.
+    let router_bytes = sharded.router_snapshot_bytes();
+    let mut oracle_bytes = Vec::new();
+    let oracle_snapshot_bytes = oracle
+        .save_snapshot(&mut oracle_bytes)
+        .expect("oracle snapshot save must succeed");
+    let router_inclusive_bytes = snapshot_bytes - router_bytes + oracle_snapshot_bytes;
+    let memory_ok = snapshot_bytes < router_inclusive_bytes;
+    verified &= memory_ok;
 
     ShardReport {
         grid,
@@ -146,18 +229,25 @@ fn run_grid(scale: &ExperimentScale, n: usize, dataset: &Dataset, grid: usize) -
         parallel_speedup: shards_sequential_ms / shards_parallel_ms.max(1e-9),
         halo_overhead,
         snapshot_bytes,
+        router_bytes,
+        router_inclusive_bytes,
+        memory_ok,
+        queries_routed,
+        updates_routed,
+        reshard_ok,
         verified,
     }
 }
 
 /// Runs the shard experiment at `scale` (1k objects at the default
-/// `--scale 0.05`) for shard grids 2×2 and 3×3.
-pub fn shard_experiment(scale: &ExperimentScale) -> Vec<ShardReport> {
+/// `--scale 0.05`) for shard grids 2×2 and 3×3. With `reshard` the run
+/// includes a hot-split + cold-merge elastic reshard cycle per grid.
+pub fn shard_experiment(scale: &ExperimentScale, reshard: bool) -> Vec<ShardReport> {
     let n = scale.scaled(20_000);
     let dataset = Dataset::generate(GeneratorConfig::paper_uniform(n));
     [2usize, 3]
         .iter()
-        .map(|grid| run_grid(scale, n, &dataset, *grid))
+        .map(|grid| run_grid(scale, n, &dataset, *grid, reshard))
         .collect()
 }
 
@@ -176,6 +266,19 @@ pub fn shard_rows(reports: &[ShardReport]) -> Vec<Vec<String>> {
                 format!("{:.2}", r.parallel_speedup),
                 format!("{:.2}", r.halo_overhead),
                 r.snapshot_bytes.to_string(),
+                r.router_bytes.to_string(),
+                r.router_inclusive_bytes.to_string(),
+                if r.memory_ok {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                format!("{}q/{}u", r.queries_routed, r.updates_routed),
+                match r.reshard_ok {
+                    None => "-".into(),
+                    Some(true) => "yes".into(),
+                    Some(false) => "NO".into(),
+                },
                 if r.verified {
                     "yes".into()
                 } else {
@@ -190,10 +293,13 @@ pub fn shard_rows(reports: &[ShardReport]) -> Vec<Vec<String>> {
 mod tests {
     use super::*;
 
-    /// ISSUE 5 acceptance, scaled down for the debug-build test budget:
-    /// routed answers verify bit-exactly against the unsharded oracle
-    /// (fresh, after an update batch, after a snapshot round-trip), the
-    /// halo overhead is non-negative and the speedup statistic is reported.
+    /// ISSUE 5 + ISSUE 10 acceptance, scaled down for the debug-build test
+    /// budget: routed answers verify bit-exactly against the unsharded
+    /// oracle (fresh, after an update batch, after a hot split, after a
+    /// cold merge, after a snapshot round-trip of the non-uniform layout),
+    /// the slim-router snapshot beats the reconstructed router-inclusive
+    /// total, the load tallies count the routed work and the speedup
+    /// statistic is reported.
     #[test]
     fn shard_experiment_verifies_and_reports_overheads() {
         let scale = ExperimentScale {
@@ -201,16 +307,28 @@ mod tests {
             queries: 8,
             ..ExperimentScale::default()
         };
-        let reports = shard_experiment(&scale);
+        let reports = shard_experiment(&scale, true);
         assert_eq!(reports.len(), 2);
         for report in &reports {
             assert_eq!(report.objects, 200);
             assert!(report.verified, "grid {0}x{0} diverged", report.grid);
+            assert_eq!(report.reshard_ok, Some(true));
+            assert!(
+                report.memory_ok && report.snapshot_bytes < report.router_inclusive_bytes,
+                "slim router lost the footprint win: {} vs {}",
+                report.snapshot_bytes,
+                report.router_inclusive_bytes
+            );
+            assert!(report.router_bytes > 0);
+            // answers_match issues one point + one batched lookup per query
+            // point, twice before the tallies are captured.
+            assert!(report.queries_routed >= 4 * 8);
+            assert!(report.updates_routed >= 1);
             assert!(report.halo_overhead >= 0.0);
             assert!(report.parallel_speedup > 0.0);
             assert!(report.snapshot_bytes > 10_000);
         }
         assert_eq!(shard_rows(&reports).len(), 2);
-        assert_eq!(shard_rows(&reports)[0].len(), 10);
+        assert_eq!(shard_rows(&reports)[0].len(), 15);
     }
 }

@@ -60,6 +60,20 @@ pub struct UvConfig {
     /// too small to ever absorb a movement step. `0.0` (the default) keeps
     /// every positive radius.
     pub safe_region_min_radius_fraction: f64,
+    /// Elastic-resharding *split* threshold: when
+    /// [`crate::shard::ShardedUvSystem::maybe_reshard`] finds a shard whose
+    /// accumulated query + update tally reaches this count, it splits that
+    /// shard's slab along its longer axis. `0` (the default) disables
+    /// policy-driven splitting; explicit
+    /// [`crate::shard::ShardedUvSystem::split_shard`] calls always work.
+    pub reshard_split_load: u64,
+    /// Elastic-resharding *merge* threshold: when `maybe_reshard` finds two
+    /// adjacent slabs whose combined tally is at or below this count (and no
+    /// shard is hot enough to split), it merges them. `0` (the default)
+    /// disables policy-driven merging. When both thresholds are non-zero the
+    /// merge threshold must be strictly below the split threshold, or a
+    /// merge could immediately re-trigger a split.
+    pub reshard_merge_load: u64,
 }
 
 impl Default for UvConfig {
@@ -79,6 +93,8 @@ impl Default for UvConfig {
             num_shards: 1,
             safe_region: true,
             safe_region_min_radius_fraction: 0.0,
+            reshard_split_load: 0,
+            reshard_merge_load: 0,
         }
     }
 }
@@ -125,6 +141,14 @@ impl UvConfig {
         {
             return Err(UvError::InvalidConfig(
                 "safe_region_min_radius_fraction must lie in [0, 1]",
+            ));
+        }
+        if self.reshard_split_load > 0
+            && self.reshard_merge_load > 0
+            && self.reshard_merge_load >= self.reshard_split_load
+        {
+            return Err(UvError::InvalidConfig(
+                "reshard_merge_load must be strictly below reshard_split_load",
             ));
         }
         Ok(())
@@ -218,6 +242,20 @@ impl UvConfig {
         self
     }
 
+    /// Builder-style setter for the elastic-resharding split threshold
+    /// (`0` disables policy-driven splits).
+    pub fn with_reshard_split_load(mut self, load: u64) -> Self {
+        self.reshard_split_load = load;
+        self
+    }
+
+    /// Builder-style setter for the elastic-resharding merge threshold
+    /// (`0` disables policy-driven merges).
+    pub fn with_reshard_merge_load(mut self, load: u64) -> Self {
+        self.reshard_merge_load = load;
+        self
+    }
+
     /// Applies the safe-region policy to a raw stability radius: `0.0` when
     /// safe regions are disabled or the radius falls below the configured
     /// floor (`safe_region_min_radius_fraction` of the longer domain side),
@@ -262,6 +300,8 @@ mod tests {
         assert_eq!(c.split_threshold, 1.0);
         assert!(c.safe_region);
         assert_eq!(c.safe_region_min_radius_fraction, 0.0);
+        assert_eq!(c.reshard_split_load, 0);
+        assert_eq!(c.reshard_merge_load, 0);
         assert!(c.validate().is_ok());
     }
 
@@ -339,6 +379,43 @@ mod tests {
         }
         .validate()
         .is_err());
+        // Merge threshold at or above the split threshold would oscillate.
+        assert!(UvConfig {
+            reshard_split_load: 100,
+            reshard_merge_load: 100,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(UvConfig {
+            reshard_split_load: 100,
+            reshard_merge_load: 200,
+            ..base
+        }
+        .validate()
+        .is_err());
+        // Either threshold alone (or merge < split) is fine.
+        assert!(UvConfig {
+            reshard_split_load: 100,
+            reshard_merge_load: 0,
+            ..base
+        }
+        .validate()
+        .is_ok());
+        assert!(UvConfig {
+            reshard_split_load: 0,
+            reshard_merge_load: 100,
+            ..base
+        }
+        .validate()
+        .is_ok());
+        assert!(UvConfig {
+            reshard_split_load: 100,
+            reshard_merge_load: 10,
+            ..base
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -356,7 +433,9 @@ mod tests {
             .with_leaf_split_capacity(16)
             .with_num_shards(3)
             .with_safe_region(false)
-            .with_safe_region_min_radius_fraction(0.01);
+            .with_safe_region_min_radius_fraction(0.01)
+            .with_reshard_split_load(5_000)
+            .with_reshard_merge_load(500);
         assert_eq!(c.split_threshold, 0.5);
         assert_eq!(c.max_nonleaf, 128);
         assert!(!c.parallel);
@@ -370,6 +449,8 @@ mod tests {
         assert_eq!(c.num_shards, 3);
         assert!(!c.safe_region);
         assert_eq!(c.safe_region_min_radius_fraction, 0.01);
+        assert_eq!(c.reshard_split_load, 5_000);
+        assert_eq!(c.reshard_merge_load, 500);
         assert!(c.validate().is_ok());
     }
 

@@ -26,10 +26,18 @@
 //!   a versioned, checksummed binary format and loaded back query-ready in
 //!   `O(bytes)` with zero re-derivation — the *build once, query many* cost
 //!   model made durable across process restarts.
+//! * [`router`] — the derivation-only update authority beyond the paper:
+//!   the object set, an index-only R-tree and the per-object sensitivity
+//!   tables, with no UV-grid, leaf pages or object-store pages — the slim
+//!   state the sharded layer routes updates through, at a fraction of a
+//!   full system's footprint.
 //! * [`shard`] — domain-sharded serving beyond the paper: the domain split
-//!   into an `S × S` grid of shard rectangles, each served by its own
+//!   into an `nx × ny` grid of shard rectangles, each served by its own
 //!   system over a halo-replicated object subset, with queries routed by
 //!   point ownership and answers bit-identical to the unsharded system.
+//!   Elastic resharding splits hot shards and merges cold ones online,
+//!   driven by per-shard load tallies, without breaking bit-identity or
+//!   live subscription delta chains.
 //! * [`subscribe`] — continuous PNN subscriptions beyond the paper: moving
 //!   clients carry per-position *safe regions* (UV-leaf pinned stability
 //!   disks derived from the `d_minmax` screen and the integration's branch
@@ -79,6 +87,7 @@ pub mod error;
 pub mod index;
 pub mod pattern;
 pub mod region;
+pub mod router;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;
@@ -95,7 +104,8 @@ pub use error::UvError;
 pub use index::UvIndex;
 pub use pattern::PartitionCell;
 pub use region::PossibleRegion;
-pub use shard::{ShardedUpdateStats, ShardedUvSystem};
+pub use router::DerivationRouter;
+pub use shard::{ReshardStats, ShardLoadStats, ShardedUpdateStats, ShardedUvSystem};
 pub use stats::{ConstructionStats, PruneStats};
 pub use subscribe::{
     ClientId, SafeRegion, SubscriptionEngine, SubscriptionStats, SubscriptionTable,

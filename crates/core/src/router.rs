@@ -1,0 +1,742 @@
+//! The derivation-only router: the sharded serving layer's update authority,
+//! slimmed to exactly the state that routing decisions consume.
+//!
+//! PR 7's sharded layer kept **one full [`crate::UvSystem`]** as its router — grid,
+//! leaf pages and object-store pages included — purely to answer two
+//! questions per update batch: *which objects does this change affect*
+//! (the [`crate::crobjects::UpdateSensitivity`] tables) and *what are the
+//! re-derived objects' new influence disks* (geometry + sensitivity again).
+//! Neither question ever touches a UV-grid leaf or an object-store page;
+//! the shards hold their own full systems and serve every query. The router
+//! duplicated the entire unsharded footprint for nothing.
+//!
+//! [`DerivationRouter`] is the refactor that removes the duplication. It
+//! holds **no UV-grid, no leaf pages, no object-store pages** — only:
+//!
+//! * the live object set and the indexed domain;
+//! * an *index-only* R-tree ([`uv_rtree::RTree::build_index_only`]): the
+//!   STR packing over the objects with null record pointers, enough for the
+//!   k-NN and range probes the derivation makes, with zero page payload
+//!   (`derive_subset` never dereferences an entry pointer);
+//! * the per-object reference-set / sensitivity table
+//!   ([`crate::update::ObjectState`]) — the affected-object oracle;
+//! * configuration, construction method and the epoch counter.
+//!
+//! # Correctness contract
+//!
+//! [`DerivationRouter::apply`] runs the **same pipeline as
+//! [`crate::UvSystem::apply`] steps 1–8**: identical op validation (shared
+//! `validate_object`), identical net-diff computation, identical in-place
+//! domain growth (shared `grow_domain`), identical affected-set expansion
+//! through the sensitivity bounds and identical re-derivation through
+//! `crate::builder::derive_subset` — the derivation reads only R-tree
+//! probes, objects and the domain, all of which the router keeps
+//! bit-identical to the full system's. Steps 9–10 (grid repair, budget
+//! reconciliation) have no grid to act on and are skipped: every leaf
+//! counter in the returned [`UpdateStats`] is zero and
+//! [`UpdateStats::refine_fraction`] is meaningless for a router — answers
+//! come from the shards. Everything the sharded layer consumes —
+//! `rederived_ids`, the net diff, `domain_grown`, the updated sensitivity
+//! table — is bit-identical to what a full [`crate::UvSystem`] would have
+//! produced, which is what keeps sharded answers bit-identical to the
+//! unsharded oracle (property-tested in `tests/proptest_shard.rs`).
+//!
+//! # Persistence
+//!
+//! `DerivationRouter::write_state` (crate-internal) persists config,
+//! method, domain, epoch, objects and the reference table (reusing the
+//! unsharded snapshot's per-object encoding, d-bounds as bare hull
+//! vertices). The R-tree is **not** persisted: STR packing is a pure
+//! function of the object set, so `DerivationRouter::read_state` rebuilds
+//! it bit-identically with
+//! [`uv_rtree::RTree::build_index_only`]. That makes the sharded
+//! container's ROUTER section a small multiple of the raw object data —
+//! the measured memory win `experiments -- shard` gates on.
+
+use crate::builder::{derive_subset, Method};
+use crate::config::UvConfig;
+use crate::snapshot::{read_object_state, write_object_state};
+use crate::update::{
+    grow_domain, validate_object, ObjectState, RefTable, UpdateBatch, UpdateOp, UpdateStats,
+};
+use crate::UvError;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use uv_data::{ObjectId, UncertainObject};
+use uv_geom::{Circle, Point, Rect};
+use uv_rtree::RTree;
+use uv_store::codec::{Decode, Encode};
+use uv_store::PageStore;
+
+/// Derives the reference table of `objects` from scratch — the router's
+/// analogue of the builder's Phase A, without the grid phases.
+fn derive_ref_table(
+    objects: &[UncertainObject],
+    rtree: &RTree,
+    domain: &Rect,
+    config: &UvConfig,
+    method: Method,
+) -> RefTable {
+    let by_id: HashMap<ObjectId, &UncertainObject> = objects.iter().map(|o| (o.id, o)).collect();
+    let subjects: Vec<&UncertainObject> = objects.iter().collect();
+    derive_subset(&subjects, objects, &by_id, rtree, domain, config, method)
+        .into_iter()
+        .map(|p| {
+            (
+                p.id,
+                ObjectState {
+                    reference_ids: p.reference_ids,
+                    sensitivity: p.sensitivity,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The sharded layer's update authority: object set, domain, an index-only
+/// R-tree and the per-object sensitivity table — and nothing else. See the
+/// [module docs](crate::router) for why this replaces the full
+/// [`crate::UvSystem`] PR 7 routed through.
+#[derive(Debug)]
+pub struct DerivationRouter {
+    pub(crate) objects: Vec<UncertainObject>,
+    pub(crate) domain: Rect,
+    pub(crate) rtree: RTree,
+    pub(crate) ref_table: RefTable,
+    pub(crate) config: UvConfig,
+    pub(crate) method: Method,
+    pub(crate) epoch: u64,
+}
+
+impl DerivationRouter {
+    /// Builds a router over `objects`: validates the configuration, packs
+    /// the index-only R-tree and derives every object's reference set and
+    /// sensitivity — exactly the derivation [`crate::UvSystem::build`] performs,
+    /// minus the grid construction.
+    pub fn build(
+        objects: Vec<UncertainObject>,
+        domain: Rect,
+        method: Method,
+        config: UvConfig,
+    ) -> Result<Self, UvError> {
+        config.validate()?;
+        let rtree = RTree::build_index_only(&objects, Arc::new(PageStore::new()));
+        let ref_table = derive_ref_table(&objects, &rtree, &domain, &config, method);
+        Ok(Self {
+            objects,
+            domain,
+            rtree,
+            ref_table,
+            config,
+            method,
+            epoch: 0,
+        })
+    }
+
+    /// The live object set.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// The indexed domain rectangle.
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The configuration the router (and every shard) was built with.
+    pub fn config(&self) -> &UvConfig {
+        &self.config
+    }
+
+    /// The construction method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The update epoch: bumped once per applied batch with a non-empty net
+    /// difference, mirroring [`crate::UvSystem`]'s index epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The maintenance state of one object (reference ids + sensitivity),
+    /// or `None` for an unknown id.
+    pub fn object_state(&self, id: ObjectId) -> Option<&ObjectState> {
+        self.ref_table.get(&id)
+    }
+
+    /// Applies an update batch through the same pipeline as
+    /// [`crate::UvSystem::apply`] steps 1–8 — identical validation, net diff,
+    /// domain growth, affected-set expansion and re-derivation — without
+    /// the grid repair (there is no grid). All leaf counters in the
+    /// returned stats are zero; `rederived_ids`, the net-diff counts and
+    /// `domain_grown` are bit-identical to the full system's.
+    pub fn apply(&mut self, batch: UpdateBatch) -> Result<UpdateStats, UvError> {
+        let mut stats = UpdateStats {
+            epoch: self.epoch,
+            ..UpdateStats::default()
+        };
+
+        // ---- 1. Validate by simulation (identical to UvSystem::apply) ----
+        let before: HashMap<ObjectId, &UncertainObject> =
+            self.objects.iter().map(|o| (o.id, o)).collect();
+        let mut overlay: HashMap<ObjectId, Option<UncertainObject>> = HashMap::new();
+        let is_live = |overlay: &HashMap<ObjectId, Option<UncertainObject>>,
+                       before: &HashMap<ObjectId, &UncertainObject>,
+                       id: &ObjectId| {
+            overlay
+                .get(id)
+                .map_or(before.contains_key(id), Option::is_some)
+        };
+        for op in &batch.ops {
+            match op {
+                UpdateOp::Insert(o) => {
+                    validate_object(o)?;
+                    if is_live(&overlay, &before, &o.id) {
+                        return Err(UvError::DuplicateObject(o.id));
+                    }
+                    overlay.insert(o.id, Some(o.clone()));
+                }
+                UpdateOp::Delete(id) => {
+                    if !is_live(&overlay, &before, id) {
+                        return Err(UvError::UnknownObject(*id));
+                    }
+                    overlay.insert(*id, None);
+                }
+                UpdateOp::Move { id, center } => {
+                    let current = match overlay.get(id) {
+                        Some(state) => state.as_ref(),
+                        None => before.get(id).copied(),
+                    };
+                    let Some(current) = current else {
+                        return Err(UvError::UnknownObject(*id));
+                    };
+                    if !center.x.is_finite() || !center.y.is_finite() {
+                        return Err(UvError::InvalidObject(*id));
+                    }
+                    let mut moved = current.clone();
+                    moved.region.center = *center;
+                    overlay.insert(*id, Some(moved));
+                }
+            }
+        }
+
+        // ---- 2. Net difference -------------------------------------------
+        let mut deleted: Vec<ObjectId> = Vec::new();
+        let mut inserted: Vec<ObjectId> = Vec::new();
+        let mut changed: Vec<ObjectId> = Vec::new();
+        let mut removed_mbcs: Vec<Circle> = Vec::new();
+        let mut added_mbcs: Vec<Circle> = Vec::new();
+        let mut moved_mbcs: Vec<(Circle, Circle)> = Vec::new();
+        for (id, state) in &overlay {
+            match (before.get(id), state) {
+                (Some(b), Some(o)) if *b != o => {
+                    changed.push(*id);
+                    moved_mbcs.push((b.mbc(), o.mbc()));
+                }
+                (Some(_), Some(_)) => {}
+                (Some(b), None) => {
+                    deleted.push(*id);
+                    removed_mbcs.push(b.mbc());
+                }
+                (None, Some(o)) => {
+                    inserted.push(*id);
+                    added_mbcs.push(o.mbc());
+                }
+                (None, None) => {}
+            }
+        }
+        drop(before);
+        deleted.sort_unstable();
+        inserted.sort_unstable();
+        changed.sort_unstable();
+        stats.deleted = deleted.len();
+        stats.inserted = inserted.len();
+        stats.moved = changed.len();
+        if deleted.is_empty() && inserted.is_empty() && changed.is_empty() {
+            return Ok(stats);
+        }
+        let updated = |id: &ObjectId| overlay[id].as_ref().expect("net-changed ids carry a state");
+
+        // ---- 3. Apply the net difference to the object vector ------------
+        self.objects
+            .retain(|o| !matches!(overlay.get(&o.id), Some(None)));
+        for o in self.objects.iter_mut() {
+            if changed.binary_search(&o.id).is_ok() {
+                *o = updated(&o.id).clone();
+            }
+        }
+        for id in &inserted {
+            self.objects.push(updated(id).clone());
+        }
+
+        // ---- 4. Index-only R-tree rebuild --------------------------------
+        // The full system bulk-reloads its R-tree from the object store;
+        // the router has no store, so it packs the same STR layout with
+        // null record pointers into a fresh page arena. The k-NN and range
+        // probes the derivation makes are bit-identical on both trees.
+        self.rtree = RTree::build_index_only(&self.objects, Arc::new(PageStore::new()));
+
+        // ---- 5. In-place domain growth -----------------------------------
+        let needed = inserted
+            .iter()
+            .chain(&changed)
+            .map(|id| updated(id).mbr())
+            .filter(|mbr| !self.domain.contains_rect(mbr))
+            .fold(None::<Rect>, |acc, mbr| {
+                Some(acc.map_or(mbr, |a| a.union(&mbr)))
+            });
+        if let Some(needed) = needed {
+            let domain = grow_domain(self.domain, &needed);
+            return self.finish_with_domain_growth(stats, domain);
+        }
+
+        // ---- 6. Affected objects (identical sensitivity walk) ------------
+        let changed_set: HashSet<ObjectId> = changed.iter().copied().collect();
+        let inserted_set: HashSet<ObjectId> = inserted.iter().copied().collect();
+        let mut affected: HashSet<ObjectId> = changed_set.union(&inserted_set).copied().collect();
+        stats.objects_in_knn_radius = affected.len();
+        let mut repartition_only: Vec<ObjectId> = Vec::new();
+        for o in &self.objects {
+            if affected.contains(&o.id) {
+                continue;
+            }
+            let sensitivity = &self.ref_table[&o.id].sensitivity;
+            let c = o.center();
+            let mut impact = crate::crobjects::ChangeImpact::Unaffected;
+            for mbc in &removed_mbcs {
+                if sensitivity.affected_by_removed(c, mbc) {
+                    impact = crate::crobjects::ChangeImpact::Rederive;
+                    break;
+                }
+            }
+            for mbc in &added_mbcs {
+                if impact < crate::crobjects::ChangeImpact::Rederive
+                    && sensitivity.affected_by_added(c, mbc)
+                {
+                    impact = crate::crobjects::ChangeImpact::Rederive;
+                }
+            }
+            for (old, new) in &moved_mbcs {
+                if impact < crate::crobjects::ChangeImpact::Rederive {
+                    let mut verdict = sensitivity.move_impact(c, old, new);
+                    if verdict == crate::crobjects::ChangeImpact::RepartitionOnly
+                        && self.method != Method::IC
+                    {
+                        verdict = crate::crobjects::ChangeImpact::Rederive;
+                    }
+                    impact = impact.max(verdict);
+                }
+            }
+            match impact {
+                crate::crobjects::ChangeImpact::Rederive => {
+                    affected.insert(o.id);
+                    stats.objects_in_knn_radius += 1;
+                }
+                crate::crobjects::ChangeImpact::RepartitionOnly => {
+                    repartition_only.push(o.id);
+                    stats.objects_in_knn_radius += 1;
+                }
+                crate::crobjects::ChangeImpact::Unaffected => {
+                    if removed_mbcs
+                        .iter()
+                        .chain(&added_mbcs)
+                        .chain(moved_mbcs.iter().flat_map(|(a, b)| [a, b]))
+                        .any(|mbc| sensitivity.affected_by_knn_bound(c, mbc))
+                    {
+                        stats.objects_in_knn_radius += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- 7. Re-derive the affected objects ---------------------------
+        let by_id: HashMap<ObjectId, &UncertainObject> =
+            self.objects.iter().map(|o| (o.id, o)).collect();
+        let subjects: Vec<&UncertainObject> = self
+            .objects
+            .iter()
+            .filter(|o| affected.contains(&o.id))
+            .collect();
+        let derived = derive_subset(
+            &subjects,
+            &self.objects,
+            &by_id,
+            &self.rtree,
+            &self.domain,
+            &self.config,
+            self.method,
+        );
+        stats.objects_rederived = derived.len();
+
+        // ---- 8. Diff derivations into the dirty set ----------------------
+        // The router keeps the dirty bookkeeping (and the repartitioned
+        // count) bit-identical to the full system's even though it has no
+        // grid to repair — the sharded layer surfaces these stats.
+        let mut dirty: Vec<ObjectId> = Vec::new();
+        for p in derived {
+            stats.rederived_ids.push(p.id);
+            let refs_changed = self
+                .ref_table
+                .get(&p.id)
+                .is_none_or(|w| w.reference_ids != p.reference_ids);
+            let is_dirty = refs_changed
+                || changed_set.contains(&p.id)
+                || p.reference_ids.iter().any(|r| changed_set.contains(r));
+            self.ref_table.insert(
+                p.id,
+                ObjectState {
+                    reference_ids: p.reference_ids,
+                    sensitivity: p.sensitivity,
+                },
+            );
+            if is_dirty && !inserted_set.contains(&p.id) {
+                dirty.push(p.id);
+            }
+        }
+        for id in &deleted {
+            self.ref_table.remove(id);
+        }
+        dirty.extend_from_slice(&repartition_only);
+        dirty.sort_unstable();
+        stats.objects_repartitioned = dirty.len() + inserted.len() + deleted.len();
+
+        // No steps 9–10: there is no grid to repair and no budget to
+        // reconcile. Leaf counters stay zero.
+        self.epoch += 1;
+        stats.epoch = self.epoch;
+        Ok(stats)
+    }
+
+    /// Finishes a batch whose net difference left the old domain: adopts
+    /// the exponentially grown domain and re-derives every object under it
+    /// (the derivation is domain-seeded). Mirrors the full system's growth
+    /// path with leaf counters zeroed.
+    fn finish_with_domain_growth(
+        &mut self,
+        mut stats: UpdateStats,
+        domain: Rect,
+    ) -> Result<UpdateStats, UvError> {
+        self.domain = domain;
+        self.ref_table = derive_ref_table(
+            &self.objects,
+            &self.rtree,
+            &self.domain,
+            &self.config,
+            self.method,
+        );
+        self.epoch += 1;
+        stats.domain_grown = true;
+        stats.objects_rederived = self.objects.len();
+        stats.rederived_ids = self.objects.iter().map(|o| o.id).collect();
+        stats.objects_in_knn_radius = self.objects.len();
+        stats.objects_repartitioned = self.objects.len();
+        stats.epoch = self.epoch;
+        stats.repaired_rects = vec![self.domain];
+        Ok(stats)
+    }
+
+    /// Adopts `domain` directly (no growth policy): re-derives everything
+    /// under it and advances the epoch — the router-side analogue of
+    /// [`crate::UvSystem`]'s `grow_domain_to`, used by snapshot-load paths that
+    /// must reproduce an exact persisted domain. A no-op when `domain`
+    /// equals the current one.
+    #[allow(dead_code)]
+    pub(crate) fn grow_domain_to(&mut self, domain: Rect) {
+        if domain == self.domain {
+            return;
+        }
+        self.domain = domain;
+        self.ref_table = derive_ref_table(
+            &self.objects,
+            &self.rtree,
+            &self.domain,
+            &self.config,
+            self.method,
+        );
+        self.epoch += 1;
+    }
+
+    /// Serialises the router's persistent state: config, method, domain,
+    /// epoch, objects and the reference table (the unsharded snapshot's
+    /// per-object encoding — d-bounds as bare hull vertices). The R-tree
+    /// is deliberately absent: STR packing is a pure function of the
+    /// object set, so [`DerivationRouter::read_state`] rebuilds it
+    /// bit-identically.
+    pub(crate) fn write_state<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.config.write_to(w)?;
+        self.method.write_to(w)?;
+        self.domain.write_to(w)?;
+        self.epoch.write_to(w)?;
+        self.objects.write_to(w)?;
+        let mut entries: Vec<(u32, &ObjectState)> =
+            self.ref_table.iter().map(|(id, s)| (*id, s)).collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        entries.len().write_to(w)?;
+        for (id, state) in &entries {
+            id.write_to(w)?;
+            write_object_state(state, w)?;
+        }
+        Ok(())
+    }
+
+    /// The size of the router's persistent-state encoding in bytes —
+    /// what the ROUTER section of a sharded snapshot costs, and the figure
+    /// the shard experiment's memory gate compares against a full
+    /// unsharded snapshot.
+    pub fn state_bytes(&self) -> u64 {
+        let mut bytes = Vec::new();
+        self.write_state(&mut bytes)
+            .expect("writing to a Vec cannot fail");
+        bytes.len() as u64
+    }
+
+    /// Inverse of [`DerivationRouter::write_state`]: decodes and validates
+    /// the slim state, then rebuilds the index-only R-tree from the object
+    /// set. Malformed input yields a typed [`UvError`], never a panic.
+    pub(crate) fn read_state<R: Read + ?Sized>(r: &mut R) -> Result<Self, UvError> {
+        let config = UvConfig::read_from(r)?;
+        config.validate().map_err(|e| {
+            UvError::SnapshotCorrupt(format!("persisted router configuration: {e}"))
+        })?;
+        let method = Method::read_from(r)?;
+        let domain = Rect::read_from(r)?;
+        let epoch = u64::read_from(r)?;
+        let objects: Vec<UncertainObject> = Vec::read_from(r)?;
+        let entries = usize::read_from(r)?;
+        let centers: HashMap<u32, Point> = objects.iter().map(|o| (o.id, o.center())).collect();
+        let mut ref_table = RefTable::with_capacity(entries.min(4_096));
+        for _ in 0..entries {
+            let id = u32::read_from(r)?;
+            let Some(center) = centers.get(&id) else {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "router reference table names unknown object {id}"
+                )));
+            };
+            let state = read_object_state(*center, r)?;
+            if ref_table.insert(id, state).is_some() {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "object {id} appears twice in the router reference table"
+                )));
+            }
+        }
+        if ref_table.len() != objects.len()
+            || objects.iter().any(|o| !ref_table.contains_key(&o.id))
+        {
+            return Err(UvError::SnapshotCorrupt(
+                "router reference table does not cover the live object set".into(),
+            ));
+        }
+        let rtree = RTree::build_index_only(&objects, Arc::new(PageStore::new()));
+        Ok(Self {
+            objects,
+            domain,
+            rtree,
+            ref_table,
+            config,
+            method,
+            epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::UvSystem;
+    use uv_data::{Dataset, GeneratorConfig};
+
+    fn fixture(n: usize) -> (Dataset, UvSystem, DerivationRouter) {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(n));
+        let config = UvConfig::default()
+            .with_seed_knn(24)
+            .with_leaf_split_capacity(16);
+        let sys = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
+        let router =
+            DerivationRouter::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
+        (ds, sys, router)
+    }
+
+    fn assert_tables_match(sys: &UvSystem, router: &DerivationRouter) {
+        assert_eq!(sys.objects().len(), router.objects().len());
+        assert_eq!(sys.domain(), router.domain());
+        for o in sys.objects() {
+            let a = sys.object_state(o.id).expect("system state");
+            let b = router.object_state(o.id).expect("router state");
+            assert_eq!(a.reference_ids(), b.reference_ids(), "refs of {}", o.id);
+            assert_eq!(a.sensitivity(), b.sensitivity(), "sensitivity of {}", o.id);
+        }
+    }
+
+    #[test]
+    fn build_derives_the_same_reference_table_as_the_full_system() {
+        let (_, sys, router) = fixture(150);
+        assert_tables_match(&sys, &router);
+        assert_eq!(router.epoch(), 0);
+    }
+
+    #[test]
+    fn apply_mirrors_the_full_pipeline_bit_identically() {
+        let (ds, mut sys, mut router) = fixture(150);
+        let batch = UpdateBatch::new()
+            .insert(UncertainObject::with_gaussian(
+                900,
+                Point::new(2_500.0, 2_500.0),
+                20.0,
+            ))
+            .delete(17)
+            .move_to(42, Point::new(7_400.0, 1_200.0));
+        let a = sys.apply(batch.clone()).unwrap();
+        let b = router.apply(batch).unwrap();
+        assert_eq!(
+            (a.inserted, a.deleted, a.moved),
+            (b.inserted, b.deleted, b.moved)
+        );
+        assert_eq!(a.objects_rederived, b.objects_rederived);
+        assert_eq!(a.objects_in_knn_radius, b.objects_in_knn_radius);
+        assert_eq!(a.objects_repartitioned, b.objects_repartitioned);
+        let mut ra = a.rederived_ids.clone();
+        let mut rb = b.rederived_ids.clone();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb, "affected sets diverged");
+        assert_eq!(a.epoch, b.epoch);
+        // The router has no grid: its leaf counters are zero by contract.
+        assert_eq!(b.leaves_refined, 0);
+        assert_eq!(b.total_leaves, 0);
+        assert_tables_match(&sys, &router);
+        let _ = ds;
+    }
+
+    #[test]
+    fn apply_rejects_the_same_ops_without_mutating() {
+        let (_, mut sys, mut router) = fixture(60);
+        let bad = [
+            UpdateBatch::new().delete(999),
+            UpdateBatch::new().insert(UncertainObject::with_uniform(
+                3,
+                Point::new(100.0, 100.0),
+                5.0,
+            )),
+            UpdateBatch::new().move_to(2, Point::new(f64::NAN, 0.0)),
+            UpdateBatch::new()
+                .delete(1)
+                .move_to(55_555, Point::new(1.0, 1.0)),
+        ];
+        for batch in bad {
+            let ea = sys.apply(batch.clone()).unwrap_err();
+            let eb = router.apply(batch).unwrap_err();
+            assert_eq!(ea, eb, "error behaviour diverged");
+        }
+        assert_eq!(router.epoch(), 0);
+        assert_eq!(router.objects().len(), 60);
+        assert_tables_match(&sys, &router);
+    }
+
+    #[test]
+    fn net_noop_batches_do_not_bump_the_epoch() {
+        let (ds, _, mut router) = fixture(60);
+        let stats = router.apply(UpdateBatch::new()).unwrap();
+        assert_eq!(stats.epoch, 0);
+        let original = ds.objects[5].clone();
+        router
+            .apply(UpdateBatch::new().delete(5).insert(original))
+            .unwrap();
+        assert_eq!(router.epoch(), 0);
+    }
+
+    #[test]
+    fn domain_growth_matches_the_full_system() {
+        let (ds, mut sys, mut router) = fixture(80);
+        let outside = UncertainObject::with_uniform(
+            800,
+            Point::new(ds.domain.max_x + 500.0, ds.domain.max_y + 500.0),
+            10.0,
+        );
+        let a = sys.insert_object(outside.clone()).unwrap();
+        let b = router.apply(UpdateBatch::new().insert(outside)).unwrap();
+        assert!(a.domain_grown && b.domain_grown);
+        assert_eq!(sys.domain(), router.domain());
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.objects_rederived, b.objects_rederived);
+        assert_tables_match(&sys, &router);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical_and_updatable() {
+        let (_, mut sys, mut router) = fixture(120);
+        let batch = UpdateBatch::new()
+            .delete(3)
+            .move_to(7, Point::new(4_321.0, 1_234.0));
+        sys.apply(batch.clone()).unwrap();
+        router.apply(batch).unwrap();
+
+        let mut bytes = Vec::new();
+        router.write_state(&mut bytes).unwrap();
+        assert_eq!(bytes.len() as u64, router.state_bytes());
+        let mut loaded = DerivationRouter::read_state(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.epoch(), router.epoch());
+        assert_eq!(loaded.objects(), router.objects());
+        assert_tables_match(&sys, &loaded);
+
+        // Updates after the round-trip equal updates without it.
+        let next = UpdateBatch::new()
+            .insert(UncertainObject::with_uniform(
+                901,
+                Point::new(6_000.0, 3_000.0),
+                15.0,
+            ))
+            .move_to(42, Point::new(1_111.0, 8_888.0));
+        let a = router.apply(next.clone()).unwrap();
+        let b = loaded.apply(next).unwrap();
+        assert_eq!(a.objects_rederived, b.objects_rederived);
+        let mut ra = a.rederived_ids.clone();
+        let mut rb = b.rederived_ids.clone();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb);
+        sys.apply(
+            UpdateBatch::new()
+                .insert(UncertainObject::with_uniform(
+                    901,
+                    Point::new(6_000.0, 3_000.0),
+                    15.0,
+                ))
+                .move_to(42, Point::new(1_111.0, 8_888.0)),
+        )
+        .unwrap();
+        assert_tables_match(&sys, &loaded);
+    }
+
+    #[test]
+    fn corrupt_state_yields_typed_errors() {
+        let (_, _, router) = fixture(60);
+        let mut bytes = Vec::new();
+        router.write_state(&mut bytes).unwrap();
+        for cut in [3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    DerivationRouter::read_state(&mut &bytes[..cut]),
+                    Err(UvError::SnapshotCorrupt(_))
+                ),
+                "truncation at {cut} must be corruption"
+            );
+        }
+    }
+
+    #[test]
+    fn slim_state_is_smaller_than_a_full_snapshot() {
+        // The tentpole's memory claim at unit scope: the router's persisted
+        // state must undercut the full system snapshot it replaces.
+        let (_, sys, router) = fixture(200);
+        let mut full = Vec::new();
+        let full_bytes = sys.save_snapshot(&mut full).unwrap();
+        assert!(
+            router.state_bytes() < full_bytes,
+            "slim router ({}) must be smaller than the full snapshot ({})",
+            router.state_bytes(),
+            full_bytes
+        );
+    }
+}

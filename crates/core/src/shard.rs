@@ -1,5 +1,5 @@
 //! Domain-sharded serving: a [`ShardedUvSystem`] splits the domain into an
-//! `S × S` grid of shard rectangles and serves each rectangle from its own
+//! `nx × ny` grid of shard rectangles and serves each rectangle from its own
 //! [`UvSystem`], while answering every query *bit-identically* to one
 //! unsharded system over the whole dataset.
 //!
@@ -41,40 +41,69 @@
 //! bit-exactly across {IC, ICR} × {Uniform, GaussianSkew}, before and after
 //! random update batches.
 //!
-//! # The router
+//! # The derivation-only router
 //!
-//! [`ShardedUvSystem`] keeps one full [`UvSystem`] — the *router* — as the
-//! derivation authority: its per-object [`crate::UpdateSensitivity`] bounds
-//! yield the halo radii, its [`UvSystem::apply`] implements the validated,
-//! atomic global state transition, and analytics that need the global
-//! partition (`cell_area`, `partition_query`) are answered by it directly.
-//! Updates first apply to the router, then reconcile each shard's membership
+//! [`ShardedUvSystem`] keeps a [`DerivationRouter`] — **not** a full
+//! [`UvSystem`] — as the derivation authority: the live object set, an
+//! index-only R-tree and the per-object sensitivity table, with no UV-grid,
+//! no leaf pages and no object-store pages. Its per-object sensitivity
+//! bounds yield the halo radii, and [`DerivationRouter::apply`] implements
+//! the validated, atomic global state transition through the same steps as
+//! [`UvSystem::apply`] — so everything the shards reconcile against
+//! (`rederived_ids`, the net diff, `domain_grown`) is bit-identical to what
+//! the old full-system router produced, at a fraction of its footprint
+//! (`experiments -- shard` measures the saving and gates on it). Updates
+//! first apply to the router, then reconcile each shard's membership
 //! (replica inserts/deletes plus geometry changes) through the PR-3
 //! localized repair of the shards they touch. When the router grows its
 //! domain in place ([`UpdateStats::domain_grown`]) the shard *geometry*
 //! grows with it — only the outermost axis boundaries move, interior split
-//! lines stay pinned, so interior shard rectangles are bit-unchanged and the
-//! layout is never rebuilt ([`ShardedUpdateStats::resharded`] stays `false`
-//! forever). The router makes the sharded build strictly more expensive than
-//! an unsharded one — this layer buys query-routing and update *locality*,
-//! not construction speed; slimming the router to a derivation-only service
-//! (no grid) is the obvious follow-up.
+//! lines stay pinned, so interior shard rectangles are bit-unchanged and
+//! the layout survives every update batch unchanged
+//! ([`ShardedUpdateStats::resharded`] stays `false` forever).
+//!
+//! # Elastic resharding
+//!
+//! The layout is elastic *between* batches: [`ShardedUvSystem::split_shard`]
+//! inserts a midpoint boundary on a hot shard's longer axis and
+//! [`ShardedUvSystem::merge_shards`] removes the boundary between two cold
+//! axis-adjacent slabs. Both keep the layout a product grid (a split divides
+//! the whole row or column; a merge fuses a whole pair), so routing stays
+//! two binary axis lookups. Only the shards whose rectangles changed are
+//! rebuilt from their halo member sets ([`ReshardStats::rebuilt`]); every
+//! other shard moves wholesale — epoch, leaf structure and safe regions
+//! intact — to its new slot ([`ReshardStats::shard_map`]). Answers are
+//! bit-identical to the unsharded oracle before, during and after a
+//! reshard, and live [`crate::SubscriptionEngine`] clients migrate with
+//! unbroken delta chains
+//! ([`crate::SubscriptionEngine::refresh_after_reshard`]).
+//!
+//! Lock-free per-shard query/update tallies ([`ShardedUvSystem::load_stats`])
+//! feed the [`ShardedUvSystem::maybe_reshard`] policy: when
+//! [`crate::UvConfig::reshard_split_load`] is set, the hottest shard at or
+//! above the threshold splits; otherwise, when
+//! [`crate::UvConfig::reshard_merge_load`] is set, the coldest adjacent slab
+//! pair at or below it merges. Tallies are *per interval*: every reshard
+//! resets them, so the thresholds meter load since the last layout change.
 //!
 //! # Persistence
 //!
 //! [`ShardedUvSystem::save_snapshot`] writes one versioned header
 //! ([`SHARD_MAGIC`], the [`crate::snapshot::FORMAT_VERSION`], then a META
-//! section carrying the grid side and the exact shard-axis boundaries —
-//! non-uniform after domain growth, so they cannot be recomputed from the
-//! domain) followed by framed `uv_store::codec` sections: the router snapshot, then
-//! one section per shard, each a complete [`UvSystem`] snapshot. Loading
-//! validates every section checksum, the shard count, configuration
-//! agreement and halo coverage — malformed input maps to typed
-//! [`UvError`]s, never a panic.
+//! section carrying the grid dimensions `nx × ny` and the exact shard-axis
+//! boundaries — non-uniform after a reshard or domain growth, so they
+//! cannot be recomputed from the domain) followed by framed
+//! `uv_store::codec` sections: the router's slim state (config, method,
+//! domain, epoch, objects and reference table; the R-tree is rebuilt on
+//! load from the object set), then one section per shard, each a complete
+//! [`UvSystem`] snapshot. Loading validates every section checksum, the
+//! grid geometry, configuration agreement and halo coverage — malformed
+//! input maps to typed [`UvError`]s, never a panic.
 
 use crate::builder::Method;
 use crate::config::UvConfig;
 use crate::engine::{trajectory_steps, QueryEngine, StepReuse, TrajectoryStep};
+use crate::router::DerivationRouter;
 use crate::snapshot::{FORMAT_VERSION, SECTION_OVERHEAD};
 use crate::system::UvSystem;
 use crate::update::{UpdateBatch, UpdateStats};
@@ -82,6 +111,7 @@ use crate::UvError;
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use uv_data::{ObjectId, PnnAnswer, UncertainObject};
 use uv_geom::{Point, Rect};
 use uv_store::codec::{read_section, write_section, Decode, Encode};
@@ -101,7 +131,8 @@ mod tag {
 #[derive(Debug, Clone, Default)]
 pub struct ShardedUpdateStats {
     /// The router's (global) update statistics — net inserts/deletes/moves
-    /// and the global re-derivation counters.
+    /// and the global re-derivation counters. The router has no grid, so
+    /// its leaf counters are zero by contract.
     pub router: UpdateStats,
     /// Per-shard update statistics, indexed by shard; untouched shards keep
     /// a default entry with their current epoch untouched.
@@ -114,10 +145,13 @@ pub struct ShardedUpdateStats {
     /// Object replicas removed across shards (membership lost: genuine
     /// deletes plus halo shrinkage).
     pub replicas_removed: usize,
-    /// Always `false`: the triggers that used to rebuild the whole shard
-    /// layout (router domain growth, a bound memory budget) are now handled
-    /// in place. Retained for API stability and as the adversarial suite's
-    /// assertion target (`tests/proptest_shard.rs`).
+    /// Always `false`: applying a batch never changes the shard layout —
+    /// domain growth extends the geometry in place, and elastic resharding
+    /// is a separate explicit operation ([`ShardedUvSystem::split_shard`],
+    /// [`ShardedUvSystem::merge_shards`], [`ShardedUvSystem::maybe_reshard`])
+    /// reporting through [`ReshardStats`]. Retained for API stability and
+    /// as the adversarial suite's assertion target
+    /// (`tests/proptest_shard.rs`).
     pub resharded: bool,
     /// `true` when the router grew its domain in place this batch; the shard
     /// geometry grew with it (outer boundaries only — interior rectangles
@@ -125,10 +159,40 @@ pub struct ShardedUpdateStats {
     pub domain_grown: bool,
 }
 
-/// A domain-sharded UV-diagram serving deployment: an `S × S` grid of shard
-/// rectangles, each served by its own [`UvSystem`] over the objects whose
-/// influence region intersects the rectangle (halo replication), plus one
-/// full router system as the derivation authority. See the [module
+/// Per-shard query/update tallies since the last reshard (or build /
+/// snapshot load), maintained lock-free on the query paths. Indexed like
+/// the shard rectangles: row-major from the south-west.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardLoadStats {
+    /// PNN queries (single, batched and trajectory steps) routed to each
+    /// shard as its owner. Out-of-domain queries are counted nowhere.
+    pub queries: Vec<u64>,
+    /// Update batches that reached each shard with a non-empty
+    /// reconciliation batch (net no-ops and untouched shards count zero).
+    pub updates: Vec<u64>,
+}
+
+/// The outcome of one elastic reshard: how the old layout maps onto the new
+/// one and which shards were rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardStats {
+    /// For each *old* shard index: its slot in the new layout, or `None`
+    /// when its rectangle changed and the shard was rebuilt. Mapped shards
+    /// move wholesale — epoch, leaf structure and member set intact.
+    pub shard_map: Vec<Option<usize>>,
+    /// New grid width (columns).
+    pub nx: usize,
+    /// New grid height (rows).
+    pub ny: usize,
+    /// New-layout slots that were rebuilt from their halo member sets,
+    /// ascending.
+    pub rebuilt: Vec<usize>,
+}
+
+/// A domain-sharded UV-diagram serving deployment: an `nx × ny` grid of
+/// shard rectangles, each served by its own [`UvSystem`] over the objects
+/// whose influence region intersects the rectangle (halo replication), plus
+/// a slim [`DerivationRouter`] as the derivation authority. See the [module
 /// docs](crate::shard) for the correctness contract.
 ///
 /// ```
@@ -148,12 +212,14 @@ pub struct ShardedUpdateStats {
 /// ```
 #[derive(Debug)]
 pub struct ShardedUvSystem {
-    /// The full unsharded system: routing/derivation authority and the
-    /// answerer of global-partition analytics.
-    router: UvSystem,
-    /// Shard-grid side `S`.
-    grid: usize,
-    /// The `S × S` shard rectangles, row-major from the south-west.
+    /// The derivation-only routing authority: objects, domain, index-only
+    /// R-tree and the sensitivity table — no grid, no pages.
+    router: DerivationRouter,
+    /// Grid width (columns) and height (rows). Uniform `num_shards ×
+    /// num_shards` at build; elastic resharding makes them diverge.
+    nx: usize,
+    ny: usize,
+    /// The `nx × ny` shard rectangles, row-major from the south-west.
     rects: Vec<Rect>,
     /// Cached split coordinates of the two axes (the exact values the
     /// rectangles were built from), so per-query routing allocates nothing.
@@ -161,14 +227,18 @@ pub struct ShardedUvSystem {
     bounds_y: Vec<f64>,
     /// One serving system per rectangle, over its halo member set.
     shards: Vec<UvSystem>,
+    /// Lock-free per-shard tallies since the last reshard: queries routed
+    /// to each owner, and non-empty reconciliation batches applied.
+    query_loads: Vec<AtomicU64>,
+    update_loads: Vec<AtomicU64>,
 }
 
 /// Influence radius of one object: the radius of the disk circumscribing its
 /// possible region, inverted from the I-pruning radius `2d − r_i` the
 /// sensitivity bound stores. `None` means globally sensitive — the object is
 /// replicated into every shard.
-fn influence_radius(o: &UncertainObject, sys: &UvSystem) -> Option<f64> {
-    let state = sys.object_state(o.id)?;
+fn influence_radius(o: &UncertainObject, router: &DerivationRouter) -> Option<f64> {
+    let state = router.object_state(o.id)?;
     let prune_radius = state.sensitivity().prune_radius;
     if !prune_radius.is_finite() {
         return None;
@@ -204,26 +274,19 @@ fn axis_index(bounds: &[f64], v: f64) -> usize {
     side - 1
 }
 
-/// The shard rectangles spanned by two (possibly non-uniform) axis boundary
-/// vectors, row-major from the south-west, sharing exact boundary
-/// coordinates with [`axis_index`].
+/// The shard rectangles spanned by two (possibly non-uniform, possibly
+/// different-length) axis boundary vectors, row-major from the south-west,
+/// sharing exact boundary coordinates with [`axis_index`].
 fn rects_from_bounds(xs: &[f64], ys: &[f64]) -> Vec<Rect> {
-    let side = xs.len() - 1;
-    let mut rects = Vec::with_capacity(side * side);
-    for iy in 0..side {
-        for ix in 0..side {
+    let nx = xs.len() - 1;
+    let ny = ys.len() - 1;
+    let mut rects = Vec::with_capacity(nx * ny);
+    for iy in 0..ny {
+        for ix in 0..nx {
             rects.push(Rect::new(xs[ix], ys[iy], xs[ix + 1], ys[iy + 1]));
         }
     }
     rects
-}
-
-/// The `side × side` shard rectangles of `domain`, row-major from the
-/// south-west — the uniform layout every sharded system starts from.
-fn shard_rects(domain: Rect, side: usize) -> Vec<Rect> {
-    let xs = axis_bounds(domain.min_x, domain.max_x, side);
-    let ys = axis_bounds(domain.min_y, domain.max_y, side);
-    rects_from_bounds(&xs, &ys)
 }
 
 /// Domain growth on one shard axis: only the two outermost boundaries move
@@ -236,11 +299,16 @@ fn extend_axis_bounds(bounds: &mut [f64], lo: f64, hi: f64) {
     bounds[last] = bounds[last].max(hi);
 }
 
+/// Fresh (zeroed) lock-free tallies for `n` shards.
+fn zero_loads(n: usize) -> Vec<AtomicU64> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
 /// Halo member sets: for every shard rectangle, the objects whose influence
 /// disk intersects it (globally sensitive objects join every shard). Every
 /// live object lands in at least one shard — its influence disk contains its
 /// own uncertainty region, which intersects the rectangle owning its centre.
-fn shard_members(router: &UvSystem, rects: &[Rect]) -> Vec<Vec<UncertainObject>> {
+fn shard_members(router: &DerivationRouter, rects: &[Rect]) -> Vec<Vec<UncertainObject>> {
     let mut members: Vec<Vec<UncertainObject>> = vec![Vec::new(); rects.len()];
     for o in router.objects() {
         match influence_radius(o, router) {
@@ -264,8 +332,8 @@ fn shard_members(router: &UvSystem, rects: &[Rect]) -> Vec<Vec<UncertainObject>>
 /// Runs `f` over `items` — one scoped thread per item when `parallel` and
 /// there is more than one item, a plain sequential loop otherwise. Results
 /// come back in item order. The single fan-out policy of this module:
-/// shard builds, batched query routing and update reconciliation all go
-/// through here.
+/// shard builds, batched query routing, update reconciliation and reshard
+/// rebuilds all go through here.
 fn fan_out<T: Send, R: Send>(parallel: bool, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     if parallel && items.len() > 1 {
         std::thread::scope(|scope| {
@@ -304,36 +372,44 @@ fn build_shard_systems(
 }
 
 impl ShardedUvSystem {
-    /// Builds the sharded system: the router over the full dataset, then the
-    /// `config.num_shards × config.num_shards` shard systems over their halo
-    /// member sets (in parallel when `config.parallel`). A configuration
-    /// failing [`UvConfig::validate`] is a typed error, never a panic.
+    /// Builds the sharded system: the derivation-only router over the full
+    /// dataset, then the `config.num_shards × config.num_shards` shard
+    /// systems over their halo member sets (in parallel when
+    /// `config.parallel`). A configuration failing [`UvConfig::validate`]
+    /// is a typed error, never a panic.
     pub fn build(
         objects: Vec<UncertainObject>,
         domain: Rect,
         method: Method,
         config: UvConfig,
     ) -> Result<Self, UvError> {
-        let router = UvSystem::build(objects, domain, method, config)?;
-        let grid = config.num_shards;
-        let rects = shard_rects(domain, grid);
+        let router = DerivationRouter::build(objects, domain, method, config)?;
+        let side = config.num_shards;
+        let bounds_x = axis_bounds(domain.min_x, domain.max_x, side);
+        let bounds_y = axis_bounds(domain.min_y, domain.max_y, side);
+        let rects = rects_from_bounds(&bounds_x, &bounds_y);
         let shards = build_shard_systems(shard_members(&router, &rects), domain, method, config)?;
         Ok(Self {
             router,
-            grid,
+            nx: side,
+            ny: side,
+            query_loads: zero_loads(rects.len()),
+            update_loads: zero_loads(rects.len()),
             rects,
-            bounds_x: axis_bounds(domain.min_x, domain.max_x, grid),
-            bounds_y: axis_bounds(domain.min_y, domain.max_y, grid),
+            bounds_x,
+            bounds_y,
             shards,
         })
     }
 
-    /// Shard-grid side `S`.
-    pub fn grid_side(&self) -> usize {
-        self.grid
+    /// Grid dimensions `(nx, ny)` — columns and rows of the shard layout.
+    /// Equal at build (`num_shards` each); elastic resharding makes them
+    /// diverge.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
     }
 
-    /// Total number of shards (`S × S`).
+    /// Total number of shards (`nx × ny`).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
@@ -348,11 +424,21 @@ impl ShardedUvSystem {
         &self.shards[idx]
     }
 
-    /// The router: the full unsharded system acting as derivation authority.
-    /// Global-partition analytics ([`UvSystem::cell_area`],
-    /// [`UvSystem::partition_query`]) are answered here.
-    pub fn router(&self) -> &UvSystem {
+    /// The derivation-only router: the update authority holding the live
+    /// object set, the domain and the per-object sensitivity table — and
+    /// nothing else (no grid, no pages).
+    pub fn router(&self) -> &DerivationRouter {
         &self.router
+    }
+
+    /// Serialized size of the router's section inside a sharded snapshot
+    /// (section header plus the [`DerivationRouter::state_bytes`] payload).
+    /// The `shard` experiment subtracts this from the snapshot total and
+    /// adds back a full unsharded snapshot to reconstruct what the retired
+    /// full-`UvSystem`-router layout would have cost — the footprint win
+    /// its memory gate enforces.
+    pub fn router_snapshot_bytes(&self) -> u64 {
+        SECTION_OVERHEAD + self.router.state_bytes()
     }
 
     /// The live object set (the router's view — shard member lists replicate
@@ -377,7 +463,7 @@ impl ShardedUvSystem {
     }
 
     /// Total object replicas across shards divided by the live object count:
-    /// `1.0` means no halo replication at all, `S²` full replication. The
+    /// `1.0` means no halo replication at all, `nx·ny` full replication. The
     /// halo-overhead statistic the `shard` experiment reports is this
     /// minus one.
     pub fn replication_factor(&self) -> f64 {
@@ -393,14 +479,34 @@ impl ShardedUvSystem {
         if !self.domain().contains(q) {
             return None;
         }
-        Some(axis_index(&self.bounds_y, q.y) * self.grid + axis_index(&self.bounds_x, q.x))
+        Some(axis_index(&self.bounds_y, q.y) * self.nx + axis_index(&self.bounds_x, q.x))
+    }
+
+    /// The per-shard query/update tallies since the last reshard (or build
+    /// / snapshot load). Lock-free reads of the live counters.
+    pub fn load_stats(&self) -> ShardLoadStats {
+        ShardLoadStats {
+            queries: self
+                .query_loads
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            updates: self
+                .update_loads
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// Answers a PNN query through the owning shard — bit-identical
     /// (probabilities, candidate counts) to the unsharded [`UvSystem::pnn`].
     pub fn pnn(&self, q: Point) -> PnnAnswer {
         match self.owner_of(q) {
-            Some(s) => self.shards[s].pnn(q),
+            Some(s) => {
+                self.query_loads[s].fetch_add(1, Ordering::Relaxed);
+                self.shards[s].pnn(q)
+            }
             None => PnnAnswer::default(),
         }
     }
@@ -417,6 +523,7 @@ impl ShardedUvSystem {
         let mut answers: Vec<PnnAnswer> = vec![PnnAnswer::default(); queries.len()];
         for (i, q) in queries.iter().enumerate() {
             if let Some(s) = self.owner_of(*q) {
+                self.query_loads[s].fetch_add(1, Ordering::Relaxed);
                 groups[s].push((i, *q));
             }
         }
@@ -468,7 +575,10 @@ impl ShardedUvSystem {
                 current = owner;
             }
             answers.push(match owner {
-                Some(s) => engines[s].pnn_step(*q, &mut reuse),
+                Some(s) => {
+                    self.query_loads[s].fetch_add(1, Ordering::Relaxed);
+                    engines[s].pnn_step(*q, &mut reuse)
+                }
                 None => {
                     reuse = None;
                     (PnnAnswer::default(), false)
@@ -605,6 +715,7 @@ impl ShardedUvSystem {
         for (s, outcome) in fan_out(parallel, jobs, |(s, shard, batch)| (s, shard.apply(batch))) {
             stats.shards_touched += 1;
             stats.per_shard[s] = outcome?;
+            self.update_loads[s].fetch_add(1, Ordering::Relaxed);
         }
         Ok(stats)
     }
@@ -631,25 +742,286 @@ impl ShardedUvSystem {
         self.apply(UpdateBatch::new().move_to(id, center))
     }
 
-    /// Serialises the whole sharded deployment — router and every shard —
-    /// under one versioned header; returns the bytes written. See the
-    /// [module docs](crate::shard) for the layout.
+    /// Splits shard `idx` by inserting a midpoint boundary on its longer
+    /// axis. The layout stays a product grid, so the whole row or column
+    /// containing `idx` is divided: those shards are rebuilt from their
+    /// halo member sets, every other shard moves wholesale to its new slot
+    /// (epoch and leaf structure intact — see [`ReshardStats::shard_map`]).
+    /// Answers stay bit-identical to the unsharded oracle; tallies reset.
+    /// Out-of-range `idx`, a slab too thin to split and an axis already at
+    /// its maximum resolution (1024) are typed errors that leave the
+    /// deployment untouched.
+    pub fn split_shard(&mut self, idx: usize) -> Result<ReshardStats, UvError> {
+        if idx >= self.shards.len() {
+            return Err(UvError::InvalidConfig("split_shard index out of range"));
+        }
+        let (ix, iy) = (idx % self.nx, idx / self.nx);
+        let rect = self.rects[idx];
+        let nx = self.nx;
+        if rect.width() >= rect.height() {
+            if nx + 1 > 1_024 {
+                return Err(UvError::InvalidConfig(
+                    "shard x-axis is already at its maximum resolution",
+                ));
+            }
+            let (lo, hi) = (self.bounds_x[ix], self.bounds_x[ix + 1]);
+            let mid = 0.5 * (lo + hi);
+            if !(lo < mid && mid < hi) {
+                return Err(UvError::InvalidConfig("shard slab is too thin to split"));
+            }
+            let mut xs = self.bounds_x.clone();
+            xs.insert(ix + 1, mid);
+            let shard_map: Vec<Option<usize>> = (0..self.shards.len())
+                .map(|old| {
+                    let (ox, oy) = (old % nx, old / nx);
+                    if ox == ix {
+                        None // the split column is rebuilt in both halves
+                    } else {
+                        Some(oy * (nx + 1) + if ox < ix { ox } else { ox + 1 })
+                    }
+                })
+                .collect();
+            let ys = self.bounds_y.clone();
+            self.reshard_to(xs, ys, shard_map)
+        } else {
+            if self.ny + 1 > 1_024 {
+                return Err(UvError::InvalidConfig(
+                    "shard y-axis is already at its maximum resolution",
+                ));
+            }
+            let (lo, hi) = (self.bounds_y[iy], self.bounds_y[iy + 1]);
+            let mid = 0.5 * (lo + hi);
+            if !(lo < mid && mid < hi) {
+                return Err(UvError::InvalidConfig("shard slab is too thin to split"));
+            }
+            let mut ys = self.bounds_y.clone();
+            ys.insert(iy + 1, mid);
+            let shard_map: Vec<Option<usize>> = (0..self.shards.len())
+                .map(|old| {
+                    let (ox, oy) = (old % nx, old / nx);
+                    if oy == iy {
+                        None // the split row is rebuilt in both halves
+                    } else {
+                        Some((if oy < iy { oy } else { oy + 1 }) * nx + ox)
+                    }
+                })
+                .collect();
+            let xs = self.bounds_x.clone();
+            self.reshard_to(xs, ys, shard_map)
+        }
+    }
+
+    /// Merges two axis-adjacent shards by removing the boundary between
+    /// them. The layout stays a product grid, so the whole pair of rows or
+    /// columns fuses: each fused shard is rebuilt from its halo member set,
+    /// every other shard moves wholesale (see [`ReshardStats::shard_map`]).
+    /// Answers stay bit-identical to the unsharded oracle; tallies reset.
+    /// Out-of-range, identical or non-adjacent (e.g. diagonal) indices are
+    /// typed errors that leave the deployment untouched.
+    pub fn merge_shards(&mut self, a: usize, b: usize) -> Result<ReshardStats, UvError> {
+        if a >= self.shards.len() || b >= self.shards.len() {
+            return Err(UvError::InvalidConfig("merge_shards index out of range"));
+        }
+        if a == b {
+            return Err(UvError::InvalidConfig(
+                "merge_shards requires two distinct shards",
+            ));
+        }
+        let nx = self.nx;
+        let (ax, ay) = (a % nx, a / nx);
+        let (bx, by) = (b % nx, b / nx);
+        if ay == by && ax.abs_diff(bx) == 1 {
+            let c = ax.min(bx); // fuse columns c and c+1
+            let mut xs = self.bounds_x.clone();
+            xs.remove(c + 1);
+            let shard_map: Vec<Option<usize>> = (0..self.shards.len())
+                .map(|old| {
+                    let (ox, oy) = (old % nx, old / nx);
+                    if ox == c || ox == c + 1 {
+                        None // every fused shard is rebuilt
+                    } else {
+                        Some(oy * (nx - 1) + if ox < c { ox } else { ox - 1 })
+                    }
+                })
+                .collect();
+            let ys = self.bounds_y.clone();
+            self.reshard_to(xs, ys, shard_map)
+        } else if ax == bx && ay.abs_diff(by) == 1 {
+            let r = ay.min(by); // fuse rows r and r+1
+            let mut ys = self.bounds_y.clone();
+            ys.remove(r + 1);
+            let shard_map: Vec<Option<usize>> = (0..self.shards.len())
+                .map(|old| {
+                    let (ox, oy) = (old % nx, old / nx);
+                    if oy == r || oy == r + 1 {
+                        None
+                    } else {
+                        Some((if oy < r { oy } else { oy - 1 }) * nx + ox)
+                    }
+                })
+                .collect();
+            let xs = self.bounds_x.clone();
+            self.reshard_to(xs, ys, shard_map)
+        } else {
+            Err(UvError::InvalidConfig(
+                "merge_shards requires two axis-adjacent shards",
+            ))
+        }
+    }
+
+    /// The elastic policy: consults the per-shard tallies against the
+    /// [`UvConfig::reshard_split_load`] / [`UvConfig::reshard_merge_load`]
+    /// thresholds and performs at most one reshard. When the split
+    /// threshold is set and some shard's combined tally reaches it, the
+    /// (first) hottest shard splits; otherwise, when the merge threshold is
+    /// set, the coldest axis-adjacent slab pair at or below it merges.
+    /// Returns `Ok(None)` when neither trigger fires (or both thresholds
+    /// are zero — the default, resharding disabled). Tallies meter the
+    /// interval since the last reshard: every reshard resets them.
+    pub fn maybe_reshard(&mut self) -> Result<Option<ReshardStats>, UvError> {
+        let split_at = self.config().reshard_split_load;
+        let merge_at = self.config().reshard_merge_load;
+        let loads = self.load_stats();
+        let combined: Vec<u64> = loads
+            .queries
+            .iter()
+            .zip(&loads.updates)
+            .map(|(q, u)| q + u)
+            .collect();
+        if split_at > 0 {
+            // Strict `>` keeps the first-encountered maximum: deterministic
+            // for equal loads.
+            let (hot, load) =
+                combined.iter().enumerate().fold(
+                    (0, 0),
+                    |(bi, bl), (i, &l)| {
+                        if l > bl {
+                            (i, l)
+                        } else {
+                            (bi, bl)
+                        }
+                    },
+                );
+            if load >= split_at {
+                return self.split_shard(hot).map(Some);
+            }
+        }
+        if merge_at > 0 {
+            let col_load = |c: usize| (0..self.ny).map(|r| combined[r * self.nx + c]).sum::<u64>();
+            let row_load = |r: usize| (0..self.nx).map(|c| combined[r * self.nx + c]).sum::<u64>();
+            // The coldest fusable pair across both axes; representatives are
+            // any two axis-adjacent members, first-found wins ties.
+            let mut best: Option<(u64, usize, usize)> = None;
+            for c in 0..self.nx.saturating_sub(1) {
+                let load = col_load(c) + col_load(c + 1);
+                if best.is_none_or(|(bl, _, _)| load < bl) {
+                    best = Some((load, c, c + 1));
+                }
+            }
+            for r in 0..self.ny.saturating_sub(1) {
+                let load = row_load(r) + row_load(r + 1);
+                if best.is_none_or(|(bl, _, _)| load < bl) {
+                    best = Some((load, r * self.nx, (r + 1) * self.nx));
+                }
+            }
+            if let Some((load, a, b)) = best {
+                if load <= merge_at {
+                    return self.merge_shards(a, b).map(Some);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Commits a new product-grid layout. `shard_map[old]` names the new
+    /// slot of each current shard whose rectangle is unchanged (it moves
+    /// wholesale — membership is a function of the rectangle, so its member
+    /// set, epoch and leaf structure stay valid); unmapped slots are
+    /// rebuilt from their halo member sets. Replacement shards are built
+    /// *before* any live state mutates, so an error leaves the deployment
+    /// exactly as it was. Tallies reset to zero on success.
+    fn reshard_to(
+        &mut self,
+        bounds_x: Vec<f64>,
+        bounds_y: Vec<f64>,
+        shard_map: Vec<Option<usize>>,
+    ) -> Result<ReshardStats, UvError> {
+        let nx = bounds_x.len() - 1;
+        let ny = bounds_y.len() - 1;
+        let rects = rects_from_bounds(&bounds_x, &bounds_y);
+        let mut claimed = vec![false; nx * ny];
+        for target in shard_map.iter().flatten() {
+            debug_assert!(!claimed[*target], "two old shards map to one new slot");
+            claimed[*target] = true;
+        }
+        let rebuilt: Vec<usize> = (0..nx * ny).filter(|s| !claimed[*s]).collect();
+
+        let mut members = shard_members(&self.router, &rects);
+        let domain = self.router.domain();
+        let method = self.router.method();
+        let config = *self.router.config();
+        let jobs: Vec<(usize, Vec<UncertainObject>)> = rebuilt
+            .iter()
+            .map(|&s| (s, std::mem::take(&mut members[s])))
+            .collect();
+        let outcomes = fan_out(config.parallel, jobs, |(s, objects)| {
+            (s, UvSystem::build(objects, domain, method, config))
+        });
+        let mut fresh: Vec<(usize, UvSystem)> = Vec::with_capacity(outcomes.len());
+        for (s, outcome) in outcomes {
+            fresh.push((s, outcome?));
+        }
+
+        // Commit: nothing below can fail.
+        let old = std::mem::take(&mut self.shards);
+        let mut slots: Vec<Option<UvSystem>> = (0..nx * ny).map(|_| None).collect();
+        for (old_idx, shard) in old.into_iter().enumerate() {
+            if let Some(target) = shard_map[old_idx] {
+                slots[target] = Some(shard);
+            }
+        }
+        for (s, shard) in fresh {
+            slots[s] = Some(shard);
+        }
+        self.shards = slots
+            .into_iter()
+            .map(|s| s.expect("every new slot is mapped or rebuilt"))
+            .collect();
+        self.nx = nx;
+        self.ny = ny;
+        self.rects = rects;
+        self.bounds_x = bounds_x;
+        self.bounds_y = bounds_y;
+        self.query_loads = zero_loads(nx * ny);
+        self.update_loads = zero_loads(nx * ny);
+        Ok(ReshardStats {
+            shard_map,
+            nx,
+            ny,
+            rebuilt,
+        })
+    }
+
+    /// Serialises the whole sharded deployment — the router's slim state
+    /// and every shard — under one versioned header; returns the bytes
+    /// written. See the [module docs](crate::shard) for the layout.
     pub fn save_snapshot<W: Write>(&self, w: &mut W) -> Result<u64, UvError> {
         w.write_all(&SHARD_MAGIC)?;
         FORMAT_VERSION.write_to(w)?;
         let mut written: u64 = SHARD_MAGIC.len() as u64 + 4;
 
         let mut meta = Vec::new();
-        (self.grid as u64).write_to(&mut meta)?;
-        // The exact axis boundaries: non-uniform after domain growth, so a
-        // loader cannot recompute them from the domain alone.
+        (self.nx as u64).write_to(&mut meta)?;
+        (self.ny as u64).write_to(&mut meta)?;
+        // The exact axis boundaries: non-uniform after a reshard or domain
+        // growth, so a loader cannot recompute them from the domain alone.
         self.bounds_x.write_to(&mut meta)?;
         self.bounds_y.write_to(&mut meta)?;
         write_section(w, tag::META, &meta)?;
         written += SECTION_OVERHEAD + meta.len() as u64;
 
         let mut router_payload = Vec::new();
-        self.router.save_snapshot(&mut router_payload)?;
+        self.router.write_state(&mut router_payload)?;
         write_section(w, tag::ROUTER, &router_payload)?;
         written += SECTION_OVERHEAD + router_payload.len() as u64;
 
@@ -672,10 +1044,10 @@ impl ShardedUvSystem {
     }
 
     /// Loads a sharded snapshot written by
-    /// [`ShardedUvSystem::save_snapshot`]: every section checksum, the shard
-    /// count, configuration agreement between router and shards, and halo
-    /// coverage are validated; malformed input is a typed [`UvError`], never
-    /// a panic.
+    /// [`ShardedUvSystem::save_snapshot`]: every section checksum, the grid
+    /// geometry, configuration agreement between router and shards, and
+    /// halo coverage are validated; malformed input is a typed [`UvError`],
+    /// never a panic. Load tallies start at zero.
     pub fn load_snapshot<R: Read>(r: &mut R) -> Result<Self, UvError> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
@@ -693,19 +1065,22 @@ impl ShardedUvSystem {
         }
         let meta = read_section(r, tag::META)?;
         let mut meta_slice = meta.as_slice();
-        let grid = u64::read_from(&mut meta_slice)? as usize;
-        if grid == 0 || grid > 1_024 {
-            return Err(UvError::SnapshotCorrupt(format!(
-                "implausible shard grid side {grid}"
-            )));
+        let nx = u64::read_from(&mut meta_slice)? as usize;
+        let ny = u64::read_from(&mut meta_slice)? as usize;
+        for (axis, dim) in [("x", nx), ("y", ny)] {
+            if dim == 0 || dim > 1_024 {
+                return Err(UvError::SnapshotCorrupt(format!(
+                    "implausible shard grid {axis}-dimension {dim}"
+                )));
+            }
         }
         let bounds_x = Vec::<f64>::read_from(&mut meta_slice)?;
         let bounds_y = Vec::<f64>::read_from(&mut meta_slice)?;
-        for bounds in [&bounds_x, &bounds_y] {
-            if bounds.len() != grid + 1 {
+        for (bounds, dim) in [(&bounds_x, nx), (&bounds_y, ny)] {
+            if bounds.len() != dim + 1 {
                 return Err(UvError::SnapshotCorrupt(format!(
-                    "expected {} axis boundaries for grid side {grid}, found {}",
-                    grid + 1,
+                    "expected {} axis boundaries for grid dimension {dim}, found {}",
+                    dim + 1,
                     bounds.len()
                 )));
             }
@@ -721,26 +1096,26 @@ impl ShardedUvSystem {
         }
 
         let router_payload = read_section(r, tag::ROUTER)?;
-        let router = UvSystem::load_snapshot(&mut router_payload.as_slice())?;
-        if router.config().num_shards != grid {
-            return Err(UvError::SnapshotCorrupt(format!(
-                "header grid side {grid} disagrees with the persisted configuration ({})",
-                router.config().num_shards
-            )));
+        let mut router_slice = router_payload.as_slice();
+        let router = DerivationRouter::read_state(&mut router_slice)?;
+        if !router_slice.is_empty() {
+            return Err(UvError::SnapshotCorrupt(
+                "trailing bytes after the router state".into(),
+            ));
         }
         let domain = router.domain();
         if bounds_x[0] != domain.min_x
-            || bounds_x[grid] != domain.max_x
+            || bounds_x[nx] != domain.max_x
             || bounds_y[0] != domain.min_y
-            || bounds_y[grid] != domain.max_y
+            || bounds_y[ny] != domain.max_y
         {
             return Err(UvError::SnapshotCorrupt(
                 "shard axis boundaries do not span the router's domain".into(),
             ));
         }
 
-        let mut shards = Vec::with_capacity(grid * grid);
-        for _ in 0..grid * grid {
+        let mut shards = Vec::with_capacity(nx * ny);
+        for _ in 0..nx * ny {
             let payload = read_section(r, tag::SHARD)?;
             let shard = UvSystem::load_snapshot(&mut payload.as_slice())?;
             if shard.config() != router.config() {
@@ -785,7 +1160,10 @@ impl ShardedUvSystem {
 
         Ok(Self {
             router,
-            grid,
+            nx,
+            ny,
+            query_loads: zero_loads(nx * ny),
+            update_loads: zero_loads(nx * ny),
             rects: rects_from_bounds(&bounds_x, &bounds_y),
             bounds_x,
             bounds_y,
@@ -800,9 +1178,9 @@ impl ShardedUvSystem {
         Self::load_snapshot(&mut r)
     }
 
-    /// Resets the I/O counters of the router and every shard.
+    /// Resets the I/O counters of every shard (the router holds no pages,
+    /// so it has none).
     pub fn reset_io(&self) {
-        self.router.reset_io();
         for shard in &self.shards {
             shard.reset_io();
         }
@@ -843,6 +1221,21 @@ mod tests {
             assert_eq!(batched.probabilities, oracle.probabilities);
             assert_eq!(batched.candidates_examined, oracle.candidates_examined);
         }
+    }
+
+    /// The rectangles must tile the domain exactly (no gaps, no overlap
+    /// beyond shared boundaries) — checked by area.
+    fn assert_rects_tile_domain(sharded: &ShardedUvSystem) {
+        let domain = sharded.domain();
+        let area: f64 = sharded.shard_rects().iter().map(Rect::area).sum();
+        assert!(
+            (area - domain.area()).abs() <= 1e-6 * domain.area(),
+            "shard rects do not tile the domain"
+        );
+        assert!(sharded
+            .shard_rects()
+            .iter()
+            .all(|r| domain.contains_rect(r)));
     }
 
     #[test]
@@ -951,6 +1344,9 @@ mod tests {
         assert_eq!(stats.router.moved, 1);
         assert!(!stats.resharded);
         assert!(stats.shards_touched >= 1);
+        // The router has no grid: its stats never report leaf work.
+        assert_eq!(stats.router.leaves_refined, 0);
+        assert_eq!(stats.router.total_leaves, 0);
         assert_answers_match(&sharded, &unsharded, &ds.query_points(30, 5));
     }
 
@@ -1023,14 +1419,8 @@ mod tests {
         assert!(stats.router.domain_grown);
         assert!(!stats.router.full_rebuild);
         assert_eq!(sharded.domain(), unsharded.domain());
+        assert_rects_tile_domain(&sharded);
         let domain = sharded.domain();
-        assert!(sharded
-            .shard_rects()
-            .iter()
-            .all(|r| domain.contains_rect(r)));
-        // The grown rectangles still tile the (grown) domain exactly.
-        let area: f64 = sharded.shard_rects().iter().map(Rect::area).sum();
-        assert!((area - domain.area()).abs() <= 1e-6 * domain.area());
         for shard in 0..sharded.shard_count() {
             assert_eq!(sharded.shard(shard).domain(), domain);
         }
@@ -1048,7 +1438,7 @@ mod tests {
         // bit-unchanged, and the reconciliation that does reach the shards
         // is pure membership expansion — never a rebuild, eviction or move.
         let (ds, mut sharded, _) = fixture(140, 3);
-        let side = sharded.grid_side();
+        let (side, _) = sharded.grid_dims();
         let before = sharded.shard_rects().to_vec();
         let stats = sharded
             .insert_object(UncertainObject::with_uniform(
@@ -1138,6 +1528,159 @@ mod tests {
     }
 
     #[test]
+    fn load_counters_track_query_and_update_routing() {
+        let (ds, mut sharded, _) = fixture(150, 2);
+        let zero = sharded.load_stats();
+        assert_eq!(zero.queries, vec![0; 4]);
+        assert_eq!(zero.updates, vec![0; 4]);
+
+        let queries = ds.query_points(25, 7);
+        let in_domain = queries
+            .iter()
+            .filter(|q| sharded.owner_of(**q).is_some())
+            .count() as u64;
+        sharded.pnn(queries[0]);
+        sharded.pnn_batch(&queries);
+        let loads = sharded.load_stats();
+        assert_eq!(
+            loads.queries.iter().sum::<u64>(),
+            in_domain + 1,
+            "every owned query must be tallied exactly once"
+        );
+        // Each tally lands on the owner shard.
+        for (s, rect) in sharded.shard_rects().iter().enumerate() {
+            let owned = queries
+                .iter()
+                .filter(|q| sharded.owner_of(**q) == Some(s))
+                .count() as u64;
+            let extra = u64::from(sharded.owner_of(queries[0]) == Some(s));
+            assert_eq!(
+                loads.queries[s],
+                owned + extra,
+                "tally of shard {s} {rect:?}"
+            );
+        }
+        assert_eq!(loads.updates.iter().sum::<u64>(), 0);
+
+        let stats = sharded
+            .move_object(42, Point::new(7_700.0, 1_900.0))
+            .unwrap();
+        let loads = sharded.load_stats();
+        assert_eq!(
+            loads.updates.iter().sum::<u64>(),
+            stats.shards_touched as u64,
+            "one update tally per touched shard"
+        );
+    }
+
+    #[test]
+    fn explicit_split_and_merge_keep_answers_bit_identical() {
+        let (ds, mut sharded, unsharded) = fixture(180, 2);
+        let queries = ds.query_points(30, 19);
+        assert_answers_match(&sharded, &unsharded, &queries);
+
+        // Shard 3 of the 2×2 layout is square, so the split lands on x:
+        // its whole column divides and the grid becomes 3×2.
+        let stats = sharded.split_shard(3).unwrap();
+        assert_eq!((stats.nx, stats.ny), (3, 2));
+        assert_eq!(sharded.grid_dims(), (3, 2));
+        assert_eq!(sharded.shard_count(), 6);
+        assert_eq!(stats.shard_map, vec![Some(0), None, Some(3), None]);
+        assert_eq!(stats.rebuilt, vec![1, 2, 4, 5]);
+        assert_rects_tile_domain(&sharded);
+        // Counters reset with the new layout.
+        assert_eq!(sharded.load_stats().queries, vec![0; 6]);
+        assert_answers_match(&sharded, &unsharded, &queries);
+
+        // Merge the two split columns back: the layout returns to the exact
+        // original 2×2 geometry, and answers still match the oracle.
+        let rects_before = sharded.shard_rects().to_vec();
+        let stats = sharded.merge_shards(1, 2).unwrap();
+        assert_eq!((stats.nx, stats.ny), (2, 2));
+        assert_eq!(sharded.grid_dims(), (2, 2));
+        assert_eq!(
+            stats.shard_map,
+            vec![Some(0), None, None, Some(2), None, None]
+        );
+        assert_eq!(stats.rebuilt, vec![1, 3]);
+        assert_rects_tile_domain(&sharded);
+        assert_ne!(rects_before, sharded.shard_rects());
+        assert_answers_match(&sharded, &unsharded, &queries);
+        // Moved shards kept their epoch and structure (shard 0 was never
+        // rebuilt across either reshard).
+        assert_eq!(sharded.shard(0).epoch(), 0);
+    }
+
+    #[test]
+    fn maybe_reshard_follows_the_load_policy() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(150));
+
+        // Split trigger: hammer one shard past the threshold.
+        let cfg = config()
+            .with_reshard_split_load(10)
+            .with_reshard_merge_load(4);
+        let mut sharded =
+            ShardedUvSystem::build(ds.objects.clone(), ds.domain, Method::IC, cfg).unwrap();
+        let unsharded = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, cfg).unwrap();
+        let hot = sharded.shard_rects()[0].center();
+        for _ in 0..9 {
+            sharded.pnn(hot); // below threshold: nothing fires yet
+        }
+        assert!(sharded.maybe_reshard().unwrap().is_none());
+        for _ in 0..3 {
+            sharded.pnn(hot); // 12 ≥ 10: the hot shard must split
+        }
+        let stats = sharded
+            .maybe_reshard()
+            .unwrap()
+            .expect("hot shard must split");
+        assert_eq!(stats.nx * stats.ny, 6, "2×2 must grow to 6 shards");
+        assert_eq!(sharded.load_stats().queries.iter().sum::<u64>(), 0);
+        assert_answers_match(&sharded, &unsharded, &ds.query_points(15, 5));
+
+        // Merge trigger: with no split threshold, an all-cold layout folds
+        // back one slab pair per policy call until a single shard remains.
+        let cfg = config().with_reshard_merge_load(50);
+        let mut cold =
+            ShardedUvSystem::build(ds.objects.clone(), ds.domain, Method::IC, cfg).unwrap();
+        let merged = cold.maybe_reshard().unwrap().expect("cold pair must merge");
+        assert_eq!(merged.nx * merged.ny, 2, "2×2 must shrink to 2 shards");
+        while cold.shard_count() > 1 {
+            assert!(cold.maybe_reshard().unwrap().is_some());
+        }
+        assert_eq!(cold.grid_dims(), (1, 1));
+        assert!(
+            cold.maybe_reshard().unwrap().is_none(),
+            "nothing left to fuse"
+        );
+        assert_answers_match(&cold, &unsharded, &ds.query_points(15, 6));
+
+        // Disabled thresholds (the default): the policy never fires.
+        let (_, mut inert, _) = fixture(60, 2);
+        for _ in 0..50 {
+            inert.pnn(hot);
+        }
+        assert!(inert.maybe_reshard().unwrap().is_none());
+    }
+
+    #[test]
+    fn reshard_rejects_invalid_operations_untouched() {
+        let (_, mut sharded, _) = fixture(80, 2);
+        let rects = sharded.shard_rects().to_vec();
+        // Diagonal, self and out-of-range merges; out-of-range split.
+        for result in [
+            sharded.merge_shards(0, 3),
+            sharded.merge_shards(1, 1),
+            sharded.merge_shards(0, 9),
+            sharded.split_shard(4),
+        ] {
+            assert!(matches!(result, Err(UvError::InvalidConfig(_))));
+        }
+        assert_eq!(sharded.grid_dims(), (2, 2));
+        assert_eq!(sharded.shard_rects(), rects.as_slice());
+    }
+
+    #[test]
     fn snapshot_roundtrip_preserves_every_shard() {
         let (ds, mut sharded, _) = fixture(150, 2);
         sharded
@@ -1151,7 +1694,7 @@ mod tests {
         let written = sharded.save_snapshot(&mut bytes).unwrap();
         assert_eq!(written, bytes.len() as u64);
         let loaded = ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
-        assert_eq!(loaded.grid_side(), sharded.grid_side());
+        assert_eq!(loaded.grid_dims(), sharded.grid_dims());
         assert_eq!(loaded.shard_rects(), sharded.shard_rects());
         for s in 0..sharded.shard_count() {
             assert_eq!(
@@ -1161,16 +1704,37 @@ mod tests {
             );
             assert_eq!(loaded.shard(s).epoch(), sharded.shard(s).epoch());
         }
-        assert_eq!(
-            loaded.router().index().canonical_leaves(),
-            sharded.router().index().canonical_leaves()
-        );
+        // The router's slim state round-trips bit-identically.
+        assert_eq!(loaded.router().epoch(), sharded.router().epoch());
+        assert_eq!(loaded.router().objects(), sharded.router().objects());
+        for o in sharded.router().objects() {
+            let a = sharded.router().object_state(o.id).expect("saved state");
+            let b = loaded.router().object_state(o.id).expect("loaded state");
+            assert_eq!(a.reference_ids(), b.reference_ids(), "refs of {}", o.id);
+            assert_eq!(a.sensitivity(), b.sensitivity(), "sensitivity of {}", o.id);
+        }
+        // Load tallies start at zero.
+        assert_eq!(loaded.load_stats().queries, vec![0; 4]);
         for q in ds.query_points(20, 13) {
             let a = sharded.pnn(q);
             let b = loaded.pnn(q);
             assert_eq!(a.probabilities, b.probabilities);
             assert_eq!(a.candidates_examined, b.candidates_examined);
         }
+    }
+
+    #[test]
+    fn reshard_snapshot_roundtrips_the_non_uniform_layout() {
+        let (ds, mut sharded, unsharded) = fixture(120, 2);
+        sharded.split_shard(0).unwrap(); // 3×2, non-uniform x-boundaries
+        assert_eq!(sharded.grid_dims(), (3, 2));
+        let mut bytes = Vec::new();
+        sharded.save_snapshot(&mut bytes).unwrap();
+        let loaded = ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.grid_dims(), (3, 2));
+        assert_eq!(loaded.shard_rects(), sharded.shard_rects());
+        assert_eq!(loaded.load_stats().queries, vec![0; 6]);
+        assert_answers_match(&loaded, &unsharded, &ds.query_points(15, 29));
     }
 
     #[test]

@@ -98,7 +98,17 @@ pub const MAGIC: [u8; 8] = *b"UVDSNAP\0";
 ///   [`UvSystem::save_snapshot`]). Restored clients carry no safe region,
 ///   so their first tick re-derives and the pushed delta chain continues
 ///   unbroken.
-pub const FORMAT_VERSION: u32 = 4;
+/// * **5** — `UvConfig` gained the elastic-resharding thresholds
+///   `reshard_split_load` and `reshard_merge_load`. The *sharded*
+///   container's ROUTER section now persists the slim
+///   [`crate::DerivationRouter`] state (config, method, domain, epoch,
+///   objects, reference table — the R-tree is rebuilt deterministically on
+///   load) instead of a full [`UvSystem`] snapshot, and its META section
+///   carries the two grid dimensions `nx × ny` plus both axis boundary
+///   vectors, because elastic split/merge makes the layout non-square and
+///   non-uniform. The unsharded stream layout is unchanged beyond the two
+///   appended config fields.
+pub const FORMAT_VERSION: u32 = 5;
 
 mod tag {
     pub const CONFIG: u8 = 1;
@@ -134,7 +144,9 @@ impl Encode for UvConfig {
         self.leaf_split_capacity.write_to(w)?;
         self.num_shards.write_to(w)?;
         self.safe_region.write_to(w)?;
-        self.safe_region_min_radius_fraction.write_to(w)
+        self.safe_region_min_radius_fraction.write_to(w)?;
+        self.reshard_split_load.write_to(w)?;
+        self.reshard_merge_load.write_to(w)
     }
 }
 
@@ -155,6 +167,8 @@ impl Decode for UvConfig {
             num_shards: usize::read_from(r)?,
             safe_region: bool::read_from(r)?,
             safe_region_min_radius_fraction: f64::read_from(r)?,
+            reshard_split_load: u64::read_from(r)?,
+            reshard_merge_load: u64::read_from(r)?,
         })
     }
 }
@@ -186,8 +200,12 @@ impl Decode for Method {
 /// centre around one hull vertex of the possible region, so its radius is
 /// `vertex.dist(centre)` — derivable, and therefore not stored (format
 /// version 2; version 1 spent 8 extra bytes per vertex on it, which made
-/// snapshots grow with region complexity).
-fn write_object_state<W: Write + ?Sized>(state: &ObjectState, w: &mut W) -> io::Result<()> {
+/// snapshots grow with region complexity). Shared with the slim router's
+/// persistence ([`crate::router`]), which writes the same per-object state.
+pub(crate) fn write_object_state<W: Write + ?Sized>(
+    state: &ObjectState,
+    w: &mut W,
+) -> io::Result<()> {
     state.reference_ids.write_to(w)?;
     let s = &state.sensitivity;
     s.knn_dist.write_to(w)?;
@@ -200,7 +218,10 @@ fn write_object_state<W: Write + ?Sized>(state: &ObjectState, w: &mut W) -> io::
 /// Inverse of [`write_object_state`]: `center` is the subject's centre, from
 /// which the d-bound radii are recomputed exactly as the derivation computed
 /// them (`Circle::new(v, v.dist(center))`), keeping loaded ≡ saved bit-exact.
-fn read_object_state<R: Read + ?Sized>(center: Point, r: &mut R) -> io::Result<ObjectState> {
+pub(crate) fn read_object_state<R: Read + ?Sized>(
+    center: Point,
+    r: &mut R,
+) -> io::Result<ObjectState> {
     let reference_ids = Vec::read_from(r)?;
     let knn_dist = f64::read_from(r)?;
     let prune_radius = f64::read_from(r)?;

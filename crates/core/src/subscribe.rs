@@ -28,7 +28,11 @@
 //! * **Shard-aware migration** — over a [`ShardedUvSystem`] each client is
 //!   pinned to its owning shard; a tick that crosses a shard boundary
 //!   re-derives on the destination shard and the client migrates, with the
-//!   delta chain staying unbroken ([`SubscriptionEngine::sharded`]).
+//!   delta chain staying unbroken ([`SubscriptionEngine::sharded`]). An
+//!   elastic reshard renumbers the pins of shards that moved wholesale and
+//!   re-derives only clients on rebuilt shards — bit-identical answers, so
+//!   the reshard itself pushes no deltas
+//!   ([`SubscriptionEngine::refresh_after_reshard`]).
 //!
 //! The engine borrows the system immutably (like [`crate::engine`]'s
 //! [`QueryEngine`]), so applying updates requires handing the table across:
@@ -51,7 +55,7 @@
 
 use crate::engine::QueryEngine;
 use crate::error::UvError;
-use crate::shard::{ShardedUpdateStats, ShardedUvSystem};
+use crate::shard::{ReshardStats, ShardedUpdateStats, ShardedUvSystem};
 use crate::system::UvSystem;
 use crate::update::UpdateStats;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -519,6 +523,47 @@ impl<'a> SubscriptionEngine<'a> {
                 continue;
             }
             stale.push((*id, client.position));
+        }
+        self.rederive_stale(stale)
+    }
+
+    /// Remaps every subscription after an elastic reshard
+    /// ([`ShardedUvSystem::split_shard`], [`ShardedUvSystem::merge_shards`]
+    /// or [`ShardedUvSystem::maybe_reshard`]), given the reshard's stats.
+    /// Call it on the engine built over the *post-reshard* system
+    /// ([`SubscriptionEngine::sharded_with_table`]) before the next tick.
+    ///
+    /// Clients pinned to a shard that moved wholesale
+    /// ([`ReshardStats::shard_map`]` = Some(new)`) keep their answer, epoch
+    /// and safe region — the shard's rectangle, epoch and leaf structure are
+    /// untouched, so the pin is simply renumbered. Clients pinned to a
+    /// rebuilt shard re-derive on the new layout; routed answers are
+    /// bit-identical to the unsharded oracle, so a reshard never changes an
+    /// answer set and the returned delta list is empty — the client-visible
+    /// delta chain continues unbroken (property-tested in
+    /// `tests/proptest_shard.rs`).
+    pub fn refresh_after_reshard(&mut self, stats: &ReshardStats) -> Vec<(ClientId, AnswerDelta)> {
+        let Backend::Sharded { system, .. } = &self.backend else {
+            panic!("refresh_after_reshard serves sharded engines");
+        };
+        let mut stale = Vec::new();
+        for (id, client) in self.table.clients.iter_mut() {
+            match client.shard {
+                Some(s) => match stats.shard_map.get(s).copied().flatten() {
+                    // Renumber the pin: the moved shard kept its rectangle
+                    // (ownership region unchanged), its epoch and its leaf
+                    // ids, so the safe region stays valid as-is.
+                    Some(new) => client.shard = Some(new),
+                    None => stale.push((*id, client.position)),
+                },
+                // Unpinned clients were out of domain (reshards never change
+                // the domain) or snapshot-restored; re-derive when owned.
+                None => {
+                    if system.owner_of(client.position).is_some() {
+                        stale.push((*id, client.position));
+                    }
+                }
+            }
         }
         self.rederive_stale(stale)
     }
@@ -1337,6 +1382,79 @@ mod tests {
             assert_eq!(
                 client.answer_ids(),
                 system.pnn(points[id as usize]).answer_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn reshard_migrates_subscriptions_with_unbroken_delta_chains() {
+        let ds = Dataset::generate(GeneratorConfig::paper_uniform(150));
+        let config = UvConfig::default()
+            .with_seed_knn(24)
+            .with_leaf_split_capacity(16)
+            .with_num_shards(2);
+        let mut sharded =
+            ShardedUvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
+        let oracle = UvSystem::build(ds.objects.clone(), ds.domain, Method::IC, config).unwrap();
+        let points = ds.query_points(12, 31);
+        let mut subs = SubscriptionEngine::sharded(&sharded);
+        for (i, q) in points.iter().enumerate() {
+            subs.subscribe(i as ClientId, *q).unwrap();
+        }
+        let pins_before: Vec<Option<usize>> = (0..points.len())
+            .map(|i| subs.table().client(i as ClientId).unwrap().shard())
+            .collect();
+
+        // Hot split: 2x2 -> 3x2. Clients on the four moved shards keep their
+        // pins (renumbered); clients on the two rebuilt shards re-derive.
+        let table = subs.into_table();
+        let stats = sharded.split_shard(0).unwrap();
+        let mut subs = SubscriptionEngine::sharded_with_table(&sharded, table);
+        let deltas = subs.refresh_after_reshard(&stats);
+        assert!(
+            deltas.is_empty(),
+            "bit-identical answers push no deltas: {deltas:?}"
+        );
+        let rebuilt_clients = pins_before
+            .iter()
+            .filter(|p| p.is_some_and(|s| stats.shard_map[s].is_none()))
+            .count() as u64;
+        assert_eq!(subs.stats().invalidated, rebuilt_clients);
+        for (id, client) in subs.table().iter() {
+            assert_eq!(client.shard(), sharded.owner_of(client.position()));
+            assert_eq!(
+                client.answer_ids(),
+                oracle.pnn(points[id as usize]).answer_ids(),
+                "client {id} diverged after the split"
+            );
+        }
+
+        // Ticks keep flowing on the post-split layout.
+        let moves: Vec<(ClientId, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i as ClientId, Point::new(q.x + 150.0, q.y)))
+            .collect();
+        subs.tick(&moves);
+        for (id, client) in subs.table().iter() {
+            assert_eq!(
+                client.answer_ids(),
+                oracle.pnn(moves[id as usize].1).answer_ids(),
+                "client {id} diverged on the tick after the split"
+            );
+        }
+
+        // Cold merge after churn: the chain survives a second reshard too.
+        let table = subs.into_table();
+        let stats = sharded.merge_shards(1, 2).unwrap();
+        let mut subs = SubscriptionEngine::sharded_with_table(&sharded, table);
+        assert!(subs.refresh_after_reshard(&stats).is_empty());
+        for (id, client) in subs.table().iter() {
+            assert_eq!(client.shard(), sharded.owner_of(client.position()));
+            assert_eq!(
+                client.answer_ids(),
+                oracle.pnn(moves[id as usize].1).answer_ids(),
+                "client {id} diverged after the merge"
             );
         }
     }

@@ -758,8 +758,9 @@ impl UvSystem {
 /// just-outside inserts costs `O(log)` growth events, and the result is a
 /// pure function of (current domain, needed rectangle) — the sharded
 /// router, its shards and any cold-rebuild oracle all agree on the grown
-/// domain without coordination.
-fn grow_domain(mut domain: Rect, needed: &Rect) -> Rect {
+/// domain without coordination. Shared with [`crate::router`], whose slim
+/// apply pipeline must grow bit-identically to this one.
+pub(crate) fn grow_domain(mut domain: Rect, needed: &Rect) -> Rect {
     while !domain.contains_rect(needed) {
         let w = domain.width().max(1.0);
         let h = domain.height().max(1.0);
@@ -779,7 +780,11 @@ fn grow_domain(mut domain: Rect, needed: &Rect) -> Rect {
     domain
 }
 
-fn validate_object(o: &UncertainObject) -> Result<(), UvError> {
+/// Shared op validation: both [`UvSystem::apply`] and the derivation-only
+/// router ([`crate::router`]) must accept and reject exactly the same
+/// objects, or the sharded layer's error behaviour would diverge from the
+/// unsharded oracle.
+pub(crate) fn validate_object(o: &UncertainObject) -> Result<(), UvError> {
     let c = o.center();
     if !c.x.is_finite() || !c.y.is_finite() || !o.radius().is_finite() || o.radius() < 0.0 {
         return Err(UvError::InvalidObject(o.id));

@@ -11,9 +11,22 @@
 //! provoke the retired full-rebuild triggers additionally assert that
 //! [`ShardedUpdateStats::resharded`] stays `false` forever — domain growth
 //! extends the shard geometry in place.
+//!
+//! Elastic resharding is covered by a churn-interleaved property: random
+//! [`ShardedUvSystem::split_shard`] / [`ShardedUvSystem::merge_shards`]
+//! operations alternate with update batches and live subscription ticks;
+//! routed answers and the client-visible delta streams must stay
+//! bit-identical to the unsharded oracle throughout, a reshard itself must
+//! push no deltas, and the final (generally non-uniform) layout must
+//! survive a snapshot round-trip. A deterministic corpus case additionally
+//! fuses a 2×2 grid down to a single shard and splits it back up into a
+//! non-uniform 3×2.
 
 use proptest::prelude::*;
-use uv_core::{Method, ShardedUvSystem, UpdateBatch, UvConfig, UvSystem};
+use uv_core::{
+    ClientId, Method, ShardedUvSystem, SubscriptionEngine, SubscriptionTable, UpdateBatch,
+    UvConfig, UvSystem,
+};
 use uv_data::{Dataset, GeneratorConfig, QueryBreakdown, UncertainObject};
 use uv_geom::Point;
 
@@ -111,6 +124,63 @@ fn churn(
             .expect("collision-free batch must validate on the unsharded path");
     }
     applied
+}
+
+/// Builds one collision-free mixed batch from `raw_ops` (at most one op per
+/// live id, like `churn`, but returning the batch so the caller can thread
+/// its stats into the subscription refresh). Returns the batch and the next
+/// fresh insert id.
+fn one_batch(unsharded: &UvSystem, raw_ops: &[RawOp], mut next_id: u32) -> (UpdateBatch, u32) {
+    let live: Vec<u32> = unsharded.objects().iter().map(|o| o.id).collect();
+    let mut batch = UpdateBatch::new();
+    let mut used: Vec<u32> = Vec::new();
+    for (op_pick, id_pick, x, y) in raw_ops {
+        let target = live
+            .get(*id_pick as usize % live.len().max(1))
+            .copied()
+            .filter(|id| !used.contains(id));
+        match op_pick % 3 {
+            0 => {
+                batch = batch.insert(UncertainObject::with_gaussian(
+                    next_id,
+                    Point::new(*x, *y),
+                    20.0,
+                ));
+                next_id += 1;
+            }
+            1 if live.len() > used.len() + 10 => {
+                if let Some(target) = target {
+                    batch = batch.delete(target);
+                    used.push(target);
+                }
+            }
+            _ => {
+                if let Some(target) = target {
+                    batch = batch.move_to(target, Point::new(*x, *y));
+                    used.push(target);
+                }
+            }
+        }
+    }
+    (batch, next_id)
+}
+
+/// The `pick`-th axis-adjacent shard pair of an `nx × ny` grid (column
+/// pairs first, then row pairs), or `None` on a single-shard layout.
+fn adjacent_pair(nx: usize, ny: usize, pick: usize) -> Option<(usize, usize)> {
+    let x_pairs = (nx - 1) * ny;
+    let y_pairs = nx * (ny - 1);
+    if x_pairs + y_pairs == 0 {
+        return None;
+    }
+    let k = pick % (x_pairs + y_pairs);
+    if k < x_pairs {
+        let a = (k / (nx - 1)) * nx + k % (nx - 1);
+        Some((a, a + 1))
+    } else {
+        let k = k - x_pairs;
+        Some((k, k + nx))
+    }
 }
 
 fn assert_bit_identical(sharded: &ShardedUvSystem, unsharded: &UvSystem, queries: &[Point]) {
@@ -311,4 +381,193 @@ proptest! {
         queries.push(Point::new(old.min_x - 40.0, old.min_y + 10.0));
         assert_bit_identical(&sharded, &unsharded, &queries);
     }
+
+    /// The ISSUE 10 tentpole, elastic half: random splits and merges
+    /// interleaved with update batches and live subscription ticks. Routed
+    /// answers and the client-visible delta streams stay bit-identical to
+    /// the unsharded oracle throughout, a reshard itself pushes no deltas
+    /// (its answers are unchanged by construction), and the final —
+    /// generally non-uniform — layout survives a snapshot round-trip.
+    #[test]
+    fn resharding_under_churn_stays_bit_identical(
+        case in (60..100usize, 0..2u8, 0..2u8, 900.0..2_500.0f64, 0..10_000u64),
+        raw_ops in prop::collection::vec(
+            (0..3u8, 0..u16::MAX, 50.0..9_950.0f64, 50.0..9_950.0f64),
+            24..33,
+        ),
+        reshard_picks in prop::collection::vec((0..2u8, 0..4_096usize), 3..5),
+    ) {
+        let (n, method_pick, kind_pick, sigma, seed) = case;
+        let (dataset, mut sharded, mut unsharded) =
+            build_case(n, method_pick, kind_pick, sigma, seed);
+        let queries = dataset.query_points(16, seed ^ 0xe1a5);
+
+        // The same clients subscribed on both deployments, ticked in
+        // lock-step; their delta streams must match op for op.
+        let client_points = dataset.query_points(6, seed ^ 0x51b5);
+        let mut positions: Vec<Point> = client_points.clone();
+        let mut table_s = SubscriptionTable::new();
+        let mut table_u = SubscriptionTable::new();
+        {
+            let mut sub_s = SubscriptionEngine::sharded_with_table(&sharded, table_s);
+            let mut sub_u = SubscriptionEngine::with_table(&unsharded, table_u);
+            for (i, q) in client_points.iter().enumerate() {
+                let a = sub_s.subscribe(i as ClientId, *q).unwrap();
+                let b = sub_u.subscribe(i as ClientId, *q).unwrap();
+                prop_assert_eq!(a.answer_ids(), b.answer_ids());
+            }
+            table_s = sub_s.into_table();
+            table_u = sub_u.into_table();
+        }
+
+        let rounds = reshard_picks.len();
+        let mut next_id = 500_000u32;
+        for (round, (kind, pick)) in reshard_picks.iter().enumerate() {
+            // One mixed update batch applied to both systems, subscriptions
+            // refreshed and ticked in lock-step.
+            let lo = raw_ops.len() * round / rounds;
+            let hi = raw_ops.len() * (round + 1) / rounds;
+            let (batch, fresh) = one_batch(&unsharded, &raw_ops[lo..hi], next_id);
+            next_id = fresh;
+            let stats_s = sharded.apply(batch.clone())
+                .expect("churn batch must validate on the sharded path");
+            let stats_u = unsharded.apply(batch)
+                .expect("churn batch must validate on the unsharded path");
+            {
+                let mut sub_s = SubscriptionEngine::sharded_with_table(&sharded, table_s);
+                let mut sub_u = SubscriptionEngine::with_table(&unsharded, table_u);
+                prop_assert_eq!(
+                    sub_s.refresh_after_sharded(&stats_s),
+                    sub_u.refresh_after(&stats_u),
+                    "refresh delta streams diverged in round {}", round
+                );
+                let domain = unsharded.domain();
+                for p in positions.iter_mut() {
+                    *p = Point::new(
+                        (p.x + 137.0 * ((round % 3) as f64 - 1.0) + 61.0)
+                            .clamp(domain.min_x, domain.max_x),
+                        (p.y - 89.0 * ((round % 2) as f64) + 43.0)
+                            .clamp(domain.min_y, domain.max_y),
+                    );
+                }
+                let moves: Vec<(ClientId, Point)> = positions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i as ClientId, *p))
+                    .collect();
+                prop_assert_eq!(
+                    sub_s.tick(&moves),
+                    sub_u.tick(&moves),
+                    "tick delta streams diverged in round {}", round
+                );
+                table_s = sub_s.into_table();
+                table_u = sub_u.into_table();
+            }
+
+            // A random reshard: split anywhere, or merge any adjacent pair.
+            let (nx, ny) = sharded.grid_dims();
+            let stats = if *kind == 0 || adjacent_pair(nx, ny, *pick).is_none() {
+                sharded.split_shard(pick % (nx * ny)).expect("split applies")
+            } else {
+                let (a, b) = adjacent_pair(nx, ny, *pick).expect("grid has >1 shard");
+                sharded.merge_shards(a, b).expect("merge applies")
+            };
+            {
+                let mut sub_s = SubscriptionEngine::sharded_with_table(&sharded, table_s);
+                let pushed = sub_s.refresh_after_reshard(&stats);
+                prop_assert!(
+                    pushed.is_empty(),
+                    "a reshard must not change any answer: {:?}", pushed
+                );
+                table_s = sub_s.into_table();
+            }
+            assert_bit_identical(&sharded, &unsharded, &queries);
+        }
+
+        // One more lock-step tick on the final layout, then verify every
+        // tracked answer against the oracle.
+        {
+            let mut sub_s = SubscriptionEngine::sharded_with_table(&sharded, table_s);
+            let mut sub_u = SubscriptionEngine::with_table(&unsharded, table_u);
+            let moves: Vec<(ClientId, Point)> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as ClientId, *p))
+                .collect();
+            prop_assert_eq!(sub_s.tick(&moves), sub_u.tick(&moves));
+            for (id, client) in sub_s.table().iter() {
+                prop_assert_eq!(
+                    client.answer_ids(),
+                    unsharded.pnn(positions[id as usize]).answer_ids(),
+                    "client {} diverged on the final layout", id
+                );
+            }
+        }
+
+        // The non-uniform layout round-trips through snapshot v5.
+        let mut bytes = Vec::new();
+        sharded.save_snapshot(&mut bytes).expect("snapshot saves");
+        let loaded = ShardedUvSystem::load_snapshot(&mut bytes.as_slice())
+            .expect("snapshot loads");
+        prop_assert_eq!(loaded.grid_dims(), sharded.grid_dims());
+        prop_assert_eq!(loaded.shard_rects(), sharded.shard_rects());
+        assert_bit_identical(&loaded, &unsharded, &queries);
+    }
+}
+
+/// Deterministic corpus case for the elastic half: fuse a 2×2 grid down to
+/// a single shard (merge the two columns, then the two remaining rows),
+/// churn, then split back up into a non-uniform 3×2 — every intermediate
+/// layout answers bit-identically to the unsharded oracle and the final
+/// non-uniform layout round-trips through snapshot v5.
+#[test]
+fn merge_to_single_shard_then_split_back() {
+    let (dataset, mut sharded, mut unsharded) = build_case(80, 0, 0, 1_200.0, 42);
+    let queries = dataset.query_points(16, 99);
+
+    sharded.merge_shards(0, 1).unwrap(); // 2x2 -> 1x2 (fuse the columns)
+    assert_eq!(sharded.grid_dims(), (1, 2));
+    sharded.merge_shards(0, 1).unwrap(); // 1x2 -> 1x1 (fuse the rows)
+    assert_eq!(sharded.grid_dims(), (1, 1));
+    assert_bit_identical(&sharded, &unsharded, &queries);
+
+    // Churn on the single-shard layout.
+    let ops: Vec<RawOp> = (0..12u8)
+        .map(|i| {
+            (
+                i % 3,
+                i as u16 * 37,
+                400.0 + 700.0 * i as f64,
+                9_300.0 - 650.0 * i as f64,
+            )
+        })
+        .collect();
+    let (batch, _) = one_batch(&unsharded, &ops, 700_000);
+    sharded.apply(batch.clone()).unwrap();
+    unsharded.apply(batch).unwrap();
+    assert_bit_identical(&sharded, &unsharded, &queries);
+
+    // Split back up: 1x1 -> 2x1 -> 2x2 -> non-uniform 3x2.
+    sharded.split_shard(0).unwrap();
+    assert_eq!(sharded.grid_dims(), (2, 1));
+    sharded.split_shard(0).unwrap();
+    assert_eq!(sharded.grid_dims(), (2, 2));
+    let stats = sharded.split_shard(0).unwrap();
+    assert_eq!((stats.nx, stats.ny), (3, 2));
+    let widths: Vec<f64> = sharded.shard_rects()[..3]
+        .iter()
+        .map(|r| r.width())
+        .collect();
+    assert!(
+        widths[0] < widths[2],
+        "the third split must leave a non-uniform column layout: {widths:?}"
+    );
+    assert_bit_identical(&sharded, &unsharded, &queries);
+
+    let mut bytes = Vec::new();
+    sharded.save_snapshot(&mut bytes).unwrap();
+    let loaded = ShardedUvSystem::load_snapshot(&mut bytes.as_slice()).unwrap();
+    assert_eq!(loaded.grid_dims(), (3, 2));
+    assert_eq!(loaded.shard_rects(), sharded.shard_rects());
+    assert_bit_identical(&loaded, &unsharded, &queries);
 }

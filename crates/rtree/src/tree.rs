@@ -78,12 +78,31 @@ impl RTree {
         store: Arc<PageStore>,
         config: RTreeConfig,
     ) -> Self {
-        assert!(config.fanout >= 2, "fanout must be at least 2");
-        assert!(config.leaf_capacity >= 1, "leaf capacity must be positive");
-        let mut entries: Vec<ObjectEntry> = objects
+        let entries: Vec<ObjectEntry> = objects
             .iter()
             .map(|o| ObjectEntry::new(o, object_store.ptr_of(o.id)))
             .collect();
+        Self::bulk_load_entries(entries, store, config)
+    }
+
+    /// Bulk-loads an *index-only* R-tree: leaf entries carry the null record
+    /// pointer (`0`) instead of an [`ObjectStore`] offset, so the tree needs
+    /// no object pages at all. Geometry queries (`knn`, range) are identical
+    /// to [`RTree::bulk_load`] over the same objects — only record retrieval
+    /// through the pointers is unavailable. Used by derivation-only services
+    /// that never dereference leaf pointers.
+    pub fn build_index_only(objects: &[UncertainObject], store: Arc<PageStore>) -> Self {
+        let entries: Vec<ObjectEntry> = objects.iter().map(|o| ObjectEntry::new(o, 0)).collect();
+        Self::bulk_load_entries(entries, store, RTreeConfig::default())
+    }
+
+    fn bulk_load_entries(
+        mut entries: Vec<ObjectEntry>,
+        store: Arc<PageStore>,
+        config: RTreeConfig,
+    ) -> Self {
+        assert!(config.fanout >= 2, "fanout must be at least 2");
+        assert!(config.leaf_capacity >= 1, "leaf capacity must be positive");
 
         let mut tree = Self {
             config,
@@ -461,6 +480,24 @@ mod tests {
         let back = RTree::read_state(empty_pages, &mut state.as_slice()).unwrap();
         assert!(back.is_empty());
         assert!(back.root().is_none());
+    }
+
+    #[test]
+    fn index_only_tree_answers_knn_identically_with_null_pointers() {
+        let (ds, _, tree) = build_tree(537);
+        let slim = RTree::build_index_only(&ds.objects, Arc::new(PageStore::new()));
+        assert_eq!(slim.len(), tree.len());
+        assert_eq!(slim.num_leaves(), tree.num_leaves());
+        for leaf in &slim.leaves {
+            for e in leaf.entries.read_all_uncounted() {
+                assert_eq!(e.ptr, 0, "index-only entries must carry the null pointer");
+            }
+        }
+        for q in ds.query_points(10, 11) {
+            let a: Vec<u32> = tree.knn(q, 12, None).into_iter().map(|e| e.id).collect();
+            let b: Vec<u32> = slim.knn(q, 12, None).into_iter().map(|e| e.id).collect();
+            assert_eq!(a, b, "index-only knn diverged at {q:?}");
+        }
     }
 
     #[test]

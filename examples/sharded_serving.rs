@@ -26,11 +26,10 @@ fn main() {
     let oracle = UvSystem::build(fleet.objects.clone(), fleet.domain, Method::IC, config)
         .expect("valid configuration");
 
+    let (nx, ny) = sharded.grid_dims();
     println!(
-        "fleet of {} vehicles served from a {}x{} shard grid",
+        "fleet of {} vehicles served from a {nx}x{ny} shard grid",
         sharded.objects().len(),
-        sharded.grid_side(),
-        sharded.grid_side()
     );
     for (s, rect) in sharded.shard_rects().iter().enumerate() {
         println!(
